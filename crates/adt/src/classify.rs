@@ -1,0 +1,712 @@
+//! Executable operation classification (Definitions of Sections 2.1, 3, 4).
+//!
+//! Every algebraic property the paper uses to state a lower bound is
+//! implemented here as a decision procedure over a bounded
+//! [`Universe`](crate::universe::Universe#) of operation instances and the
+//! states reachable from the initial state:
+//!
+//! | paper definition | function | used by |
+//! |---|---|---|
+//! | mutator (§2.1) | [`is_mutator`] | Algorithm 1 classification |
+//! | accessor (§2.1) | [`is_accessor`] | Algorithm 1 classification |
+//! | pure mutator / pure accessor (§2.1) | [`computed_class`] | Algorithm 1 |
+//! | overwriter (§2.1) | [`is_overwriter`] | Table 5 discussion |
+//! | transposable (§3.2) | [`is_transposable`] | Theorem 3, Theorem 5 |
+//! | last-sensitive (§3.2) | [`is_last_sensitive_k`], [`max_last_sensitive_k`] | Theorem 3 |
+//! | pair-free (§4.2) | [`is_pair_free`] | Theorem 4 |
+//! | discriminator (§4.3) | [`find_discriminator`], [`check_thm5_hypotheses`] | Theorem 5 |
+//!
+//! Existential properties return a concrete [`Witness`]; bounded-universal
+//! properties return `Ok(())` or a counterexample. Since the concrete
+//! specifications in [`crate::types`] use canonical states, sequence
+//! equivalence `ρ₁ ≡ ρ₂` reduces to equality of resulting states (this is
+//! cross-checked against bounded observational equivalence in
+//! [`crate::equiv`]'s tests).
+
+use crate::spec::{DataType, OpClass};
+use crate::universe::{reachable_states, ExploreLimits, Universe};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A witness for an existential property: the generating state plus the
+/// participating arguments.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Canonical encoding of the state ρ leads to.
+    pub state: Value,
+    /// Arguments of the operation instances participating in the witness.
+    pub args: Vec<Value>,
+    /// Human-readable explanation.
+    pub note: String,
+}
+
+/// A counterexample to a bounded-universal property.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Canonical encoding of the offending state.
+    pub state: Value,
+    /// Explanation of what failed.
+    pub note: String,
+}
+
+/// Is `op` a mutator? (§2.1: ∃ ρ, mop with ρ.mop legal but ρ ≢ ρ.mop.)
+pub fn is_mutator<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Option<Witness> {
+    for state in reachable_states(t, universe, limits) {
+        for arg in universe.args_of(op) {
+            let (next, _) = t.apply(&state, op, arg);
+            if next != state {
+                return Some(Witness {
+                    state: t.canonical(&state),
+                    args: vec![arg.clone()],
+                    note: format!("{op}({arg:?}) changes the state"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Is `op` an accessor? (§2.1: ∃ legal ρ, instance `op'`, instance `aop` of
+/// `op` with ρ.aop and ρ.op' legal but ρ.op'.aop illegal — i.e. applying some
+/// other instance changes `op`'s unique legal return value.)
+pub fn is_accessor<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Option<Witness> {
+    for state in reachable_states(t, universe, limits) {
+        for arg in universe.args_of(op) {
+            let (_, ret_before) = t.apply(&state, op, arg);
+            for other in universe.invocations() {
+                let (mid, _) = t.apply(&state, other.op, &other.arg);
+                let (_, ret_after) = t.apply(&mid, op, arg);
+                if ret_after != ret_before {
+                    return Some(Witness {
+                        state: t.canonical(&state),
+                        args: vec![arg.clone(), other.arg.clone()],
+                        note: format!(
+                            "{op}({arg:?}) returns {ret_before:?} before {}({:?}) but {ret_after:?} after",
+                            other.op, other.arg
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Compute the [`OpClass`] of `op` from the executable definitions.
+///
+/// Returns `None` if the operation is neither a mutator nor an accessor
+/// within the explored bounds (such operations "accomplish nothing" and are
+/// excluded by the paper).
+pub fn computed_class<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Option<OpClass> {
+    let m = is_mutator(t, op, universe, limits).is_some();
+    let a = is_accessor(t, op, universe, limits).is_some();
+    match (m, a) {
+        (true, true) => Some(OpClass::Mixed),
+        (true, false) => Some(OpClass::PureMutator),
+        (false, true) => Some(OpClass::PureAccessor),
+        (false, false) => None,
+    }
+}
+
+/// Check that every declared [`OpClass`] in `t.ops()` matches the computed
+/// classification. Returns the list of mismatches (empty = all good).
+pub fn verify_declared_classes<T: DataType>(
+    t: &T,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Vec<(&'static str, Option<OpClass>, OpClass)> {
+    let mut mismatches = Vec::new();
+    for meta in t.ops() {
+        let computed = computed_class(t, meta.name, universe, limits);
+        if computed != Some(meta.class) {
+            mismatches.push((meta.name, computed, meta.class));
+        }
+    }
+    mismatches
+}
+
+/// Is `op` an overwriter? (§2.1: every instance `mop`, after any `ρ.op'`
+/// where both `ρ.mop` and `ρ.op'.mop` are legal, yields an equivalent state.)
+/// Bounded-universal check.
+pub fn is_overwriter<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Result<(), Counterexample> {
+    for state in reachable_states(t, universe, limits) {
+        for arg in universe.args_of(op) {
+            let (direct, ret_direct) = t.apply(&state, op, arg);
+            for other in universe.invocations() {
+                let (mid, _) = t.apply(&state, other.op, &other.arg);
+                let (via, ret_via) = t.apply(&mid, op, arg);
+                // ρ.mop and ρ.op'.mop are both legal (same instance) only if
+                // the return values agree; otherwise the instance differs and
+                // the definition's premise is vacuous.
+                if ret_direct == ret_via && direct != via {
+                    return Err(Counterexample {
+                        state: t.canonical(&state),
+                        note: format!(
+                            "{op}({arg:?}) after {}({:?}) leaves a different state",
+                            other.op, other.arg
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `op` transposable? (§3.2: for distinct instances `op₁`, `op₂` legal
+/// after ρ, both ρ.op₁.op₂ and ρ.op₂.op₁ are legal.) Bounded-universal check.
+pub fn is_transposable<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Result<(), Counterexample> {
+    let args: Vec<&Value> = universe.args_of(op).collect();
+    for state in reachable_states(t, universe, limits) {
+        for (i, a1) in args.iter().enumerate() {
+            let (s1, r1) = t.apply(&state, op, a1);
+            for a2 in args.iter().skip(i) {
+                let (_, r2) = t.apply(&state, op, a2);
+                // Distinct instances: differing arg or differing return.
+                if *a1 == *a2 && r1 == r2 {
+                    continue;
+                }
+                // ρ.op₁.op₂ legal ⟺ invoking op(a2) after ρ.op₁ yields r2.
+                let (_, r2_after_1) = t.apply(&s1, op, a2);
+                let (s2, _) = t.apply(&state, op, a2);
+                let (_, r1_after_2) = t.apply(&s2, op, a1);
+                if r2_after_1 != r2 || r1_after_2 != r1 {
+                    return Err(Counterexample {
+                        state: t.canonical(&state),
+                        note: format!(
+                            "instances {op}({a1:?})->{r1:?} and {op}({a2:?})->{r2:?} do not transpose"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `op` last-sensitive with parameter `k`? (§3.2: ∃ ρ and `k` distinct
+/// instances, all legal after ρ, such that any two permutations with
+/// different last elements lead to non-equivalent states.)
+///
+/// Returns a witness (the state and the `k` arguments) if certified.
+pub fn is_last_sensitive_k<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+    k: usize,
+) -> Option<Witness> {
+    if k == 0 {
+        return None;
+    }
+    let args: Vec<Value> = universe.args_of(op).cloned().collect();
+    if args.len() < k {
+        return None;
+    }
+    for state in reachable_states(t, universe, limits) {
+        // Candidate instances must be pairwise distinct (distinct args give
+        // distinct instances when returns agree or not — args differ).
+        for combo in combinations(&args, k) {
+            if last_sensitive_at(t, op, &state, &combo) {
+                return Some(Witness {
+                    state: t.canonical(&state),
+                    args: combo.into_iter().cloned().collect(),
+                    note: format!("{op} is last-sensitive with k = {k}"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The largest `k ≤ k_max` for which [`is_last_sensitive_k`] certifies `op`,
+/// or 0 if none. Used to instantiate the Theorem 3 bound `(1 - 1/k)u` with an
+/// honestly certified `k` for each concrete operation.
+pub fn max_last_sensitive_k<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+    k_max: usize,
+) -> usize {
+    for k in (2..=k_max).rev() {
+        if is_last_sensitive_k(t, op, universe, limits, k).is_some() {
+            return k;
+        }
+    }
+    0
+}
+
+/// Check whether, at `state`, the given distinct argument multiset certifies
+/// last-sensitivity: permutations with different last elements must lead to
+/// pairwise different states.
+fn last_sensitive_at<T: DataType>(
+    t: &T,
+    op: &'static str,
+    state: &T::State,
+    combo: &[&Value],
+) -> bool {
+    let k = combo.len();
+    // The instances must be pairwise distinct. With deterministic specs,
+    // equal args at the same state imply equal instances, so require
+    // pairwise-distinct args.
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if combo[i] == combo[j] {
+                return false;
+            }
+        }
+    }
+    // Enumerate permutations, bucketing final states by last element.
+    let mut by_last: HashMap<usize, Vec<T::State>> = HashMap::new();
+    let mut order: Vec<usize> = (0..k).collect();
+    permute_states(t, op, state, &mut order, 0, combo, &mut by_last);
+    // All states with last = i must differ from all states with last = j ≠ i.
+    let keys: Vec<usize> = by_last.keys().copied().collect();
+    for (idx, &i) in keys.iter().enumerate() {
+        for &j in keys.iter().skip(idx + 1) {
+            for si in &by_last[&i] {
+                for sj in &by_last[&j] {
+                    if si == sj {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn permute_states<T: DataType>(
+    t: &T,
+    op: &'static str,
+    state: &T::State,
+    order: &mut Vec<usize>,
+    depth: usize,
+    combo: &[&Value],
+    by_last: &mut HashMap<usize, Vec<T::State>>,
+) {
+    let k = order.len();
+    if depth == k {
+        let mut s = state.clone();
+        for &i in order.iter() {
+            let (next, _) = t.apply(&s, op, combo[i]);
+            s = next;
+        }
+        by_last.entry(order[k - 1]).or_default().push(s);
+        return;
+    }
+    for i in depth..k {
+        order.swap(depth, i);
+        permute_states(t, op, state, order, depth + 1, combo, by_last);
+        order.swap(depth, i);
+    }
+}
+
+/// Iterate `k`-element combinations of `items` (as index-free borrows).
+fn combinations(items: &[Value], k: usize) -> Vec<Vec<&Value>> {
+    let mut out = Vec::new();
+    let mut current: Vec<&Value> = Vec::with_capacity(k);
+    fn rec<'a>(
+        items: &'a [Value],
+        k: usize,
+        start: usize,
+        current: &mut Vec<&'a Value>,
+        out: &mut Vec<Vec<&'a Value>>,
+    ) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        let needed = k - current.len();
+        for i in start..items.len() {
+            if items.len() - i < needed {
+                break;
+            }
+            current.push(&items[i]);
+            rec(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, k, 0, &mut current, &mut out);
+    out
+}
+
+/// Is `op` pair-free? (§4.2: ∃ ρ and instances `op₁`, `op₂` of `op`, both
+/// legal after ρ, with ρ.op₁.op₂ and ρ.op₂.op₁ both illegal.)
+pub fn is_pair_free<T: DataType>(
+    t: &T,
+    op: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Option<Witness> {
+    let args: Vec<&Value> = universe.args_of(op).collect();
+    for state in reachable_states(t, universe, limits) {
+        for a1 in &args {
+            let (s1, r1) = t.apply(&state, op, a1);
+            for a2 in &args {
+                let (s2, r2) = t.apply(&state, op, a2);
+                // ρ.op₁.op₂ illegal ⟺ op(a2) after ρ.op₁ returns ≠ r2.
+                let (_, r2_after_1) = t.apply(&s1, op, a2);
+                let (_, r1_after_2) = t.apply(&s2, op, a1);
+                if r2_after_1 != r2 && r1_after_2 != r1 {
+                    return Some(Witness {
+                        state: t.canonical(&state),
+                        args: vec![(*a1).clone(), (*a2).clone()],
+                        note: format!(
+                            "{op}({a1:?})->{r1:?} and {op}({a2:?})->{r2:?} are mutually illegal in sequence"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A discriminator (§4.3): a pair of instances of `aop` with the same
+/// argument but different return values, telling two sequences apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Discriminator {
+    /// Common argument.
+    pub arg: Value,
+    /// Return value after the first sequence.
+    pub ret1: Value,
+    /// Return value after the second sequence (≠ `ret1`).
+    pub ret2: Value,
+}
+
+/// Find a discriminator in `aop` for the two states reached by ρ₁ and ρ₂.
+pub fn find_discriminator<T: DataType>(
+    t: &T,
+    aop: &'static str,
+    s1: &T::State,
+    s2: &T::State,
+    universe: &Universe,
+) -> Option<Discriminator> {
+    for arg in universe.args_of(aop) {
+        let (_, r1) = t.apply(s1, aop, arg);
+        let (_, r2) = t.apply(s2, aop, arg);
+        if r1 != r2 {
+            return Some(Discriminator { arg: arg.clone(), ret1: r1, ret2: r2 });
+        }
+    }
+    None
+}
+
+/// A witness that `(mop, aop)` satisfy the hypotheses of Theorem 5.
+#[derive(Clone, Debug)]
+pub struct Thm5Witness {
+    /// Canonical encoding of the base state (after ρ).
+    pub state: Value,
+    /// Argument of `op₀`.
+    pub arg0: Value,
+    /// Argument of `op₁`.
+    pub arg1: Value,
+    /// Discriminator for (ρ.op₀, ρ.op₁.op₀).
+    pub disc0: Discriminator,
+    /// Discriminator for (ρ.op₁, ρ.op₀.op₁).
+    pub disc1: Discriminator,
+    /// Discriminator for (ρ.op₀.op₁, ρ.op₁).
+    pub disc2: Discriminator,
+}
+
+/// Check the hypotheses of Theorem 5 for a transposable operation `mop` and a
+/// pure accessor `aop`: find a state ρ and instances `op₀`, `op₁` of `mop`
+/// such that discriminators exist in `aop` for (ρ.op₀, ρ.op₁.op₀),
+/// (ρ.op₁, ρ.op₀.op₁), and (ρ.op₀.op₁, ρ.op₁).
+pub fn check_thm5_hypotheses<T: DataType>(
+    t: &T,
+    mop: &'static str,
+    aop: &'static str,
+    universe: &Universe,
+    limits: ExploreLimits,
+) -> Option<Thm5Witness> {
+    let args: Vec<&Value> = universe.args_of(mop).collect();
+    for state in reachable_states(t, universe, limits) {
+        for a0 in &args {
+            let (s_0, r0) = t.apply(&state, mop, a0);
+            for a1 in &args {
+                if a0 == a1 {
+                    continue;
+                }
+                let (s_1, r1) = t.apply(&state, mop, a1);
+                // Instances must stay legal in both orders (transposability
+                // at this state): returns preserved.
+                let (s_10, r0_after_1) = t.apply(&s_1, mop, a0);
+                let (s_01, r1_after_0) = t.apply(&s_0, mop, a1);
+                if r0_after_1 != r0 || r1_after_0 != r1 {
+                    continue;
+                }
+                let d0 = find_discriminator(t, aop, &s_0, &s_10, universe);
+                let d1 = find_discriminator(t, aop, &s_1, &s_01, universe);
+                let d2 = find_discriminator(t, aop, &s_01, &s_1, universe);
+                if let (Some(disc0), Some(disc1), Some(disc2)) = (d0, d1, d2) {
+                    return Some(Thm5Witness {
+                        state: t.canonical(&state),
+                        arg0: (*a0).clone(),
+                        arg1: (*a1).clone(),
+                        disc0,
+                        disc1,
+                        disc2,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Full classification report for one operation, for table generation.
+#[derive(Clone, Debug)]
+pub struct OpReport {
+    /// Operation name.
+    pub op: &'static str,
+    /// Declared class (from `OpMeta`).
+    pub declared: OpClass,
+    /// Computed class (None = accomplishes nothing within bounds).
+    pub computed: Option<OpClass>,
+    /// Whether the operation is an overwriter (bounded-universal).
+    pub overwriter: bool,
+    /// Whether the operation is transposable (bounded-universal).
+    pub transposable: bool,
+    /// Largest certified last-sensitivity parameter `k` (0 = not certified).
+    pub last_sensitive_k: usize,
+    /// Whether the operation is pair-free (existential witness found).
+    pub pair_free: bool,
+}
+
+/// Produce an [`OpReport`] for every operation of `t`.
+pub fn report<T: DataType>(t: &T, universe: &Universe, limits: ExploreLimits, k_max: usize) -> Vec<OpReport> {
+    t.ops()
+        .iter()
+        .map(|meta| OpReport {
+            op: meta.name,
+            declared: meta.class,
+            computed: computed_class(t, meta.name, universe, limits),
+            overwriter: is_overwriter(t, meta.name, universe, limits).is_ok(),
+            transposable: is_transposable(t, meta.name, universe, limits).is_ok(),
+            last_sensitive_k: max_last_sensitive_k(t, meta.name, universe, limits, k_max),
+            pair_free: is_pair_free(t, meta.name, universe, limits).is_some(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::counter::Counter;
+    use crate::types::queue::{self, FifoQueue};
+    use crate::types::register::Register;
+    use crate::types::rmw_register::RmwRegister;
+    use crate::types::rooted_tree::RootedTree;
+    use crate::types::set::GrowSet;
+    use crate::types::stack::Stack;
+
+    fn limits() -> ExploreLimits {
+        ExploreLimits { max_depth: 3, max_states: 120 }
+    }
+
+    #[test]
+    fn register_classification() {
+        let r = Register::new(0);
+        let u = Universe::for_type(&r);
+        assert_eq!(computed_class(&r, "read", &u, limits()), Some(OpClass::PureAccessor));
+        assert_eq!(computed_class(&r, "write", &u, limits()), Some(OpClass::PureMutator));
+        assert!(verify_declared_classes(&r, &u, limits()).is_empty());
+    }
+
+    #[test]
+    fn write_is_overwriter_enqueue_is_not() {
+        let r = Register::new(0);
+        let ur = Universe::for_type(&r);
+        assert!(is_overwriter(&r, "write", &ur, limits()).is_ok());
+
+        let q = FifoQueue::new();
+        let uq = Universe::for_type(&q);
+        assert!(is_overwriter(&q, "enqueue", &uq, limits()).is_err());
+    }
+
+    #[test]
+    fn write_is_last_sensitive_with_large_k() {
+        let r = Register::new(0);
+        let u = Universe::for_type(&r);
+        assert!(is_transposable(&r, "write", &u, limits()).is_ok());
+        assert!(is_last_sensitive_k(&r, "write", &u, limits(), 4).is_some());
+        assert_eq!(max_last_sensitive_k(&r, "write", &u, limits(), 5), 5);
+    }
+
+    #[test]
+    fn enqueue_and_push_are_last_sensitive() {
+        let q = FifoQueue::new();
+        let uq = Universe::for_type(&q);
+        assert!(is_last_sensitive_k(&q, "enqueue", &uq, limits(), 4).is_some());
+
+        let s = Stack::new();
+        let us = Universe::for_type(&s);
+        assert!(is_last_sensitive_k(&s, "push", &us, limits(), 4).is_some());
+    }
+
+    #[test]
+    fn set_add_is_not_last_sensitive() {
+        let s = GrowSet::new();
+        let u = Universe::for_type(&s);
+        assert!(is_transposable(&s, "add", &u, limits()).is_ok());
+        assert_eq!(max_last_sensitive_k(&s, "add", &u, limits(), 4), 0);
+    }
+
+    #[test]
+    fn counter_add_is_transposable_not_last_sensitive_not_overwriter() {
+        let c = Counter::new();
+        let u = Universe::for_type(&c);
+        assert!(is_transposable(&c, "add", &u, limits()).is_ok());
+        assert_eq!(max_last_sensitive_k(&c, "add", &u, limits(), 4), 0);
+        assert!(is_overwriter(&c, "add", &u, limits()).is_err());
+    }
+
+    #[test]
+    fn pair_free_operations() {
+        let r = RmwRegister::new(0);
+        let ur = Universe::for_type(&r);
+        assert!(is_pair_free(&r, "rmw", &ur, limits()).is_some());
+        assert!(is_pair_free(&r, "read", &ur, limits()).is_none());
+        assert!(is_pair_free(&r, "write", &ur, limits()).is_none());
+
+        let q = FifoQueue::new();
+        let uq = Universe::for_type(&q);
+        assert!(is_pair_free(&q, "dequeue", &uq, limits()).is_some());
+
+        let s = Stack::new();
+        let us = Universe::for_type(&s);
+        assert!(is_pair_free(&s, "pop", &us, limits()).is_some());
+    }
+
+    #[test]
+    fn pair_free_implies_mixed() {
+        // Lemma 3: every pair-free operation is both accessor and mutator.
+        let q = FifoQueue::new();
+        let u = Universe::for_type(&q);
+        for meta in q.ops() {
+            if is_pair_free(&q, meta.name, &u, limits()).is_some() {
+                assert_eq!(computed_class(&q, meta.name, &u, limits()), Some(OpClass::Mixed));
+            }
+        }
+    }
+
+    #[test]
+    fn queue_enqueue_peek_satisfy_thm5() {
+        let q = FifoQueue::new();
+        let u = Universe::for_type(&q);
+        let w = check_thm5_hypotheses(&q, queue::ops::ENQUEUE, queue::ops::PEEK, &u, limits());
+        assert!(w.is_some(), "enqueue+peek must satisfy Theorem 5 hypotheses");
+    }
+
+    #[test]
+    fn stack_push_peek_do_not_satisfy_thm5() {
+        // Section 4.3: for stacks, a peek after only pushes depends solely on
+        // the last push, so the discriminator for (ρ.op0, ρ.op1.op0) cannot
+        // exist (both end with op0 on top).
+        let s = Stack::new();
+        let u = Universe::for_type(&s);
+        let w = check_thm5_hypotheses(&s, "push", "peek", &u, limits());
+        assert!(w.is_none(), "push+peek must NOT satisfy Theorem 5 hypotheses");
+    }
+
+    #[test]
+    fn tree_insert_depth_satisfy_thm5() {
+        let t = RootedTree::new();
+        let u = Universe::for_type(&t);
+        let w = check_thm5_hypotheses(&t, "insert", "depth", &u, limits());
+        assert!(w.is_some(), "insert+depth must satisfy Theorem 5 hypotheses");
+    }
+
+    #[test]
+    fn tree_insert_is_last_sensitive() {
+        let t = RootedTree::new();
+        let u = Universe::for_type(&t);
+        assert!(is_transposable(&t, "insert", &u, limits()).is_ok());
+        assert!(
+            is_last_sensitive_k(&t, "insert", &u, limits(), 3).is_some(),
+            "re-parenting inserts of one child under distinct parents are last-sensitive"
+        );
+    }
+
+    #[test]
+    fn discriminator_found_for_queue_states() {
+        let q = FifoQueue::new();
+        let u = Universe::for_type(&q);
+        let s_a = {
+            let (s, _) = q.apply(&q.initial(), "enqueue", &Value::Int(1));
+            s
+        };
+        let s_b = {
+            let (s, _) = q.apply(&q.initial(), "enqueue", &Value::Int(2));
+            s
+        };
+        let d = find_discriminator(&q, "peek", &s_a, &s_b, &u).unwrap();
+        assert_ne!(d.ret1, d.ret2);
+        assert_eq!(d.arg, Value::Unit);
+    }
+
+    #[test]
+    fn full_report_is_consistent() {
+        let q = FifoQueue::new();
+        let u = Universe::for_type(&q);
+        let reports = report(&q, &u, limits(), 4);
+        for r in &reports {
+            assert_eq!(Some(r.declared), r.computed, "class mismatch for {}", r.op);
+            if r.pair_free {
+                assert_eq!(r.declared, OpClass::Mixed);
+            }
+        }
+        let enq = reports.iter().find(|r| r.op == "enqueue").unwrap();
+        assert!(enq.transposable);
+        assert!(enq.last_sensitive_k >= 4);
+        assert!(!enq.overwriter);
+    }
+
+    #[test]
+    fn all_declared_classes_verified_for_all_types() {
+        // This is the global Figure-11 consistency check.
+        macro_rules! check {
+            ($t:expr) => {{
+                let t = $t;
+                let u = Universe::for_type(&t);
+                let mismatches = verify_declared_classes(&t, &u, limits());
+                assert!(mismatches.is_empty(), "{}: {:?}", t.name(), mismatches);
+            }};
+        }
+        check!(Register::new(0));
+        check!(RmwRegister::new(0));
+        check!(FifoQueue::new());
+        check!(Stack::new());
+        check!(RootedTree::new());
+        check!(GrowSet::new());
+        check!(Counter::new());
+    }
+}

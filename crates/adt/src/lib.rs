@@ -1,0 +1,70 @@
+//! # lintime-adt
+//!
+//! Sequential abstract-data-type specifications and the *operation algebra*
+//! from Wang, Talmage, Lee, Welch, **"Improved Time Bounds for Linearizable
+//! Implementations of Abstract Data Types"** (IPPS 2014).
+//!
+//! The paper proves time bounds for linearizable shared objects that depend
+//! only on *algebraic properties* of operations (Section 2.1 and Sections
+//! 3–4): whether an operation is a mutator and/or accessor, an overwriter,
+//! transposable, last-sensitive, pair-free, or admits discriminators. This
+//! crate makes all of those definitions executable:
+//!
+//! * [`spec`] — deterministic sequential specifications ([`spec::DataType`]),
+//!   the erased runtime view ([`spec::ObjectSpec`]), invocations, instances,
+//!   and the three-way [`spec::OpClass`] used by the paper's Algorithm 1;
+//! * [`types`] — the concrete data types of Tables 1–4 (registers, RMW
+//!   registers, FIFO queues, stacks, rooted trees) plus extension types;
+//! * [`classify`] — decision procedures for every property used in the
+//!   lower-bound theorems, over bounded instance universes;
+//! * [`universe`] — bounded instance universes and reachable-state search;
+//! * [`equiv`] — bounded observational equivalence (the "≡" of the paper);
+//! * [`product`] — products of named objects (linearizability is local,
+//!   §2.3), so one implementation serves several objects.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lintime_adt::prelude::*;
+//!
+//! // A FIFO queue, sequentially.
+//! let q = FifoQueue::new();
+//! let (_state, instances) = q.run(&[
+//!     Invocation::new("enqueue", 7),
+//!     Invocation::nullary("peek"),
+//! ]);
+//! assert_eq!(instances[1].ret, Value::Int(7));
+//!
+//! // `enqueue` is a last-sensitive pure mutator: Theorem 3 gives the
+//! // (1 - 1/k)u lower bound.
+//! let u = Universe::for_type(&q);
+//! let k = classify::max_last_sensitive_k(&q, "enqueue", &u, ExploreLimits::default(), 4);
+//! assert_eq!(k, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod equiv;
+pub mod product;
+pub mod spec;
+pub mod types;
+pub mod universe;
+pub mod value;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::classify;
+    pub use crate::spec::{
+        erase, DataType, DataTypeExt, Erased, HistoryObject, Invocation, ObjState, ObjectSpec,
+        OpClass, OpInstance, OpMeta,
+    };
+    pub use crate::types::{
+        all_types, by_name, Counter, FifoQueue, GrowSet, KvStore, PriorityQueue, Register,
+        RmwRegister, RootedTree, Stack,
+    };
+    pub use crate::product::ProductSpec;
+    pub use crate::universe::{reachable_states, ExploreLimits, Universe};
+    pub use crate::value::Value;
+}

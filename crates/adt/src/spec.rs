@@ -1,0 +1,479 @@
+//! Sequential data-type specifications (Section 2.1 of the paper).
+//!
+//! The paper specifies a data type `T` by its operations `OPS(T)` and the set
+//! `L(T)` of legal sequences of operation instances, constrained to be
+//! prefix-closed, complete, and deterministic. Every such specification is
+//! equivalently a *deterministic state machine*: a set of states, an initial
+//! state, and a transition function `apply(state, op, arg) -> (state', ret)`
+//! where `ret` is the unique legal return value. That is the representation
+//! implemented here ([`DataType`]).
+//!
+//! Two layers are provided:
+//!
+//! * [`DataType`] — the typed state-machine trait; used by the classifier
+//!   ([`crate::classify`]) which needs to enumerate and compare states.
+//! * [`ObjectSpec`] / [`ObjState`] — an object-safe erased layer; used by the
+//!   simulator, the algorithm nodes, and the linearizability checker, which
+//!   must be generic over data types at runtime.
+
+use crate::value::Value;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// The three-way classification used by Algorithm 1 (Section 5 of the paper).
+///
+/// Every operation of every type we consider is at least one of accessor or
+/// mutator (operations that are neither "accomplish nothing" and are excluded
+/// by the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum OpClass {
+    /// An accessor that is not a mutator (`AOP`): observes but never changes
+    /// the state. Responds in `d - X` under Algorithm 1.
+    PureAccessor,
+    /// A mutator that is not an accessor (`MOP`): changes the state but its
+    /// return value carries no information (always `ACK`). Responds in `X + ε`.
+    PureMutator,
+    /// Both accessor and mutator (`OOP` in the paper, "mixed"). Responds in
+    /// `d + ε`.
+    Mixed,
+}
+
+impl OpClass {
+    /// True iff operations of this class change the object state.
+    pub fn is_mutator(self) -> bool {
+        matches!(self, OpClass::PureMutator | OpClass::Mixed)
+    }
+
+    /// True iff operations of this class observe the object state.
+    pub fn is_accessor(self) -> bool {
+        matches!(self, OpClass::PureAccessor | OpClass::Mixed)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::PureAccessor => write!(f, "pure accessor"),
+            OpClass::PureMutator => write!(f, "pure mutator"),
+            OpClass::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// Static metadata for one operation of a data type.
+#[derive(Clone, Debug)]
+pub struct OpMeta {
+    /// Operation name (unique within the type), e.g. `"enqueue"`.
+    pub name: &'static str,
+    /// The declared classification, used by Algorithm 1 to pick timers.
+    /// Cross-checked against the executable definitions by the classifier.
+    pub class: OpClass,
+    /// Whether invocations carry an argument (`write(v)`) or not (`read(-)`).
+    pub has_arg: bool,
+    /// Whether responses carry a return value (`read -> v`) or are bare acks.
+    pub has_ret: bool,
+}
+
+impl OpMeta {
+    /// Shorthand constructor.
+    pub const fn new(name: &'static str, class: OpClass, has_arg: bool, has_ret: bool) -> Self {
+        OpMeta { name, class, has_arg, has_ret }
+    }
+}
+
+/// An operation invocation: name plus argument (`OP.inv(arg)`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Invocation {
+    /// Operation name; must match an [`OpMeta::name`] of the target type.
+    pub op: &'static str,
+    /// Argument value (`Value::Unit` for argument-less operations).
+    pub arg: Value,
+}
+
+impl Invocation {
+    /// Build an invocation.
+    pub fn new(op: &'static str, arg: impl Into<Value>) -> Self {
+        Invocation { op, arg: arg.into() }
+    }
+
+    /// Build an argument-less invocation.
+    pub fn nullary(op: &'static str) -> Self {
+        Invocation { op, arg: Value::Unit }
+    }
+}
+
+impl fmt::Debug for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:?})", self.op, self.arg)
+    }
+}
+
+/// An operation instance `OP(arg, ret)`: an invocation bundled with its
+/// (unique, by determinism) response.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct OpInstance {
+    /// Operation name.
+    pub op: &'static str,
+    /// Argument value.
+    pub arg: Value,
+    /// Return value (`Value::Unit` for bare acks).
+    pub ret: Value,
+}
+
+impl OpInstance {
+    /// Build an instance.
+    pub fn new(op: &'static str, arg: impl Into<Value>, ret: impl Into<Value>) -> Self {
+        OpInstance { op, arg: arg.into(), ret: ret.into() }
+    }
+
+    /// The invocation part of this instance.
+    pub fn invocation(&self) -> Invocation {
+        Invocation { op: self.op, arg: self.arg.clone() }
+    }
+}
+
+impl fmt::Debug for OpInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:?}) -> {:?}", self.op, self.arg, self.ret)
+    }
+}
+
+/// A deterministic sequential specification of a data type, as a state machine.
+///
+/// # Contract
+///
+/// * `apply` must be a pure function of `(state, op, arg)`.
+/// * States must be *canonical*: two states are observationally equivalent
+///   (no operation sequence distinguishes them) iff they are `==`. All the
+///   concrete types in [`crate::types`] satisfy this; the property-test suite
+///   cross-checks it with bounded bisimulation (see [`crate::equiv`]).
+/// * `apply` must be **total** (the paper's Completeness property): any
+///   operation may be invoked in any state and must produce a return value.
+pub trait DataType: Send + Sync + 'static {
+    /// The state of the object.
+    type State: Clone + Eq + Hash + fmt::Debug + Send + Sync;
+
+    /// Human-readable type name, e.g. `"fifo-queue"`.
+    fn name(&self) -> &'static str;
+
+    /// Metadata for every operation in `OPS(T)`.
+    fn ops(&self) -> &[OpMeta];
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Apply one operation: returns the successor state and the unique legal
+    /// return value.
+    fn apply(&self, state: &Self::State, op: &'static str, arg: &Value) -> (Self::State, Value);
+
+    /// A canonical [`Value`] encoding of a state, used for memoization keys in
+    /// the linearizability checker. Must be injective on reachable states.
+    fn canonical(&self, state: &Self::State) -> Value;
+
+    /// A small set of representative argument values for `op`, used by the
+    /// classifier and by workload generators. Should contain at least
+    /// `k` pairwise-distinct values for operations claimed last-sensitive
+    /// with parameter `k`.
+    fn suggested_args(&self, op: &'static str) -> Vec<Value>;
+
+    /// Look up metadata for an operation by name.
+    fn op_meta(&self, op: &str) -> Option<&OpMeta> {
+        self.ops().iter().find(|m| m.name == op)
+    }
+}
+
+/// Extension helpers available on every [`DataType`].
+pub trait DataTypeExt: DataType {
+    /// Run a sequence of invocations from the initial state, returning the
+    /// final state and each instance (invocation + response).
+    fn run(&self, invocations: &[Invocation]) -> (Self::State, Vec<OpInstance>) {
+        let mut state = self.initial();
+        let mut out = Vec::with_capacity(invocations.len());
+        for inv in invocations {
+            let (next, ret) = self.apply(&state, inv.op, &inv.arg);
+            out.push(OpInstance { op: inv.op, arg: inv.arg.clone(), ret });
+            state = next;
+        }
+        (state, out)
+    }
+
+    /// Run a sequence of instances checking legality: every instance's
+    /// recorded return value must equal the unique legal one. Returns the
+    /// final state on success, or the index of the first illegal instance.
+    fn check_legal(&self, instances: &[OpInstance]) -> Result<Self::State, usize> {
+        let mut state = self.initial();
+        for (i, inst) in instances.iter().enumerate() {
+            let (next, ret) = self.apply(&state, inst.op, &inst.arg);
+            if ret != inst.ret {
+                return Err(i);
+            }
+            state = next;
+        }
+        Ok(state)
+    }
+}
+
+impl<T: DataType + ?Sized> DataTypeExt for T {}
+
+/// Object-safe erased view of a data type, for runtime-generic consumers
+/// (simulator nodes, checker, benchmarks).
+pub trait ObjectSpec: Send + Sync {
+    /// Type name.
+    fn name(&self) -> &'static str;
+    /// Operation metadata.
+    fn ops(&self) -> &[OpMeta];
+    /// Metadata lookup by name.
+    fn op_meta(&self, op: &str) -> Option<&OpMeta>;
+    /// A fresh object in the initial state.
+    fn new_object(&self) -> Box<dyn ObjState>;
+    /// Representative arguments for an operation (see
+    /// [`DataType::suggested_args`]).
+    fn suggested_args(&self, op: &'static str) -> Vec<Value>;
+
+    /// Execute a history of invocations from the initial state, returning the
+    /// responses. This is exactly the paper's `execute_Locally` applied to a
+    /// whole `history` variable.
+    fn run_history(&self, invocations: &[Invocation]) -> Vec<Value> {
+        let mut obj = self.new_object();
+        invocations.iter().map(|inv| obj.apply(inv.op, &inv.arg)).collect()
+    }
+
+    /// Check that a sequence of instances is legal (each recorded return
+    /// equals the unique legal one). Returns the index of the first illegal
+    /// instance, if any.
+    fn first_illegal(&self, instances: &[OpInstance]) -> Option<usize> {
+        let mut obj = self.new_object();
+        for (i, inst) in instances.iter().enumerate() {
+            if obj.apply(inst.op, &inst.arg) != inst.ret {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// True iff the instance sequence is legal.
+    fn is_legal(&self, instances: &[OpInstance]) -> bool {
+        self.first_illegal(instances).is_none()
+    }
+}
+
+/// A mutable erased object: state plus transition function.
+pub trait ObjState: Send {
+    /// Apply one operation, mutating the state and returning the unique legal
+    /// return value.
+    fn apply(&mut self, op: &'static str, arg: &Value) -> Value;
+    /// Clone the object (state snapshot).
+    fn clone_box(&self) -> Box<dyn ObjState>;
+    /// Canonical encoding of the current state (injective on reachable states).
+    fn canonical(&self) -> Value;
+}
+
+impl Clone for Box<dyn ObjState> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Wraps a typed [`DataType`] as an erased [`ObjectSpec`].
+pub struct Erased<T: DataType> {
+    inner: Arc<T>,
+}
+
+impl<T: DataType> Erased<T> {
+    /// Wrap a data type.
+    pub fn new(inner: T) -> Self {
+        Erased { inner: Arc::new(inner) }
+    }
+
+    /// Access the typed specification.
+    pub fn typed(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: DataType> Clone for Erased<T> {
+    fn clone(&self) -> Self {
+        Erased { inner: Arc::clone(&self.inner) }
+    }
+}
+
+struct ErasedState<T: DataType> {
+    spec: Arc<T>,
+    state: T::State,
+}
+
+impl<T: DataType> ObjState for ErasedState<T> {
+    fn apply(&mut self, op: &'static str, arg: &Value) -> Value {
+        let (next, ret) = self.spec.apply(&self.state, op, arg);
+        self.state = next;
+        ret
+    }
+
+    fn clone_box(&self) -> Box<dyn ObjState> {
+        Box::new(ErasedState { spec: Arc::clone(&self.spec), state: self.state.clone() })
+    }
+
+    fn canonical(&self) -> Value {
+        self.spec.canonical(&self.state)
+    }
+}
+
+impl<T: DataType> ObjectSpec for Erased<T> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        self.inner.ops()
+    }
+
+    fn op_meta(&self, op: &str) -> Option<&OpMeta> {
+        self.inner.op_meta(op)
+    }
+
+    fn new_object(&self) -> Box<dyn ObjState> {
+        Box::new(ErasedState { spec: Arc::clone(&self.inner), state: self.inner.initial() })
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        self.inner.suggested_args(op)
+    }
+}
+
+/// Convenience: erase a data type into a shareable `Arc<dyn ObjectSpec>`.
+pub fn erase<T: DataType>(t: T) -> Arc<dyn ObjectSpec> {
+    Arc::new(Erased::new(t))
+}
+
+
+
+/// A history-based object: the literal `execute_Locally` of the paper's
+/// Algorithm 1 (lines 30–33), which stores the executed operation sequence
+/// and derives each return value as "the unique `ret` such that
+/// `history.op(arg, ret)` is legal".
+///
+/// Functionally identical to the state-based [`ObjState`] (the paper notes
+/// the history "can be optimized to contain only the currently-relevant
+/// information" — which is exactly what a canonical state is); this wrapper
+/// exists to validate that equivalence executably and to match the
+/// pseudocode line for line.
+pub struct HistoryObject {
+    spec: Arc<dyn ObjectSpec>,
+    history: Vec<Invocation>,
+}
+
+impl HistoryObject {
+    /// An empty-history object over `spec`.
+    pub fn new(spec: Arc<dyn ObjectSpec>) -> Self {
+        HistoryObject { spec, history: Vec::new() }
+    }
+
+    /// The executed operation sequence so far.
+    pub fn history(&self) -> &[Invocation] {
+        &self.history
+    }
+}
+
+impl ObjState for HistoryObject {
+    fn apply(&mut self, op: &'static str, arg: &Value) -> Value {
+        // Line 31: let ret be the unique return value such that
+        // history.op(arg, ret) is legal — computed by replaying the history.
+        self.history.push(Invocation { op, arg: arg.clone() });
+        self.spec
+            .run_history(&self.history)
+            .pop()
+            .expect("non-empty history")
+    }
+
+    fn clone_box(&self) -> Box<dyn ObjState> {
+        Box::new(HistoryObject { spec: Arc::clone(&self.spec), history: self.history.clone() })
+    }
+
+    fn canonical(&self) -> Value {
+        // Replay to the canonical state (History Oblivion: only the sequence
+        // matters, and equal sequences give equal states).
+        let mut obj = self.spec.new_object();
+        for inv in &self.history {
+            obj.apply(inv.op, &inv.arg);
+        }
+        obj.canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::register::Register;
+    use crate::types::queue::FifoQueue;
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::PureMutator.is_mutator());
+        assert!(!OpClass::PureMutator.is_accessor());
+        assert!(OpClass::PureAccessor.is_accessor());
+        assert!(!OpClass::PureAccessor.is_mutator());
+        assert!(OpClass::Mixed.is_mutator() && OpClass::Mixed.is_accessor());
+    }
+
+    #[test]
+    fn run_and_check_legal_register() {
+        let reg = Register::new(0);
+        let invs = vec![
+            Invocation::nullary("read"),
+            Invocation::new("write", 7),
+            Invocation::nullary("read"),
+        ];
+        let (state, insts) = reg.run(&invs);
+        assert_eq!(state, 7);
+        assert_eq!(insts[0].ret, Value::Int(0));
+        assert_eq!(insts[2].ret, Value::Int(7));
+        assert!(reg.check_legal(&insts).is_ok());
+
+        let mut bad = insts.clone();
+        bad[2].ret = Value::Int(99);
+        assert_eq!(reg.check_legal(&bad), Err(2));
+    }
+
+    #[test]
+    fn erased_round_trip_matches_typed() {
+        let q = FifoQueue::new();
+        let erased = erase(FifoQueue::new());
+        let invs = vec![
+            Invocation::new("enqueue", 1),
+            Invocation::new("enqueue", 2),
+            Invocation::nullary("dequeue"),
+            Invocation::nullary("peek"),
+        ];
+        let (_, typed_insts) = q.run(&invs);
+        let rets = erased.run_history(&invs);
+        let erased_rets: Vec<_> = rets.into_iter().collect();
+        let typed_rets: Vec<_> = typed_insts.iter().map(|i| i.ret.clone()).collect();
+        assert_eq!(erased_rets, typed_rets);
+    }
+
+    #[test]
+    fn erased_legality_checks() {
+        let erased = erase(FifoQueue::new());
+        let legal = vec![
+            OpInstance::new("enqueue", 5, ()),
+            OpInstance::new("peek", (), 5),
+        ];
+        assert!(erased.is_legal(&legal));
+        let illegal = vec![
+            OpInstance::new("enqueue", 5, ()),
+            OpInstance::new("peek", (), 6),
+        ];
+        assert_eq!(erased.first_illegal(&illegal), Some(1));
+    }
+
+    #[test]
+    fn erased_object_clone_is_snapshot() {
+        let erased = erase(FifoQueue::new());
+        let mut obj = erased.new_object();
+        obj.apply("enqueue", &Value::Int(1));
+        let snap = obj.clone_box();
+        obj.apply("enqueue", &Value::Int(2));
+        assert_ne!(obj.canonical(), snap.canonical());
+    }
+}

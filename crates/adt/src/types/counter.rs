@@ -1,0 +1,116 @@
+//! Shared counter with `increment`, `add`, `read`, and `fetch_inc` (extension type).
+//!
+//! `increment` and `add` are commutative pure mutators (not last-sensitive);
+//! `fetch_inc` is a pair-free mixed operation like RMW. The counter rounds out
+//! the classification matrix: it demonstrates an operation (`add`) that is a
+//! mutator, transposable, *not* last-sensitive, and *not* an overwriter.
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+
+/// Operation name constants for [`Counter`].
+pub mod ops {
+    /// `increment(-) -> ack`: pure mutator, commutative.
+    pub const INCREMENT: &str = "increment";
+    /// `add(k) -> ack`: pure mutator, commutative.
+    pub const ADD: &str = "add";
+    /// `read(-) -> v`: pure accessor.
+    pub const READ: &str = "read";
+    /// `fetch_inc(-) -> old`: mixed, pair-free.
+    pub const FETCH_INC: &str = "fetch_inc";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::INCREMENT, OpClass::PureMutator, false, false),
+    OpMeta::new(ops::ADD, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::READ, OpClass::PureAccessor, false, true),
+    OpMeta::new(ops::FETCH_INC, OpClass::Mixed, false, true),
+];
+
+/// An integer counter starting at 0.
+#[derive(Clone, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter
+    }
+}
+
+impl DataType for Counter {
+    type State = i64;
+
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &i64, op: &'static str, arg: &Value) -> (i64, Value) {
+        match op {
+            ops::INCREMENT => (state.wrapping_add(1), Value::Unit),
+            ops::ADD => {
+                let k = arg.as_int().expect("add requires an integer argument");
+                (state.wrapping_add(k), Value::Unit)
+            }
+            ops::READ => (*state, Value::Int(*state)),
+            ops::FETCH_INC => (state.wrapping_add(1), Value::Int(*state)),
+            other => panic!("counter: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &i64) -> Value {
+        Value::Int(*state)
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::ADD => (1..5).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DataTypeExt, Invocation};
+
+    #[test]
+    fn increments_accumulate() {
+        let c = Counter::new();
+        let (s, insts) = c.run(&[
+            Invocation::nullary(ops::INCREMENT),
+            Invocation::new(ops::ADD, 10),
+            Invocation::nullary(ops::READ),
+        ]);
+        assert_eq!(s, 11);
+        assert_eq!(insts[2].ret, Value::Int(11));
+    }
+
+    #[test]
+    fn fetch_inc_returns_old() {
+        let c = Counter::new();
+        let (_, insts) = c.run(&[
+            Invocation::nullary(ops::FETCH_INC),
+            Invocation::nullary(ops::FETCH_INC),
+        ]);
+        assert_eq!(insts[0].ret, Value::Int(0));
+        assert_eq!(insts[1].ret, Value::Int(1));
+    }
+
+    #[test]
+    fn adds_commute() {
+        let c = Counter::new();
+        let (a, _) = c.run(&[Invocation::new(ops::ADD, 2), Invocation::new(ops::ADD, 5)]);
+        let (b, _) = c.run(&[Invocation::new(ops::ADD, 5), Invocation::new(ops::ADD, 2)]);
+        assert_eq!(a, b);
+    }
+}

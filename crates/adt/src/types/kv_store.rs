@@ -1,0 +1,169 @@
+//! Key-value store (extension type): the paper's full bound suite applies.
+//!
+//! * `put((k, v))` — pure mutator, transposable, last-sensitive for
+//!   arbitrarily large `k` (put the same key with `k` distinct values: the
+//!   last one wins) → Theorem 3 at `k = n`;
+//! * `get(k)` — pure accessor → Theorem 2;
+//! * `del(k)` — pure mutator;
+//! * `put`/`get` admit the Theorem 5 discriminators (two puts on distinct
+//!   keys, each observed independently), so the sum bound `d + m` applies —
+//!   unlike stacks, like queues.
+//!
+//! This shows the classification driving bounds for a data type the paper
+//! never mentions — the point of phrasing the theorems algebraically.
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Operation name constants for [`KvStore`].
+pub mod ops {
+    /// `put((k, v)) -> ack`: pure mutator, last-wins per key.
+    pub const PUT: &str = "put";
+    /// `get(k) -> v | -`: pure accessor.
+    pub const GET: &str = "get";
+    /// `del(k) -> ack`: pure mutator.
+    pub const DEL: &str = "del";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::PUT, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::GET, OpClass::PureAccessor, true, true),
+    OpMeta::new(ops::DEL, OpClass::PureMutator, true, false),
+];
+
+/// An integer-keyed, integer-valued store.
+#[derive(Clone, Debug, Default)]
+pub struct KvStore;
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvStore
+    }
+}
+
+impl DataType for KvStore {
+    type State = BTreeMap<i64, i64>;
+
+    fn name(&self) -> &'static str {
+        "kv-store"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> BTreeMap<i64, i64> {
+        BTreeMap::new()
+    }
+
+    fn apply(
+        &self,
+        state: &BTreeMap<i64, i64>,
+        op: &'static str,
+        arg: &Value,
+    ) -> (BTreeMap<i64, i64>, Value) {
+        match op {
+            ops::PUT => {
+                let (k, v) = arg
+                    .as_pair()
+                    .and_then(|(a, b)| Some((a.as_int()?, b.as_int()?)))
+                    .expect("put requires a (key, value) pair of integers");
+                let mut next = state.clone();
+                next.insert(k, v);
+                (next, Value::Unit)
+            }
+            ops::GET => {
+                let k = arg.as_int().expect("get requires an integer key");
+                let ret = state.get(&k).map_or(Value::Unit, |v| Value::Int(*v));
+                (state.clone(), ret)
+            }
+            ops::DEL => {
+                let k = arg.as_int().expect("del requires an integer key");
+                let mut next = state.clone();
+                next.remove(&k);
+                (next, Value::Unit)
+            }
+            other => panic!("kv-store: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &BTreeMap<i64, i64>) -> Value {
+        Value::list(state.iter().map(|(k, v)| Value::pair(*k, *v)))
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::PUT => {
+                let mut args = Vec::new();
+                for k in 0..2 {
+                    for v in 0..4 {
+                        args.push(Value::pair(k, v));
+                    }
+                }
+                args
+            }
+            ops::GET | ops::DEL => (0..3).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::spec::{DataTypeExt, Invocation};
+    use crate::universe::{ExploreLimits, Universe};
+
+    fn put(k: i64, v: i64) -> Invocation {
+        Invocation::new(ops::PUT, Value::pair(k, v))
+    }
+
+    #[test]
+    fn put_get_del_round_trip() {
+        let kv = KvStore::new();
+        let (_, insts) = kv.run(&[
+            put(1, 10),
+            Invocation::new(ops::GET, 1),
+            put(1, 20),
+            Invocation::new(ops::GET, 1),
+            Invocation::new(ops::DEL, 1),
+            Invocation::new(ops::GET, 1),
+            Invocation::new(ops::GET, 2),
+        ]);
+        assert_eq!(insts[1].ret, Value::Int(10));
+        assert_eq!(insts[3].ret, Value::Int(20));
+        assert_eq!(insts[5].ret, Value::Unit);
+        assert_eq!(insts[6].ret, Value::Unit);
+    }
+
+    #[test]
+    fn put_is_last_sensitive_per_key() {
+        let kv = KvStore::new();
+        let u = Universe::for_type(&kv);
+        let limits = ExploreLimits { max_depth: 2, max_states: 80 };
+        assert!(classify::is_transposable(&kv, ops::PUT, &u, limits).is_ok());
+        assert_eq!(classify::max_last_sensitive_k(&kv, ops::PUT, &u, limits, 4), 4);
+    }
+
+    #[test]
+    fn put_get_satisfy_thm5_hypotheses() {
+        let kv = KvStore::new();
+        let u = Universe::for_type(&kv);
+        let limits = ExploreLimits { max_depth: 2, max_states: 80 };
+        assert!(classify::check_thm5_hypotheses(&kv, ops::PUT, ops::GET, &u, limits).is_some());
+    }
+
+    #[test]
+    fn dels_on_distinct_keys_commute() {
+        let kv = KvStore::new();
+        let (base, _) = kv.run(&[put(1, 10), put(2, 20)]);
+        let (a1, _) = kv.apply(&base, ops::DEL, &Value::Int(1));
+        let (a2, _) = kv.apply(&a1, ops::DEL, &Value::Int(2));
+        let (b1, _) = kv.apply(&base, ops::DEL, &Value::Int(2));
+        let (b2, _) = kv.apply(&b1, ops::DEL, &Value::Int(1));
+        assert_eq!(a2, b2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Concrete data types used throughout the paper's tables.
+//!
+//! * [`register::Register`] — read/write register (Tables 1, 5).
+//! * [`rmw_register::RmwRegister`] — read/write/read-modify-write register (Table 1).
+//! * [`queue::FifoQueue`] — enqueue/dequeue/peek FIFO queue (Table 2).
+//! * [`stack::Stack`] — push/pop/peek stack (Table 3).
+//! * [`rooted_tree::RootedTree`] — insert/delete/depth simple rooted tree (Table 4).
+//! * [`set::GrowSet`] — add/remove/contains set (extension; a *non*-last-sensitive
+//!   mutator example, see Section 6.2).
+//! * [`counter::Counter`] — increment/add/read counter (extension; commutative
+//!   pure mutators).
+//! * [`priority_queue::PriorityQueue`] — insert/extract-min/min (extension;
+//!   a mutator that escapes Theorem 3 entirely).
+//! * [`kv_store::KvStore`] — put/get/del (extension; the full bound suite
+//!   applies to a type the paper never mentions).
+
+pub mod counter;
+pub mod kv_store;
+pub mod priority_queue;
+pub mod queue;
+pub mod register;
+pub mod rmw_register;
+pub mod rooted_tree;
+pub mod set;
+pub mod stack;
+
+pub use counter::Counter;
+pub use kv_store::KvStore;
+pub use priority_queue::PriorityQueue;
+pub use queue::FifoQueue;
+pub use register::Register;
+pub use rmw_register::RmwRegister;
+pub use rooted_tree::RootedTree;
+pub use set::GrowSet;
+pub use stack::Stack;
+
+use crate::spec::{erase, ObjectSpec};
+use std::sync::Arc;
+
+/// All built-in data types, erased, for table generators and sweeps.
+pub fn all_types() -> Vec<Arc<dyn ObjectSpec>> {
+    vec![
+        erase(Register::new(0)),
+        erase(RmwRegister::new(0)),
+        erase(FifoQueue::new()),
+        erase(Stack::new()),
+        erase(RootedTree::new()),
+        erase(GrowSet::new()),
+        erase(Counter::new()),
+        erase(PriorityQueue::new()),
+        erase(KvStore::new()),
+    ]
+}
+
+/// Look up a built-in data type by name (used by bench/example CLIs).
+pub fn by_name(name: &str) -> Option<Arc<dyn ObjectSpec>> {
+    all_types().into_iter().find(|t| t.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_types_have_unique_names() {
+        let types = all_types();
+        let mut names: Vec<_> = types.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), types.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("fifo-queue").is_some());
+        assert!(by_name("no-such-type").is_none());
+    }
+
+    #[test]
+    fn every_type_has_accessor_and_mutator() {
+        // The paper only considers types with at least one accessor and at
+        // least one mutator (Section 2.1).
+        for t in all_types() {
+            assert!(
+                t.ops().iter().any(|m| m.class.is_accessor()),
+                "{} lacks an accessor",
+                t.name()
+            );
+            assert!(
+                t.ops().iter().any(|m| m.class.is_mutator()),
+                "{} lacks a mutator",
+                t.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Min-priority queue (extension type, §6.2 territory).
+//!
+//! `insert` is a transposable pure mutator that is **not** last-sensitive —
+//! the state is a multiset, so permutations of distinct inserts are
+//! equivalent. It therefore escapes Theorem 3 entirely (like `set::add`),
+//! while `extract_min` is pair-free (Theorem 4 applies) and `min` is a pure
+//! accessor (Theorem 2 applies). A useful probe of the taxonomy's edges:
+//! a container whose cheap mutator has *no* nontrivial lower bound among the
+//! paper's theorems.
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+
+/// Operation name constants for [`PriorityQueue`].
+pub mod ops {
+    /// `insert(v) -> ack`: pure mutator; transposable, NOT last-sensitive.
+    pub const INSERT: &str = "insert";
+    /// `extract_min(-) -> v | -`: mixed, pair-free.
+    pub const EXTRACT_MIN: &str = "extract_min";
+    /// `min(-) -> v | -`: pure accessor.
+    pub const MIN: &str = "min";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::INSERT, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::EXTRACT_MIN, OpClass::Mixed, false, true),
+    OpMeta::new(ops::MIN, OpClass::PureAccessor, false, true),
+];
+
+/// A min-priority queue of integers (duplicates allowed).
+#[derive(Clone, Debug, Default)]
+pub struct PriorityQueue;
+
+impl PriorityQueue {
+    /// An empty priority queue.
+    pub fn new() -> Self {
+        PriorityQueue
+    }
+}
+
+impl DataType for PriorityQueue {
+    /// Sorted multiset of elements.
+    type State = Vec<i64>;
+
+    fn name(&self) -> &'static str {
+        "priority-queue"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> Vec<i64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<i64>, op: &'static str, arg: &Value) -> (Vec<i64>, Value) {
+        match op {
+            ops::INSERT => {
+                let v = arg.as_int().expect("insert requires an integer argument");
+                let mut next = state.clone();
+                let pos = next.partition_point(|x| *x < v);
+                next.insert(pos, v);
+                (next, Value::Unit)
+            }
+            ops::EXTRACT_MIN => {
+                let mut next = state.clone();
+                if next.is_empty() {
+                    (next, Value::Unit)
+                } else {
+                    let v = next.remove(0);
+                    (next, Value::Int(v))
+                }
+            }
+            ops::MIN => {
+                let ret = state.first().map_or(Value::Unit, |v| Value::Int(*v));
+                (state.clone(), ret)
+            }
+            other => panic!("priority-queue: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &Vec<i64>) -> Value {
+        Value::list(state.iter().map(|v| Value::Int(*v)))
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::INSERT => (0..6).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify;
+    use crate::spec::{DataTypeExt, Invocation};
+    use crate::universe::{ExploreLimits, Universe};
+
+    #[test]
+    fn extracts_in_priority_order() {
+        let pq = PriorityQueue::new();
+        let (_, insts) = pq.run(&[
+            Invocation::new(ops::INSERT, 5),
+            Invocation::new(ops::INSERT, 1),
+            Invocation::new(ops::INSERT, 3),
+            Invocation::nullary(ops::EXTRACT_MIN),
+            Invocation::nullary(ops::EXTRACT_MIN),
+            Invocation::nullary(ops::EXTRACT_MIN),
+            Invocation::nullary(ops::EXTRACT_MIN),
+        ]);
+        let out: Vec<Value> = insts[3..].iter().map(|i| i.ret.clone()).collect();
+        assert_eq!(out, vec![Value::Int(1), Value::Int(3), Value::Int(5), Value::Unit]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let pq = PriorityQueue::new();
+        let (s, _) = pq.run(&[
+            Invocation::new(ops::INSERT, 2),
+            Invocation::new(ops::INSERT, 2),
+        ]);
+        assert_eq!(s, vec![2, 2]);
+    }
+
+    #[test]
+    fn min_does_not_remove() {
+        let pq = PriorityQueue::new();
+        let (s, insts) = pq.run(&[
+            Invocation::new(ops::INSERT, 9),
+            Invocation::nullary(ops::MIN),
+        ]);
+        assert_eq!(insts[1].ret, Value::Int(9));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_not_last_sensitive() {
+        // The headline property: a mutator that escapes Theorem 3.
+        let pq = PriorityQueue::new();
+        let u = Universe::for_type(&pq);
+        let limits = ExploreLimits { max_depth: 3, max_states: 100 };
+        assert!(classify::is_transposable(&pq, ops::INSERT, &u, limits).is_ok());
+        assert_eq!(classify::max_last_sensitive_k(&pq, ops::INSERT, &u, limits, 4), 0);
+    }
+
+    #[test]
+    fn extract_min_is_pair_free() {
+        let pq = PriorityQueue::new();
+        let u = Universe::for_type(&pq);
+        let limits = ExploreLimits { max_depth: 3, max_states: 100 };
+        assert!(classify::is_pair_free(&pq, ops::EXTRACT_MIN, &u, limits).is_some());
+    }
+}

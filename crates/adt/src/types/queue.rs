@@ -1,0 +1,154 @@
+//! FIFO queue with `enqueue`, `dequeue`, and `peek` (Table 2 of the paper).
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+use std::collections::VecDeque;
+
+/// Operation name constants for [`FifoQueue`].
+pub mod ops {
+    /// `enqueue(v) -> ack`: pure mutator; transposable and last-sensitive
+    /// (Theorem 3 applies with `k = n`).
+    pub const ENQUEUE: &str = "enqueue";
+    /// `dequeue(-) -> v | -`: mixed; removes and returns the front element,
+    /// or `-` if the queue is empty. Pair-free (Theorem 4 applies).
+    pub const DEQUEUE: &str = "dequeue";
+    /// `peek(-) -> v | -`: pure accessor; returns the front element without
+    /// removing it (Theorem 2 applies, and `enqueue`+`peek` satisfy the
+    /// discriminator hypotheses of Theorem 5).
+    pub const PEEK: &str = "peek";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::ENQUEUE, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::DEQUEUE, OpClass::Mixed, false, true),
+    OpMeta::new(ops::PEEK, OpClass::PureAccessor, false, true),
+];
+
+/// A FIFO queue of integers. Dequeue/peek on an empty queue return
+/// `Value::Unit` (the "empty" response), keeping the specification complete.
+#[derive(Clone, Debug, Default)]
+pub struct FifoQueue;
+
+impl FifoQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FifoQueue
+    }
+}
+
+impl DataType for FifoQueue {
+    type State = VecDeque<i64>;
+
+    fn name(&self) -> &'static str {
+        "fifo-queue"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> VecDeque<i64> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &VecDeque<i64>, op: &'static str, arg: &Value) -> (VecDeque<i64>, Value) {
+        match op {
+            ops::ENQUEUE => {
+                let v = arg.as_int().expect("enqueue requires an integer argument");
+                let mut next = state.clone();
+                next.push_back(v);
+                (next, Value::Unit)
+            }
+            ops::DEQUEUE => {
+                let mut next = state.clone();
+                match next.pop_front() {
+                    Some(v) => (next, Value::Int(v)),
+                    None => (next, Value::Unit),
+                }
+            }
+            ops::PEEK => {
+                let ret = state.front().map_or(Value::Unit, |v| Value::Int(*v));
+                (state.clone(), ret)
+            }
+            other => panic!("fifo-queue: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &VecDeque<i64>) -> Value {
+        Value::list(state.iter().map(|v| Value::Int(*v)))
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::ENQUEUE => (0..8).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DataTypeExt, Invocation};
+
+    #[test]
+    fn fifo_order() {
+        let q = FifoQueue::new();
+        let (_, insts) = q.run(&[
+            Invocation::new(ops::ENQUEUE, 1),
+            Invocation::new(ops::ENQUEUE, 2),
+            Invocation::new(ops::ENQUEUE, 3),
+            Invocation::nullary(ops::DEQUEUE),
+            Invocation::nullary(ops::DEQUEUE),
+            Invocation::nullary(ops::DEQUEUE),
+        ]);
+        let rets: Vec<_> = insts[3..].iter().map(|i| i.ret.clone()).collect();
+        assert_eq!(rets, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn empty_queue_responses() {
+        let q = FifoQueue::new();
+        let (_, insts) = q.run(&[
+            Invocation::nullary(ops::DEQUEUE),
+            Invocation::nullary(ops::PEEK),
+        ]);
+        assert_eq!(insts[0].ret, Value::Unit);
+        assert_eq!(insts[1].ret, Value::Unit);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let q = FifoQueue::new();
+        let (state, insts) = q.run(&[
+            Invocation::new(ops::ENQUEUE, 9),
+            Invocation::nullary(ops::PEEK),
+            Invocation::nullary(ops::PEEK),
+        ]);
+        assert_eq!(insts[1].ret, Value::Int(9));
+        assert_eq!(insts[2].ret, Value::Int(9));
+        assert_eq!(state.len(), 1);
+    }
+
+    #[test]
+    fn dequeue_is_pair_free_by_hand() {
+        // From a queue holding a single element, two dequeues cannot both
+        // return that element: the Theorem 4 hypothesis.
+        let q = FifoQueue::new();
+        let (s1, _) = q.apply(&q.initial(), ops::ENQUEUE, &Value::Int(7));
+        let (s2, r1) = q.apply(&s1, ops::DEQUEUE, &Value::Unit);
+        let (_, r2) = q.apply(&s2, ops::DEQUEUE, &Value::Unit);
+        assert_eq!(r1, Value::Int(7));
+        assert_ne!(r2, r1);
+    }
+
+    #[test]
+    fn canonical_reflects_contents() {
+        let q = FifoQueue::new();
+        let (s, _) = q.run(&[
+            Invocation::new(ops::ENQUEUE, 4),
+            Invocation::new(ops::ENQUEUE, 5),
+        ]);
+        assert_eq!(q.canonical(&s), Value::list([Value::Int(4), Value::Int(5)]));
+    }
+}

@@ -1,0 +1,121 @@
+//! Read/write register over integers (Section 2.1's running example).
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+
+/// Operation name constants for [`Register`].
+pub mod ops {
+    /// `read(-) -> v`: pure accessor.
+    pub const READ: &str = "read";
+    /// `write(v) -> ack`: pure mutator (an *overwriter*: it sets the whole state).
+    pub const WRITE: &str = "write";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::READ, OpClass::PureAccessor, false, true),
+    OpMeta::new(ops::WRITE, OpClass::PureMutator, true, false),
+];
+
+/// A linearizable read/write register specification.
+///
+/// Legal sequences: each `read` returns the value of the latest preceding
+/// `write`, or the initial value if there is none.
+#[derive(Clone, Debug)]
+pub struct Register {
+    initial: i64,
+}
+
+impl Register {
+    /// A register with the given initial value.
+    pub fn new(initial: i64) -> Self {
+        Register { initial }
+    }
+}
+
+impl Default for Register {
+    fn default() -> Self {
+        Register::new(0)
+    }
+}
+
+impl DataType for Register {
+    type State = i64;
+
+    fn name(&self) -> &'static str {
+        "register"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> i64 {
+        self.initial
+    }
+
+    fn apply(&self, state: &i64, op: &'static str, arg: &Value) -> (i64, Value) {
+        match op {
+            ops::READ => (*state, Value::Int(*state)),
+            ops::WRITE => {
+                let v = arg.as_int().expect("write requires an integer argument");
+                (v, Value::Unit)
+            }
+            other => panic!("register: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &i64) -> Value {
+        Value::Int(*state)
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::WRITE => (0..8).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DataTypeExt;
+    use crate::spec::Invocation;
+
+    #[test]
+    fn read_returns_latest_write() {
+        let r = Register::new(3);
+        let (_, insts) = r.run(&[
+            Invocation::nullary(ops::READ),
+            Invocation::new(ops::WRITE, 10),
+            Invocation::nullary(ops::READ),
+            Invocation::new(ops::WRITE, -4),
+            Invocation::nullary(ops::READ),
+        ]);
+        assert_eq!(insts[0].ret, Value::Int(3));
+        assert_eq!(insts[2].ret, Value::Int(10));
+        assert_eq!(insts[4].ret, Value::Int(-4));
+    }
+
+    #[test]
+    fn write_acks_with_unit() {
+        let r = Register::default();
+        let (s, insts) = r.run(&[Invocation::new(ops::WRITE, 42)]);
+        assert_eq!(insts[0].ret, Value::Unit);
+        assert_eq!(s, 42);
+    }
+
+    #[test]
+    fn canonical_is_value() {
+        let r = Register::new(5);
+        assert_eq!(r.canonical(&r.initial()), Value::Int(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown operation")]
+    fn unknown_op_panics() {
+        let r = Register::default();
+        let s = r.initial();
+        let _ = r.apply(&s, "pop", &Value::Unit);
+    }
+}

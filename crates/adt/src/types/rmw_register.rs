@@ -1,0 +1,180 @@
+//! Read-Modify-Write register (Table 1 of the paper).
+//!
+//! In addition to `read` and `write`, the type supports the atomic
+//! mutator/accessor `rmw(k)`, a fetch-and-add: it returns the current value
+//! *before* adding `k` to it. `rmw` is the canonical *pair-free* operation
+//! (Theorem 4): two instances invoked from the same state cannot both keep
+//! their solo return values in any order.
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+
+/// Operation name constants for [`RmwRegister`].
+pub mod ops {
+    /// `read(-) -> v`: pure accessor.
+    pub const READ: &str = "read";
+    /// `write(v) -> ack`: pure mutator / overwriter.
+    pub const WRITE: &str = "write";
+    /// `rmw(k) -> old`: fetch-and-add; mixed (accessor *and* mutator), pair-free.
+    pub const RMW: &str = "rmw";
+    /// `cas((expected, new)) -> bool`: compare-and-swap; mixed, pair-free.
+    pub const CAS: &str = "cas";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::READ, OpClass::PureAccessor, false, true),
+    OpMeta::new(ops::WRITE, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::RMW, OpClass::Mixed, true, true),
+    OpMeta::new(ops::CAS, OpClass::Mixed, true, true),
+];
+
+/// A read/write/read-modify-write (fetch-and-add) register.
+#[derive(Clone, Debug)]
+pub struct RmwRegister {
+    initial: i64,
+}
+
+impl RmwRegister {
+    /// A register with the given initial value.
+    pub fn new(initial: i64) -> Self {
+        RmwRegister { initial }
+    }
+}
+
+impl Default for RmwRegister {
+    fn default() -> Self {
+        RmwRegister::new(0)
+    }
+}
+
+impl DataType for RmwRegister {
+    type State = i64;
+
+    fn name(&self) -> &'static str {
+        "rmw-register"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> i64 {
+        self.initial
+    }
+
+    fn apply(&self, state: &i64, op: &'static str, arg: &Value) -> (i64, Value) {
+        match op {
+            ops::READ => (*state, Value::Int(*state)),
+            ops::WRITE => {
+                let v = arg.as_int().expect("write requires an integer argument");
+                (v, Value::Unit)
+            }
+            ops::RMW => {
+                let k = arg.as_int().expect("rmw requires an integer argument");
+                (state.wrapping_add(k), Value::Int(*state))
+            }
+            ops::CAS => {
+                let (expected, new) = arg
+                    .as_pair()
+                    .and_then(|(a, b)| Some((a.as_int()?, b.as_int()?)))
+                    .expect("cas requires an (expected, new) pair of integers");
+                if *state == expected {
+                    (new, Value::Bool(true))
+                } else {
+                    (*state, Value::Bool(false))
+                }
+            }
+            other => panic!("rmw-register: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &i64) -> Value {
+        Value::Int(*state)
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::WRITE => (0..8).map(Value::Int).collect(),
+            ops::RMW => (1..4).map(Value::Int).collect(),
+            ops::CAS => {
+                let mut args = Vec::new();
+                for exp in 0..3 {
+                    for new in 1..4 {
+                        if exp != new {
+                            args.push(Value::pair(exp, new));
+                        }
+                    }
+                }
+                args
+            }
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DataTypeExt, Invocation};
+
+    #[test]
+    fn rmw_returns_old_value_and_adds() {
+        let r = RmwRegister::new(10);
+        let (s, insts) = r.run(&[
+            Invocation::new(ops::RMW, 5),
+            Invocation::new(ops::RMW, 1),
+            Invocation::nullary(ops::READ),
+        ]);
+        assert_eq!(insts[0].ret, Value::Int(10));
+        assert_eq!(insts[1].ret, Value::Int(15));
+        assert_eq!(insts[2].ret, Value::Int(16));
+        assert_eq!(s, 16);
+    }
+
+    #[test]
+    fn rmw_is_pair_free_by_hand() {
+        // Two rmw(1) instances from state 0: each solo-legal instance returns
+        // 0, but after either one, the other must return 1 — exactly the
+        // pair-free condition of Theorem 4.
+        let r = RmwRegister::new(0);
+        let s0 = r.initial();
+        let (s1, ret_solo) = r.apply(&s0, ops::RMW, &Value::Int(1));
+        assert_eq!(ret_solo, Value::Int(0));
+        let (_, ret_after) = r.apply(&s1, ops::RMW, &Value::Int(1));
+        assert_ne!(ret_after, ret_solo);
+    }
+
+    #[test]
+    fn cas_succeeds_then_fails() {
+        let r = RmwRegister::new(0);
+        let (_, insts) = r.run(&[
+            Invocation::new(ops::CAS, Value::pair(0, 5)),
+            Invocation::new(ops::CAS, Value::pair(0, 7)), // state is 5 now
+            Invocation::nullary(ops::READ),
+        ]);
+        assert_eq!(insts[0].ret, Value::Bool(true));
+        assert_eq!(insts[1].ret, Value::Bool(false));
+        assert_eq!(insts[2].ret, Value::Int(5));
+    }
+
+    #[test]
+    fn cas_is_pair_free() {
+        use crate::classify;
+        use crate::universe::{ExploreLimits, Universe};
+        let r = RmwRegister::new(0);
+        let u = Universe::for_type(&r);
+        let limits = ExploreLimits { max_depth: 2, max_states: 60 };
+        assert!(classify::is_pair_free(&r, ops::CAS, &u, limits).is_some());
+    }
+
+    #[test]
+    fn write_then_rmw_interacts() {
+        let r = RmwRegister::default();
+        let (s, insts) = r.run(&[
+            Invocation::new(ops::WRITE, 100),
+            Invocation::new(ops::RMW, -1),
+        ]);
+        assert_eq!(insts[1].ret, Value::Int(100));
+        assert_eq!(s, 99);
+    }
+}

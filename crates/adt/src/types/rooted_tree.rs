@@ -1,0 +1,338 @@
+//! Simple rooted tree with `insert`, `delete`, and `depth` (Table 4 of the paper).
+//!
+//! The paper applies its bounds to "inserting, deleting, and finding the depth
+//! of a node in a simple, rooted tree data type" without pinning down exact
+//! sequential semantics. We choose semantics that (a) keep `insert` and
+//! `delete` *pure mutators* (always acknowledge, never return information, as
+//! required by Table 4's `ε` upper bound), (b) keep `depth` a pure accessor,
+//! and (c) make the operations satisfy the algebraic hypotheses the paper
+//! invokes:
+//!
+//! * `insert((child, parent))` — **last-wins re-parenting**: if `parent` is in
+//!   the tree, `child ≠ root`, and the edge would not create a cycle, set
+//!   `child`'s parent to `parent` (adding `child` if absent); otherwise no-op.
+//!   Re-parenting makes `insert` *last-sensitive* for arbitrarily large `k`
+//!   (insert the same child under `k` different parents: the last insert
+//!   determines its position), so Theorem 3 applies with `k = n`.
+//! * `delete((node, graft))` — remove `node` (if present and not the root) and
+//!   re-parent its orphaned children under `graft` (no-op if `graft` is absent
+//!   or inside `node`'s subtree). The classifier certifies the largest `k` for
+//!   which `delete` is last-sensitive under these semantics (see
+//!   `classify::max_last_sensitive_k`); EXPERIMENTS.md reports the certified
+//!   bound next to the paper's claimed `(1 - 1/n)u`.
+//! * `depth(node) -> Int(depth) | -` — depth of `node` (root has depth 0),
+//!   `Unit` if absent. `insert`/`delete` + `depth` admit the discriminators
+//!   required by Theorem 5.
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// The distinguished root node id. Always present; cannot be inserted,
+/// re-parented, or deleted.
+pub const ROOT: i64 = 0;
+
+/// Operation name constants for [`RootedTree`].
+pub mod ops {
+    /// `insert((child, parent)) -> ack`: pure mutator, last-wins re-parent.
+    pub const INSERT: &str = "insert";
+    /// `delete((node, graft)) -> ack`: pure mutator, orphans grafted.
+    pub const DELETE: &str = "delete";
+    /// `depth(node) -> Int | -`: pure accessor.
+    pub const DEPTH: &str = "depth";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::INSERT, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::DELETE, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::DEPTH, OpClass::PureAccessor, true, true),
+];
+
+/// Parent map: `node -> parent`. The root is implicit (never a key).
+pub type TreeState = BTreeMap<i64, i64>;
+
+/// A simple rooted tree of integer-labelled nodes.
+#[derive(Clone, Debug, Default)]
+pub struct RootedTree;
+
+impl RootedTree {
+    /// A tree containing only the root.
+    pub fn new() -> Self {
+        RootedTree
+    }
+
+    fn contains(state: &TreeState, node: i64) -> bool {
+        node == ROOT || state.contains_key(&node)
+    }
+
+    /// Depth of `node` in `state`, or `None` if absent. The root has depth 0.
+    pub fn depth_of(state: &TreeState, node: i64) -> Option<i64> {
+        if node == ROOT {
+            return Some(0);
+        }
+        let mut cur = node;
+        let mut depth = 0i64;
+        // Bounded by the number of nodes; cycles are prevented at insert time,
+        // but guard anyway.
+        for _ in 0..=state.len() {
+            match state.get(&cur) {
+                Some(&p) => {
+                    depth += 1;
+                    if p == ROOT {
+                        return Some(depth);
+                    }
+                    cur = p;
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// True iff `candidate` lies in the subtree rooted at `node` (inclusive).
+    fn in_subtree(state: &TreeState, node: i64, candidate: i64) -> bool {
+        if candidate == node {
+            return true;
+        }
+        let mut cur = candidate;
+        for _ in 0..=state.len() {
+            match state.get(&cur) {
+                Some(&p) => {
+                    if p == node {
+                        return true;
+                    }
+                    cur = p;
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+}
+
+impl DataType for RootedTree {
+    type State = TreeState;
+
+    fn name(&self) -> &'static str {
+        "rooted-tree"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> TreeState {
+        TreeState::new()
+    }
+
+    fn apply(&self, state: &TreeState, op: &'static str, arg: &Value) -> (TreeState, Value) {
+        match op {
+            ops::INSERT => {
+                let (child, parent) = arg
+                    .as_pair()
+                    .and_then(|(a, b)| Some((a.as_int()?, b.as_int()?)))
+                    .expect("insert requires a (child, parent) pair of integers");
+                let mut next = state.clone();
+                let valid = child != ROOT
+                    && Self::contains(state, parent)
+                    && !(Self::contains(state, child)
+                        && Self::in_subtree(state, child, parent));
+                if valid {
+                    next.insert(child, parent);
+                }
+                (next, Value::Unit)
+            }
+            ops::DELETE => {
+                let (node, graft) = arg
+                    .as_pair()
+                    .and_then(|(a, b)| Some((a.as_int()?, b.as_int()?)))
+                    .expect("delete requires a (node, graft) pair of integers");
+                let mut next = state.clone();
+                let valid = node != ROOT
+                    && state.contains_key(&node)
+                    && Self::contains(state, graft)
+                    && !Self::in_subtree(state, node, graft);
+                if valid {
+                    next.remove(&node);
+                    for (_, parent) in next.iter_mut() {
+                        if *parent == node {
+                            *parent = graft;
+                        }
+                    }
+                }
+                (next, Value::Unit)
+            }
+            ops::DEPTH => {
+                let node = arg.as_int().expect("depth requires an integer argument");
+                let ret = Self::depth_of(state, node).map_or(Value::Unit, Value::Int);
+                (state.clone(), ret)
+            }
+            other => panic!("rooted-tree: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &TreeState) -> Value {
+        Value::list(state.iter().map(|(c, p)| Value::pair(*c, *p)))
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::INSERT => {
+                // Insert a handful of nodes under the root and under each
+                // other: enough parents that re-parenting one child under k
+                // distinct parents certifies last-sensitivity up to k = 4.
+                let mut args = Vec::new();
+                for child in 1..5 {
+                    for parent in 0..5 {
+                        if child != parent {
+                            args.push(Value::pair(child, parent));
+                        }
+                    }
+                }
+                args
+            }
+            ops::DELETE => {
+                let mut args = Vec::new();
+                for node in 1..4 {
+                    for graft in 0..3 {
+                        if node != graft {
+                            args.push(Value::pair(node, graft));
+                        }
+                    }
+                }
+                args
+            }
+            ops::DEPTH => (0..4).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DataTypeExt, Invocation};
+
+    fn insert(c: i64, p: i64) -> Invocation {
+        Invocation::new(ops::INSERT, Value::pair(c, p))
+    }
+    fn delete(n: i64, g: i64) -> Invocation {
+        Invocation::new(ops::DELETE, Value::pair(n, g))
+    }
+    fn depth(n: i64) -> Invocation {
+        Invocation::new(ops::DEPTH, n)
+    }
+
+    #[test]
+    fn insert_builds_chain_and_depth_reports() {
+        let t = RootedTree::new();
+        let (_, insts) = t.run(&[
+            insert(1, ROOT),
+            insert(2, 1),
+            insert(3, 2),
+            depth(0),
+            depth(1),
+            depth(2),
+            depth(3),
+            depth(4),
+        ]);
+        let rets: Vec<_> = insts[3..].iter().map(|i| i.ret.clone()).collect();
+        assert_eq!(
+            rets,
+            vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Unit
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_is_last_wins_reparent() {
+        let t = RootedTree::new();
+        let (_, insts) = t.run(&[
+            insert(1, ROOT),
+            insert(2, ROOT),
+            insert(3, 1),
+            insert(3, 2), // re-parent 3 under 2
+            depth(3),
+            insert(2, 1), // now 2 hangs under 1, dragging 3 deeper
+            depth(3),
+        ]);
+        assert_eq!(insts[4].ret, Value::Int(2));
+        assert_eq!(insts[6].ret, Value::Int(3));
+    }
+
+    #[test]
+    fn insert_rejects_cycles_missing_parent_and_root() {
+        let t = RootedTree::new();
+        let (s, insts) = t.run(&[
+            insert(1, ROOT),
+            insert(2, 1),
+            insert(1, 2),  // would create cycle 1 -> 2 -> 1: no-op
+            insert(5, 99), // parent absent: no-op
+            insert(0, 1),  // cannot re-parent the root: no-op
+            depth(1),
+        ]);
+        assert_eq!(insts[5].ret, Value::Int(1));
+        assert_eq!(s.get(&1), Some(&ROOT));
+        assert!(!s.contains_key(&5));
+        assert!(!s.contains_key(&0));
+    }
+
+    #[test]
+    fn delete_grafts_orphans() {
+        let t = RootedTree::new();
+        let (_, insts) = t.run(&[
+            insert(1, ROOT),
+            insert(2, 1),
+            insert(3, 2),
+            delete(2, ROOT), // 3 grafted under root
+            depth(3),
+            depth(2),
+        ]);
+        assert_eq!(insts[4].ret, Value::Int(1));
+        assert_eq!(insts[5].ret, Value::Unit);
+    }
+
+    #[test]
+    fn delete_rejects_graft_inside_subtree() {
+        let t = RootedTree::new();
+        let (s, _) = t.run(&[
+            insert(1, ROOT),
+            insert(2, 1),
+            delete(1, 2), // graft target inside 1's subtree: no-op
+        ]);
+        assert!(s.contains_key(&1));
+        assert!(s.contains_key(&2));
+    }
+
+    #[test]
+    fn delete_absent_node_is_noop() {
+        let t = RootedTree::new();
+        let (s0, _) = t.run(&[insert(1, ROOT)]);
+        let (s1, ret) = t.apply(&s0, ops::DELETE, &Value::pair(7, 0));
+        assert_eq!(ret, Value::Unit);
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    fn delete_order_matters_for_same_node() {
+        // First-delete-wins on the same node: supports pair-distinguishing
+        // behaviour discussed in the module docs.
+        let t = RootedTree::new();
+        let (base, _) = t.run(&[insert(1, ROOT), insert(2, ROOT), insert(4, ROOT), insert(3, 1)]);
+        // delete(1 -> graft 2) then delete(1 -> graft 4): second is no-op,
+        // so node 3 ends up under 2.
+        let (a1, _) = t.apply(&base, ops::DELETE, &Value::pair(1, 2));
+        let (a2, _) = t.apply(&a1, ops::DELETE, &Value::pair(1, 4));
+        // Reverse order: node 3 ends up under 4.
+        let (b1, _) = t.apply(&base, ops::DELETE, &Value::pair(1, 4));
+        let (b2, _) = t.apply(&b1, ops::DELETE, &Value::pair(1, 2));
+        assert_ne!(a2, b2);
+        assert_eq!(a2.get(&3), Some(&2));
+        assert_eq!(b2.get(&3), Some(&4));
+    }
+}

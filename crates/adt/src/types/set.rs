@@ -1,0 +1,123 @@
+//! Integer set with `add`, `remove`, and `contains` (extension type).
+//!
+//! `add` and `remove` are *commutative* pure mutators: permutations of
+//! distinct instances leave the state identical, so they are transposable but
+//! **not** last-sensitive — Theorem 3 does not apply beyond the trivial
+//! `k = 1`. This makes the set a useful negative control for the classifier
+//! and shows where the paper's lower-bound taxonomy has gaps (Section 6.2).
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Operation name constants for [`GrowSet`].
+pub mod ops {
+    /// `add(v) -> ack`: pure mutator, commutative.
+    pub const ADD: &str = "add";
+    /// `remove(v) -> ack`: pure mutator, commutative.
+    pub const REMOVE: &str = "remove";
+    /// `contains(v) -> bool`: pure accessor.
+    pub const CONTAINS: &str = "contains";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::ADD, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::REMOVE, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::CONTAINS, OpClass::PureAccessor, true, true),
+];
+
+/// A set of integers.
+#[derive(Clone, Debug, Default)]
+pub struct GrowSet;
+
+impl GrowSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        GrowSet
+    }
+}
+
+impl DataType for GrowSet {
+    type State = BTreeSet<i64>;
+
+    fn name(&self) -> &'static str {
+        "set"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> BTreeSet<i64> {
+        BTreeSet::new()
+    }
+
+    fn apply(&self, state: &BTreeSet<i64>, op: &'static str, arg: &Value) -> (BTreeSet<i64>, Value) {
+        match op {
+            ops::ADD => {
+                let v = arg.as_int().expect("add requires an integer argument");
+                let mut next = state.clone();
+                next.insert(v);
+                (next, Value::Unit)
+            }
+            ops::REMOVE => {
+                let v = arg.as_int().expect("remove requires an integer argument");
+                let mut next = state.clone();
+                next.remove(&v);
+                (next, Value::Unit)
+            }
+            ops::CONTAINS => {
+                let v = arg.as_int().expect("contains requires an integer argument");
+                (state.clone(), Value::Bool(state.contains(&v)))
+            }
+            other => panic!("set: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &BTreeSet<i64>) -> Value {
+        Value::list(state.iter().map(|v| Value::Int(*v)))
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::ADD | ops::REMOVE | ops::CONTAINS => (0..6).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DataTypeExt, Invocation};
+
+    #[test]
+    fn add_remove_contains() {
+        let s = GrowSet::new();
+        let (_, insts) = s.run(&[
+            Invocation::new(ops::ADD, 1),
+            Invocation::new(ops::CONTAINS, 1),
+            Invocation::new(ops::CONTAINS, 2),
+            Invocation::new(ops::REMOVE, 1),
+            Invocation::new(ops::CONTAINS, 1),
+        ]);
+        assert_eq!(insts[1].ret, Value::Bool(true));
+        assert_eq!(insts[2].ret, Value::Bool(false));
+        assert_eq!(insts[4].ret, Value::Bool(false));
+    }
+
+    #[test]
+    fn adds_commute() {
+        let s = GrowSet::new();
+        let (a, _) = s.run(&[Invocation::new(ops::ADD, 1), Invocation::new(ops::ADD, 2)]);
+        let (b, _) = s.run(&[Invocation::new(ops::ADD, 2), Invocation::new(ops::ADD, 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn idempotent_add() {
+        let s = GrowSet::new();
+        let (a, _) = s.run(&[Invocation::new(ops::ADD, 3), Invocation::new(ops::ADD, 3)]);
+        assert_eq!(a.len(), 1);
+    }
+}

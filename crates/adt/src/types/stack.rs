@@ -1,0 +1,147 @@
+//! LIFO stack with `push`, `pop`, and `peek` (Table 3 of the paper).
+//!
+//! Note the asymmetry with queues pointed out in Section 4.3: in a history of
+//! only pushes and peeks, a `peek` depends solely on the *last* push (as if
+//! `push` were an overwriter), so the Theorem 5 sum bound for `push + peek`
+//! does **not** apply to stacks — Table 3 accordingly keeps the previous `d`
+//! lower bound for that row.
+
+use crate::spec::{DataType, OpClass, OpMeta};
+use crate::value::Value;
+
+/// Operation name constants for [`Stack`].
+pub mod ops {
+    /// `push(v) -> ack`: pure mutator; transposable and last-sensitive.
+    pub const PUSH: &str = "push";
+    /// `pop(-) -> v | -`: mixed; removes and returns the top element. Pair-free.
+    pub const POP: &str = "pop";
+    /// `peek(-) -> v | -`: pure accessor; returns the top element.
+    pub const PEEK: &str = "peek";
+}
+
+const OPS: &[OpMeta] = &[
+    OpMeta::new(ops::PUSH, OpClass::PureMutator, true, false),
+    OpMeta::new(ops::POP, OpClass::Mixed, false, true),
+    OpMeta::new(ops::PEEK, OpClass::PureAccessor, false, true),
+];
+
+/// A LIFO stack of integers. Pop/peek on an empty stack return `Value::Unit`.
+#[derive(Clone, Debug, Default)]
+pub struct Stack;
+
+impl Stack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Stack
+    }
+}
+
+impl DataType for Stack {
+    type State = Vec<i64>;
+
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+
+    fn ops(&self) -> &[OpMeta] {
+        OPS
+    }
+
+    fn initial(&self) -> Vec<i64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<i64>, op: &'static str, arg: &Value) -> (Vec<i64>, Value) {
+        match op {
+            ops::PUSH => {
+                let v = arg.as_int().expect("push requires an integer argument");
+                let mut next = state.clone();
+                next.push(v);
+                (next, Value::Unit)
+            }
+            ops::POP => {
+                let mut next = state.clone();
+                match next.pop() {
+                    Some(v) => (next, Value::Int(v)),
+                    None => (next, Value::Unit),
+                }
+            }
+            ops::PEEK => {
+                let ret = state.last().map_or(Value::Unit, |v| Value::Int(*v));
+                (state.clone(), ret)
+            }
+            other => panic!("stack: unknown operation {other:?}"),
+        }
+    }
+
+    fn canonical(&self, state: &Vec<i64>) -> Value {
+        Value::list(state.iter().map(|v| Value::Int(*v)))
+    }
+
+    fn suggested_args(&self, op: &'static str) -> Vec<Value> {
+        match op {
+            ops::PUSH => (0..8).map(Value::Int).collect(),
+            _ => vec![Value::Unit],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DataTypeExt, Invocation};
+
+    #[test]
+    fn lifo_order() {
+        let s = Stack::new();
+        let (_, insts) = s.run(&[
+            Invocation::new(ops::PUSH, 1),
+            Invocation::new(ops::PUSH, 2),
+            Invocation::nullary(ops::POP),
+            Invocation::nullary(ops::POP),
+            Invocation::nullary(ops::POP),
+        ]);
+        let rets: Vec<_> = insts[2..].iter().map(|i| i.ret.clone()).collect();
+        assert_eq!(rets, vec![Value::Int(2), Value::Int(1), Value::Unit]);
+    }
+
+    #[test]
+    fn peek_sees_last_push() {
+        let s = Stack::new();
+        let (_, insts) = s.run(&[
+            Invocation::new(ops::PUSH, 10),
+            Invocation::new(ops::PUSH, 20),
+            Invocation::nullary(ops::PEEK),
+        ]);
+        assert_eq!(insts[2].ret, Value::Int(20));
+    }
+
+    #[test]
+    fn peek_depends_only_on_last_push() {
+        // The Section 4.3 observation: among push-only histories, peek's
+        // return is a function of the final push alone.
+        let s = Stack::new();
+        let (st1, _) = s.run(&[
+            Invocation::new(ops::PUSH, 1),
+            Invocation::new(ops::PUSH, 9),
+        ]);
+        let (st2, _) = s.run(&[
+            Invocation::new(ops::PUSH, 5),
+            Invocation::new(ops::PUSH, 9),
+        ]);
+        let (_, r1) = s.apply(&st1, ops::PEEK, &Value::Unit);
+        let (_, r2) = s.apply(&st2, ops::PEEK, &Value::Unit);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_stack_responses() {
+        let s = Stack::new();
+        let (_, insts) = s.run(&[
+            Invocation::nullary(ops::POP),
+            Invocation::nullary(ops::PEEK),
+        ]);
+        assert_eq!(insts[0].ret, Value::Unit);
+        assert_eq!(insts[1].ret, Value::Unit);
+    }
+}

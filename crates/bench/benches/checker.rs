@@ -1,0 +1,125 @@
+//! Linearizability-checker cost: verification time vs history size and
+//! contention level (concurrent-window width).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lintime_adt::prelude::*;
+use lintime_check::history::History;
+use lintime_check::wing_gong::check;
+use lintime_adt::spec::OpInstance;
+
+/// A linearizable queue history: `n_ops` enqueues in `window`-wide concurrent
+/// batches followed by matching sequential dequeues.
+fn queue_history(n_ops: usize, window: usize) -> History {
+    let mut tuples: Vec<(usize, OpInstance, i64, i64)> = Vec::new();
+    let mut t = 0i64;
+    for batch in 0..(n_ops / window) {
+        for k in 0..window {
+            let v = (batch * window + k) as i64;
+            tuples.push((k, OpInstance::new("enqueue", v, ()), t, t + 100));
+        }
+        t += 200;
+    }
+    for v in 0..n_ops as i64 {
+        tuples.push((0, OpInstance::new("dequeue", (), v), t, t + 10));
+        t += 20;
+    }
+    History::from_tuples(tuples)
+}
+
+/// A product history interleaving k objects, each with `per` concurrent
+/// enqueues then dequeues — monolithic checking must consider the
+/// interleavings, compositional checking does not.
+fn product_history(
+    product: &lintime_adt::product::ProductSpec,
+    per: usize,
+) -> History {
+    use lintime_adt::spec::ObjectSpec as _;
+    let mut tuples: Vec<(usize, OpInstance, i64, i64)> = Vec::new();
+    let mut t = 0i64;
+    for (k, prefix) in product.prefixes().enumerate() {
+        for v in 0..per as i64 {
+            let name = product
+                .op_meta(&format!("{prefix}/enqueue"))
+                .unwrap()
+                .name;
+            tuples.push((k, OpInstance::new(name, v, ()), t, t + 100));
+        }
+    }
+    t += 200;
+    for prefix in product.prefixes() {
+        for v in 0..per as i64 {
+            let name = product
+                .op_meta(&format!("{prefix}/dequeue"))
+                .unwrap()
+                .name;
+            tuples.push((0, OpInstance::new(name, (), v), t, t + 5));
+            t += 10;
+        }
+    }
+    History::from_tuples(tuples)
+}
+
+fn bench_compositional(c: &mut Criterion) {
+    use lintime_adt::product::ProductSpec;
+    use lintime_check::compositional::check_components;
+    use lintime_check::wing_gong::CheckConfig;
+    let product = ProductSpec::new(
+        "3queues",
+        vec![
+            ("a", erase(FifoQueue::new())),
+            ("b", erase(FifoQueue::new())),
+            ("c", erase(FifoQueue::new())),
+        ],
+    );
+    let h = product_history(&product, 5);
+    let mut group = c.benchmark_group("compositional");
+    group.sample_size(20);
+    let spec: std::sync::Arc<dyn ObjectSpec> = std::sync::Arc::new(ProductSpec::new(
+        "3queues",
+        vec![
+            ("a", erase(FifoQueue::new())),
+            ("b", erase(FifoQueue::new())),
+            ("c", erase(FifoQueue::new())),
+        ],
+    ));
+    group.bench_function("monolithic_3x5", |b| {
+        b.iter(|| {
+            let v = check(&spec, &h);
+            assert!(v.is_linearizable());
+            v
+        })
+    });
+    group.bench_function("per_object_3x5", |b| {
+        b.iter(|| {
+            let v = check_components(&product, &h, CheckConfig::default()).unwrap();
+            assert!(v.is_linearizable());
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(20);
+    for (n_ops, window) in [(16usize, 2usize), (32, 4), (64, 4), (64, 8)] {
+        let spec = erase(FifoQueue::new());
+        let h = queue_history(n_ops, window);
+        group.throughput(Throughput::Elements(h.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("queue", format!("{n_ops}ops_w{window}")),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    let v = check(&spec, h);
+                    assert!(v.is_linearizable());
+                    v
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker, bench_compositional);
+criterion_main!(benches);

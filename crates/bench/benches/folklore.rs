@@ -1,0 +1,54 @@
+//! The folklore comparison (Section 1): Algorithm 1 vs the centralized and
+//! total-order-broadcast baselines on a shared mixed workload. Criterion
+//! also exposes the simulation cost differences (the broadcast baseline
+//! processes Θ(n²) messages per operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lintime_adt::prelude::*;
+use lintime_core::cluster::{run_algorithm, Algorithm};
+use lintime_sim::prelude::*;
+
+fn mixed_workload(p: ModelParams) -> Schedule {
+    let mut schedule = Schedule::new();
+    let mut t = Time::ZERO;
+    for round in 0..10 {
+        for i in 0..p.n {
+            let inv = match (round + i) % 3 {
+                0 => Invocation::new("enqueue", (round * 10 + i) as i64),
+                1 => Invocation::nullary("peek"),
+                _ => Invocation::nullary("dequeue"),
+            };
+            schedule = schedule.at(Pid(i), t + Time(i as i64 * 13), inv);
+        }
+        t += p.d * 3;
+    }
+    schedule
+}
+
+fn bench_folklore(c: &mut Criterion) {
+    let p = ModelParams::default_experiment();
+    let schedule = mixed_workload(p);
+    let mut group = c.benchmark_group("folklore");
+    group.sample_size(20);
+    for (name, algo) in [
+        ("wtlw_x0", Algorithm::Wtlw { x: Time::ZERO }),
+        ("wtlw_xmax", Algorithm::Wtlw { x: p.d - p.epsilon }),
+        ("centralized", Algorithm::Centralized),
+        ("broadcast", Algorithm::Broadcast),
+    ] {
+        let spec = erase(FifoQueue::new());
+        group.bench_with_input(BenchmarkId::new("queue_mixed", name), &algo, |b, algo| {
+            b.iter(|| {
+                let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 5 })
+                    .with_schedule(schedule.clone());
+                let run = run_algorithm(*algo, &spec, &cfg);
+                assert!(run.complete());
+                run.events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_folklore);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Run every table/figure reproduction in sequence (EXPERIMENTS.md source).
+fn main() {
+    print!("{}", lintime_bench::experiments::all_reports());
+}

@@ -1,0 +1,4 @@
+//! Measure the clock-synchronization substrate's achieved skew vs (1-1/n)u.
+fn main() {
+    print!("{}", lintime_bench::experiments::clocksync_report());
+}

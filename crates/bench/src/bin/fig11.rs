@@ -1,0 +1,5 @@
+//! Reproduce Figure 11: operation-class relationships, computed from the
+//! executable definitions.
+fn main() {
+    print!("{}", lintime_bench::experiments::fig11_report());
+}

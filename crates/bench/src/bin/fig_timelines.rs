@@ -1,0 +1,75 @@
+//! Textual reproductions of the paper's run diagrams (Figures 1–10): the
+//! base and shifted runs of each lower-bound construction, drawn to scale.
+
+use lintime_adt::prelude::*;
+use lintime_bench::timeline;
+use lintime_bounds::prelude::*;
+use lintime_core::prelude::*;
+use lintime_sim::prelude::*;
+
+fn main() {
+    let p = ModelParams::default_experiment();
+    let width = 100;
+
+    println!("=== Figure 1 analogue: Theorem 3 runs R1 (base) and R2 (shifted) ===");
+    println!("k = {} concurrent write instances under the circulant delay matrix;", p.n);
+    println!("in R2 the algorithm's last-ordered instance finishes before its cyclic");
+    println!("successor begins, pinning it into the linearization prefix.\n");
+    let spec = erase(Register::new(0));
+    let mut w = Waits::standard(p, Time::ZERO);
+    w.mop_respond = Time(1500); // a victim inside the bound
+    let args: Vec<Value> = (0..p.n as i64).map(|i| Value::Int(100 + i)).collect();
+    let report = thm3_attack(
+        p,
+        &spec,
+        "write",
+        &args,
+        &[Invocation::nullary("read")],
+        Algorithm::WtlwWaits(w),
+    );
+    if let Some(base) = &report.base {
+        println!("R1 (admissible, linearizable):");
+        print!("{}", timeline::render(base, width));
+    }
+    if let Some(shifted) = &report.shifted {
+        println!("\nR2 = shift(R1, x̄) (admissible, NOT linearizable — checker verdict):");
+        print!("{}", timeline::render(shifted, width));
+    }
+    println!("outcome: {:?}\n", report.outcome);
+
+    println!("=== Figures 2–7 analogue: Theorem 4 run (pair-free rmw) ===");
+    println!("p0's clock runs m = {} behind; both instances carry equal local", p.m());
+    println!("timestamps; every message takes the full d = {}.\n", p.d);
+    let spec = erase(RmwRegister::new(0));
+    let mut w = Waits::standard(p, Time::ZERO);
+    w.execute -= Time(600);
+    let report = thm4_attack(
+        p,
+        &spec,
+        Invocation::new("rmw", 1),
+        Invocation::new("rmw", 1),
+        Algorithm::WtlwWaits(w),
+    );
+    if let Some(base) = &report.base {
+        print!("{}", timeline::render(base, width));
+    }
+    println!("outcome: {:?} (both returned the pre-state)\n", report.outcome);
+
+    println!("=== Figures 8–10 analogue: Theorem 5 run (enqueue + peek) ===");
+    let spec = erase(FifoQueue::new());
+    let mut w = Waits::standard(p, Time::ZERO);
+    w.aop_respond = p.d + p.m() - Time(600) - p.epsilon; // in the [d, d+m) band
+    let report = thm5_attack(
+        p,
+        &spec,
+        "enqueue",
+        Value::Int(1),
+        Value::Int(2),
+        Invocation::nullary("peek"),
+        Algorithm::WtlwWaits(w),
+    );
+    if let Some(base) = &report.base {
+        print!("{}", timeline::render(base, width));
+    }
+    println!("outcome: {:?} (p1's peek returned 2 while p0's and p2's returned 1)", report.outcome);
+}

@@ -1,0 +1,4 @@
+//! Compare Algorithm 1 against the two folklore baselines (Section 1).
+fn main() {
+    print!("{}", lintime_bench::experiments::folklore_report());
+}

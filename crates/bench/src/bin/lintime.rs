@@ -1,0 +1,232 @@
+//! `lintime` — the command-line front door to the reproduction.
+//!
+//! ```text
+//! lintime types                          list data types and operation classes
+//! lintime tables                         print Tables 1–6
+//! lintime fig11                          print Figure 11
+//! lintime attack <thm2|thm3|thm4|thm5>   run a lower-bound adversary sweep
+//! lintime simulate [flags]               run a workload and check it
+//!     --type <name>        data type (default fifo-queue)
+//!     --algo <a>           wtlw | centralized | broadcast | naive (default wtlw)
+//!     --x <ticks>          Algorithm 1 tradeoff parameter (default 0)
+//!     --mix <m>            balanced | read | write (default balanced)
+//!     --ops <k>            operations per process (default 6)
+//!     --seed <s>           workload + delay seed (default 42)
+//!     --delay <d>          random | max | min (default random)
+//!     --n/--d/--u <v>      model parameters (default 4 / 6000 / 2400)
+//!     --timeline           draw the run as ASCII timelines
+//! ```
+
+use lintime_adt::prelude::*;
+use lintime_bench::{experiments, timeline};
+use lintime_core::prelude::*;
+use lintime_sim::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("types") => cmd_types(),
+        Some("tables") => cmd_tables(),
+        Some("fig11") => print!("{}", experiments::fig11_report()),
+        Some("attack") => {
+            if let Err(e) = cmd_attack(args.get(1).map(String::as_str)) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Some("simulate") => {
+            if let Err(e) = cmd_simulate(&args[1..]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => {
+            eprintln!("usage: lintime <types|tables|fig11|attack|simulate> [flags]");
+            eprintln!("       (see crate docs or README.md for flag details)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_types() {
+    println!("built-in data types:");
+    for t in all_types() {
+        println!("  {}", t.name());
+        for m in t.ops() {
+            println!(
+                "    {:<14} {:<15} arg:{} ret:{}",
+                m.name,
+                m.class.to_string(),
+                if m.has_arg { "yes" } else { "no " },
+                if m.has_ret { "yes" } else { "no " }
+            );
+        }
+    }
+}
+
+fn cmd_tables() {
+    for r in [
+        experiments::table1_report(),
+        experiments::table2_report(),
+        experiments::table3_report(),
+        experiments::table4_report(),
+        experiments::table5_report(),
+        experiments::table_kv_report(),
+    ] {
+        println!("{r}");
+    }
+}
+
+fn cmd_attack(which: Option<&str>) -> Result<(), String> {
+    match which {
+        Some("thm2") | Some("thm3") | Some("thm4") | Some("thm5") => {
+            // The sweeps already bundle all four with controls; print the
+            // relevant section by running the full report (cheap) and
+            // filtering.
+            let full = experiments::lower_bounds_report();
+            let needle = match which.unwrap() {
+                "thm2" => "Theorem 2",
+                "thm3" => "Theorem 3",
+                "thm4" => "Theorem 4",
+                _ => "Theorem 5",
+            };
+            let mut printing = false;
+            for line in full.lines() {
+                if line.starts_with(needle) {
+                    printing = true;
+                } else if printing && line.starts_with("Theorem") {
+                    break;
+                }
+                if printing {
+                    println!("{line}");
+                }
+            }
+            Ok(())
+        }
+        Some("all") | None => {
+            print!("{}", experiments::lower_bounds_report());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown theorem {other:?}; use thm2|thm3|thm4|thm5|all")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        let value = if it.peek().is_some_and(|v| !v.starts_with("--")) {
+            it.next().unwrap().clone()
+        } else {
+            "true".to_string() // boolean flag
+        };
+        flags.insert(key.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
+    let int = |k: &str, default: i64| -> Result<i64, String> {
+        get(k, &default.to_string())
+            .parse()
+            .map_err(|_| format!("--{k} expects an integer"))
+    };
+
+    let n = int("n", 4)? as usize;
+    let d = Time(int("d", 6000)?);
+    let u = Time(int("u", 2400)?);
+    let params = ModelParams::with_optimal_epsilon(n, d, u);
+    let type_name = get("type", "fifo-queue");
+    let spec = by_name(&type_name)
+        .ok_or_else(|| format!("unknown type {type_name:?}; try `lintime types`"))?;
+    let x = Time(int("x", 0)?);
+    let algo = match get("algo", "wtlw").as_str() {
+        "wtlw" => Algorithm::Wtlw { x },
+        "centralized" => Algorithm::Centralized,
+        "broadcast" => Algorithm::Broadcast,
+        "naive" => Algorithm::NaiveLocal(Time::ZERO),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let seed = int("seed", 42)? as u64;
+    let mix = match get("mix", "balanced").as_str() {
+        "balanced" => Mix::BALANCED,
+        "read" => Mix::READ_HEAVY,
+        "write" => Mix::WRITE_HEAVY,
+        other => return Err(format!("unknown mix {other:?}")),
+    };
+    let delay = match get("delay", "random").as_str() {
+        "random" => DelaySpec::UniformRandom { seed },
+        "max" => DelaySpec::AllMax,
+        "min" => DelaySpec::AllMin,
+        other => return Err(format!("unknown delay model {other:?}")),
+    };
+    let workload = Workload {
+        mix,
+        ops_per_process: int("ops", 6)? as usize,
+        max_gap: params.d * 2,
+        seed,
+    };
+
+    println!(
+        "simulating {} on {} with {} (n={}, d={}, u={}, ε={}, seed={seed})",
+        workload.ops_per_process * params.n,
+        type_name,
+        algo.label(),
+        params.n,
+        params.d,
+        params.u,
+        params.epsilon
+    );
+    let schedule = workload.schedule(params, spec.as_ref());
+    let cfg = SimConfig::new(params, delay).with_schedule(schedule);
+    let run = run_algorithm(algo, &spec, &cfg);
+    if !run.complete() {
+        return Err(format!("run incomplete:\n{run}"));
+    }
+
+    if flags.contains_key("timeline") {
+        print!("{}", timeline::render(&run, 100));
+    }
+    println!("\nper-operation worst/mean latency:");
+    for s in op_stats(&run, &spec) {
+        println!(
+            "  {:<14} {:<15} n={:<3} min={} mean={} max={}",
+            s.op,
+            s.class.to_string(),
+            s.count,
+            s.min,
+            s.mean,
+            s.max
+        );
+    }
+
+    let history = lintime_check::history::History::from_run(&run)
+        .map_err(|e| format!("cannot check: {e}"))?;
+    match lintime_check::wing_gong::check(&spec, &history) {
+        lintime_check::wing_gong::Verdict::Linearizable(_) => {
+            println!("\nlinearizable ✓ ({} ops, {} events)", run.ops.len(), run.events);
+            Ok(())
+        }
+        lintime_check::wing_gong::Verdict::NotLinearizable => {
+            println!("\nNOT linearizable ✗");
+            if matches!(algo, Algorithm::NaiveLocal(_)) {
+                println!("(expected: the naive algorithm is incorrect by design)");
+                Ok(())
+            } else {
+                Err("correct algorithm produced a non-linearizable run".into())
+            }
+        }
+        lintime_check::wing_gong::Verdict::Unknown => {
+            println!("\nchecker budget exceeded (verdict unknown)");
+            Ok(())
+        }
+    }
+}

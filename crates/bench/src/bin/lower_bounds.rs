@@ -1,0 +1,5 @@
+//! Run the Theorem 2-5 adversarial constructions (the executable versions of
+//! Figures 1-10) against victim sweeps and print the crossovers.
+fn main() {
+    print!("{}", lintime_bench::experiments::lower_bounds_report());
+}

@@ -1,0 +1,4 @@
+//! Extension: the bounds as functions of the cluster size n.
+fn main() {
+    print!("{}", lintime_bench::experiments::n_scaling_report());
+}

@@ -1,0 +1,4 @@
+//! Reproduce Table1 of the paper (bound columns + measured column).
+fn main() {
+    print!("{}", lintime_bench::experiments::table1_report());
+}

@@ -1,0 +1,4 @@
+//! Reproduce Table2 of the paper (bound columns + measured column).
+fn main() {
+    print!("{}", lintime_bench::experiments::table2_report());
+}

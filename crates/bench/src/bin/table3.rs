@@ -1,0 +1,4 @@
+//! Reproduce Table3 of the paper (bound columns + measured column).
+fn main() {
+    print!("{}", lintime_bench::experiments::table3_report());
+}

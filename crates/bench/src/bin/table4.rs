@@ -1,0 +1,4 @@
+//! Reproduce Table4 of the paper (bound columns + measured column).
+fn main() {
+    print!("{}", lintime_bench::experiments::table4_report());
+}

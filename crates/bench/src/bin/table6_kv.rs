@@ -1,0 +1,5 @@
+//! Extension: bounds for a key-value store derived purely from the computed
+//! operation classification.
+fn main() {
+    print!("{}", lintime_bench::experiments::table_kv_report());
+}

@@ -1,0 +1,4 @@
+//! Extension: sustained closed-loop throughput per algorithm.
+fn main() {
+    print!("{}", lintime_bench::experiments::throughput_report());
+}

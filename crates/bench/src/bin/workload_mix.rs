@@ -1,0 +1,4 @@
+//! Extension: mean latency per workload mix — how to tune X in practice.
+fn main() {
+    print!("{}", lintime_bench::experiments::workload_mix_report());
+}

@@ -1,0 +1,4 @@
+//! Sweep the tradeoff parameter X (Section 5 / Table 5 discussion).
+fn main() {
+    print!("{}", lintime_bench::experiments::x_tradeoff_report());
+}

@@ -1,0 +1,14 @@
+//! # lintime-bench
+//!
+//! The benchmark and reproduction harness: every table and figure of the
+//! paper has a generator here (see [`experiments`]) plus a binary under
+//! `src/bin` that prints it, and a Criterion bench under `benches` that
+//! measures the corresponding simulator workload. The workspace-level
+//! `examples/` and `tests/` directories are wired into this crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod timeline;
+pub mod sweep;

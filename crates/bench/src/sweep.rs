@@ -1,0 +1,79 @@
+//! Parallel parameter sweeps: run independent simulations across OS threads
+//! with crossbeam scoped threads. Simulations are single-threaded and
+//! deterministic, so sweeping the parameter axis is embarrassingly parallel.
+
+/// Map `f` over `items` in parallel, preserving order. Spawns at most
+/// `max_threads` workers (0 = number of logical CPUs).
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if max_threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        max_threads
+    };
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let items_ref = &items;
+    let f_ref = &f;
+    // Hand out disjoint &mut slots via a mutex-free index queue + unsafe-free
+    // channel collection.
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[i]);
+                tx.send((i, r)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    })
+    .expect("sweep worker panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(vec![1], 1, |_| -> i32 { panic!("boom") });
+    }
+}

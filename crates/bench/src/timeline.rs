@@ -1,0 +1,142 @@
+//! ASCII timelines of recorded runs — the textual analogue of the paper's
+//! run diagrams (Figures 1–10): one lane per process, operation intervals
+//! drawn to scale with their return values.
+
+use lintime_sim::run::Run;
+use lintime_sim::time::Time;
+use std::fmt::Write as _;
+
+/// Render the operations of a run as per-process timelines, `width`
+/// characters across.
+pub fn render(run: &Run, width: usize) -> String {
+    let width = width.max(40);
+    let mut out = String::new();
+    let (min_t, max_t) = match bounds(run) {
+        Some(b) => b,
+        None => return "  (no operations)\n".into(),
+    };
+    let span = (max_t - min_t).as_ticks().max(1);
+    let col = |t: Time| -> usize {
+        (((t - min_t).as_ticks() as i128 * (width as i128 - 1)) / span as i128) as usize
+    };
+
+    for pid in 0..run.params.n {
+        let mut lane: Vec<char> = vec![' '; width];
+        let mut labels: Vec<(usize, String)> = Vec::new();
+        for op in run.ops.iter().filter(|o| o.pid.0 == pid) {
+            let a = col(op.t_invoke);
+            let b = op.t_respond.map_or(width - 1, col).max(a + 1).min(width - 1);
+            lane[a] = '[';
+            lane[b] = if op.t_respond.is_some() { ']' } else { '…' };
+            for c in lane.iter_mut().take(b).skip(a + 1) {
+                *c = '=';
+            }
+            let label = match &op.ret {
+                Some(ret) if !ret.is_unit() => format!("{:?}→{:?}", op.invocation, ret),
+                _ => format!("{:?}", op.invocation),
+            };
+            labels.push((a, label));
+        }
+        let lane_str: String = lane.into_iter().collect();
+        writeln!(out, "  p{pid} |{lane_str}|").unwrap();
+        // Label line(s) under the lane.
+        let mut label_line: Vec<char> = vec![' '; width];
+        let mut spill: Vec<String> = Vec::new();
+        for (a, label) in labels {
+            if a + label.len() < width
+                && label_line[a..a + label.len() + 1].iter().all(|c| *c == ' ')
+            {
+                for (k, ch) in label.chars().enumerate() {
+                    label_line[a + k] = ch;
+                }
+            } else {
+                spill.push(format!("p{pid}@{a}: {label}"));
+            }
+        }
+        let label_str: String = label_line.into_iter().collect();
+        if label_str.trim().is_empty() {
+            out.truncate(out.len()); // nothing to add
+        } else {
+            writeln!(out, "      {label_str}").unwrap();
+        }
+        for s in spill {
+            writeln!(out, "      ({s})").unwrap();
+        }
+    }
+    writeln!(out, "  time: {} .. {} (ticks)", min_t, max_t).unwrap();
+    out
+}
+
+fn bounds(run: &Run) -> Option<(Time, Time)> {
+    let mut min_t: Option<Time> = None;
+    let mut max_t: Option<Time> = None;
+    for op in &run.ops {
+        min_t = Some(min_t.map_or(op.t_invoke, |m| m.min(op.t_invoke)));
+        let end = op.t_respond.unwrap_or(op.t_invoke);
+        max_t = Some(max_t.map_or(end, |m| m.max(end)));
+    }
+    Some((min_t?, max_t?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::Invocation;
+    use lintime_adt::value::Value;
+    use lintime_sim::run::OpRecord;
+    use lintime_sim::time::{ModelParams, Pid};
+
+    fn tiny_run() -> Run {
+        Run {
+            params: ModelParams::default_experiment(),
+            offsets: vec![Time(0); 4],
+            ops: vec![
+                OpRecord {
+                    pid: Pid(0),
+                    invocation: Invocation::new("write", 1),
+                    ret: Some(Value::Unit),
+                    t_invoke: Time(0),
+                    t_respond: Some(Time(1800)),
+                },
+                OpRecord {
+                    pid: Pid(1),
+                    invocation: Invocation::nullary("read"),
+                    ret: Some(Value::Int(1)),
+                    t_invoke: Time(2000),
+                    t_respond: Some(Time(8000)),
+                },
+            ],
+            msgs: vec![],
+            views: vec![],
+            last_time: Time(8000),
+            events: 0,
+            errors: vec![],
+            delay_violations: 0,
+        }
+    }
+
+    #[test]
+    fn renders_lanes_for_all_processes() {
+        let s = render(&tiny_run(), 80);
+        assert_eq!(s.lines().filter(|l| l.trim_start().starts_with('p')).count(), 4);
+        assert!(s.contains("read"));
+        assert!(s.contains("→1"));
+        assert!(s.contains("time: 0 .. 8000"));
+    }
+
+    #[test]
+    fn empty_run_is_handled() {
+        let mut r = tiny_run();
+        r.ops.clear();
+        assert!(render(&r, 80).contains("no operations"));
+    }
+
+    #[test]
+    fn pending_ops_get_ellipsis() {
+        let mut r = tiny_run();
+        r.ops[1].t_respond = None;
+        r.ops[1].ret = None;
+        let s = render(&r, 80);
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,163 @@
+//! Automatic crossover location: binary-search the victim-speed axis of each
+//! adversarial construction for the exact tick at which violations stop.
+//!
+//! The theorems predict a sharp threshold — any algorithm strictly faster
+//! than the bound is defeated; the bound itself is achievable. Because the
+//! simulator is exact, the measured threshold should equal the formula *to
+//! the tick*, which is a far stronger reproduction statement than a few
+//! sweep points. `find_crossover` assumes monotonicity (faster victims stay
+//! defeated), which it verifies at the endpoints.
+
+use crate::adversary::Outcome;
+use lintime_sim::time::Time;
+
+/// Result of a crossover search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Crossover {
+    /// The smallest probed speed at which NO violation was found.
+    pub first_safe: Time,
+    /// Number of attack executions performed.
+    pub probes: u32,
+}
+
+/// Binary-search `[lo, hi]` for the smallest victim speed whose attack finds
+/// no violation. `attack(speed)` runs the construction and reports whether a
+/// violation was exhibited.
+///
+/// Preconditions (checked): `attack(lo)` violates, `attack(hi)` does not.
+pub fn find_crossover(
+    lo: Time,
+    hi: Time,
+    mut attack: impl FnMut(Time) -> Outcome,
+) -> Result<Crossover, String> {
+    let mut probes = 0u32;
+    let mut run = |t: Time, probes: &mut u32| -> bool {
+        *probes += 1;
+        attack(t).violated()
+    };
+    if !run(lo, &mut probes) {
+        return Err(format!("no violation at the fast end {lo}; nothing to search"));
+    }
+    if run(hi, &mut probes) {
+        return Err(format!("still violating at the slow end {hi}; widen the range"));
+    }
+    let (mut lo, mut hi) = (lo, hi); // invariant: lo violates, hi does not
+    while hi - lo > Time(1) {
+        let mid = Time((lo.as_ticks() + hi.as_ticks()) / 2);
+        if run(mid, &mut probes) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Crossover { first_safe: hi, probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{thm2_attack, thm3_attack, thm4_attack, thm5_attack};
+    use crate::formulas;
+    use lintime_adt::prelude::*;
+    use lintime_core::cluster::Algorithm;
+    use lintime_core::wtlw::Waits;
+    use lintime_sim::time::ModelParams;
+
+    fn p() -> ModelParams {
+        ModelParams::default_experiment()
+    }
+
+    #[test]
+    fn thm2_crossover_is_exactly_u_over_4() {
+        let p = p();
+        let spec = erase(FifoQueue::new());
+        let x = p.d - p.epsilon;
+        let cross = find_crossover(Time(50), p.u / 2, |aop| {
+            let mut w = Waits::standard(p, x);
+            w.aop_respond = aop;
+            thm2_attack(
+                p,
+                &spec,
+                Invocation::new("enqueue", 7),
+                Invocation::nullary("peek"),
+                aop,
+                w.mop_respond,
+                Algorithm::WtlwWaits(w),
+            )
+            .outcome
+        })
+        .unwrap();
+        assert_eq!(cross.first_safe, formulas::thm2_pure_accessor_lb(p));
+    }
+
+    #[test]
+    fn thm3_crossover_is_exactly_one_minus_one_over_n_u() {
+        let p = p();
+        let spec = erase(Register::new(0));
+        let args: Vec<Value> = (0..p.n as i64).map(|i| Value::Int(100 + i)).collect();
+        let cross = find_crossover(Time(600), p.u, |mop| {
+            let mut w = Waits::standard(p, Time::ZERO);
+            w.mop_respond = mop;
+            thm3_attack(
+                p,
+                &spec,
+                "write",
+                &args,
+                &[Invocation::nullary("read")],
+                Algorithm::WtlwWaits(w),
+            )
+            .outcome
+        })
+        .unwrap();
+        assert_eq!(cross.first_safe, formulas::thm3_last_sensitive_lb(p, p.n));
+    }
+
+    #[test]
+    fn thm4_crossover_is_exactly_d_plus_m() {
+        let p = p();
+        let spec = erase(RmwRegister::new(0));
+        let cross = find_crossover(p.d, p.d + p.m() * 2, |total| {
+            let mut w = Waits::standard(p, Time::ZERO);
+            w.execute = total - w.add;
+            thm4_attack(
+                p,
+                &spec,
+                Invocation::new("rmw", 1),
+                Invocation::new("rmw", 1),
+                Algorithm::WtlwWaits(w),
+            )
+            .outcome
+        })
+        .unwrap();
+        assert_eq!(cross.first_safe, formulas::thm4_pair_free_lb(p));
+    }
+
+    #[test]
+    fn thm5_crossover_is_exactly_d_plus_m() {
+        let p = p();
+        let spec = erase(FifoQueue::new());
+        let cross = find_crossover(p.d - p.m(), p.d + p.m() * 2, |sum| {
+            let mut w = Waits::standard(p, Time::ZERO);
+            w.aop_respond = sum - w.mop_respond;
+            thm5_attack(
+                p,
+                &spec,
+                "enqueue",
+                Value::Int(1),
+                Value::Int(2),
+                Invocation::nullary("peek"),
+                Algorithm::WtlwWaits(w),
+            )
+            .outcome
+        })
+        .unwrap();
+        assert_eq!(cross.first_safe, formulas::thm5_sum_lb(p));
+    }
+
+    #[test]
+    fn rejects_ranges_without_a_threshold() {
+        // Constant outcomes at both ends are reported, not mis-searched.
+        assert!(find_crossover(Time(0), Time(10), |_| Outcome::NoViolation).is_err());
+        assert!(find_crossover(Time(0), Time(10), |_| Outcome::ViolationInBase).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! The bound formulas of the paper, as executable functions of the model
+//! parameters. Sources:
+//!
+//! * Theorem 2 — pure accessors: `u/4`;
+//! * Theorem 3 — last-sensitive transposable mutators: `(1 − 1/k)u`;
+//! * Theorems 4, 5 — pair-free operations and (transposable + discriminating
+//!   accessor) sums: `d + min{ε, u, d/3}`;
+//! * Lemma 4 (upper bounds, Algorithm 1): `d − X`, `X + ε`, `d + ε`;
+//! * previous bounds cited in Tables 1–4: `u/2` \[3, 8, 13\], `u/4` \[8\],
+//!   `d` \[3, 13\], folklore `2d` upper bound.
+
+use lintime_adt::spec::OpClass;
+use lintime_sim::time::{ModelParams, Time};
+
+/// Theorem 2: every pure accessor takes at least `u/4` (requires `n ≥ 3`).
+pub fn thm2_pure_accessor_lb(p: ModelParams) -> Time {
+    p.u / 4
+}
+
+/// Theorem 3: every last-sensitive operation with `k` certified distinct
+/// instances takes at least `(1 − 1/k)u` (requires `n ≥ k`). With `k = 0`
+/// or `k = 1` the bound degenerates to zero.
+pub fn thm3_last_sensitive_lb(p: ModelParams, k: usize) -> Time {
+    if k < 2 {
+        return Time::ZERO;
+    }
+    let k = k as i64;
+    Time(p.u.as_ticks() - p.u.as_ticks() / k)
+}
+
+/// `m = min{ε, u, d/3}` — the slack of Theorems 4 and 5.
+pub fn m(p: ModelParams) -> Time {
+    p.m()
+}
+
+/// Theorem 4: every pair-free operation takes at least `d + m`.
+pub fn thm4_pair_free_lb(p: ModelParams) -> Time {
+    p.d + m(p)
+}
+
+/// Theorem 5: for a transposable `OP` and a discriminating pure accessor
+/// `AOP`, `|OP| + |AOP| ≥ d + m`.
+pub fn thm5_sum_lb(p: ModelParams) -> Time {
+    p.d + m(p)
+}
+
+/// Lemma 4: Algorithm 1's worst-case time for an operation class, given the
+/// tradeoff parameter `x`.
+pub fn alg1_ub(p: ModelParams, x: Time, class: OpClass) -> Time {
+    match class {
+        OpClass::PureAccessor => p.d - x,
+        OpClass::PureMutator => x + p.epsilon,
+        OpClass::Mixed => p.d + p.epsilon,
+    }
+}
+
+/// The folklore upper bound (both baselines): `2d` per operation.
+pub fn folklore_ub(p: ModelParams) -> Time {
+    p.d * 2
+}
+
+/// Previously known bounds cited in the tables.
+pub mod previous {
+    use super::*;
+
+    /// `u/2` for writes \[8\] and push/enqueue \[3\] and tree insert/delete \[13\].
+    pub fn half_u(p: ModelParams) -> Time {
+        p.u / 2
+    }
+
+    /// `u/4` for reads \[8\].
+    pub fn quarter_u(p: ModelParams) -> Time {
+        p.u / 4
+    }
+
+    /// `d` for RMW \[13\], dequeue/pop \[3\], and various operation sums \[13, 15\].
+    pub fn d(p: ModelParams) -> Time {
+        p.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::default_experiment() // d=6000, u=2400, ε=1800, n=4
+    }
+
+    #[test]
+    fn formulas_at_default_params() {
+        assert_eq!(thm2_pure_accessor_lb(p()), Time(600));
+        assert_eq!(thm3_last_sensitive_lb(p(), 4), Time(1800));
+        assert_eq!(thm3_last_sensitive_lb(p(), 2), Time(1200));
+        assert_eq!(m(p()), Time(1800)); // min{1800, 2400, 2000}
+        assert_eq!(thm4_pair_free_lb(p()), Time(7800));
+        assert_eq!(thm5_sum_lb(p()), Time(7800));
+        assert_eq!(folklore_ub(p()), Time(12_000));
+    }
+
+    #[test]
+    fn thm3_degenerate_k() {
+        assert_eq!(thm3_last_sensitive_lb(p(), 0), Time::ZERO);
+        assert_eq!(thm3_last_sensitive_lb(p(), 1), Time::ZERO);
+    }
+
+    #[test]
+    fn thm3_improves_on_previous_u_over_2() {
+        // (1 − 1/k)u ≥ u/2 for k ≥ 2, strictly for k ≥ 3: the improvement
+        // claimed in the introduction.
+        for k in 2..10 {
+            let new = thm3_last_sensitive_lb(p(), k);
+            let old = previous::half_u(p());
+            assert!(new >= old);
+            if k >= 3 {
+                assert!(new > old);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounds_meet_lower_bounds_where_the_paper_says() {
+        let p = p();
+        // Pure mutators: UB at X = 0 is ε = (1 − 1/n)u which equals the
+        // Theorem 3 LB with k = n — the tightness claim of Section 6.1.
+        assert_eq!(
+            alg1_ub(p, Time::ZERO, OpClass::PureMutator),
+            thm3_last_sensitive_lb(p, p.n)
+        );
+        // Mixed ops: UB d + ε is tight against d + m when ε ≤ min{u, d/3}.
+        assert_eq!(alg1_ub(p, Time::ZERO, OpClass::Mixed), thm4_pair_free_lb(p));
+    }
+
+    #[test]
+    fn ub_trades_off_with_x() {
+        let p = p();
+        let x_max = p.d - p.epsilon;
+        assert_eq!(alg1_ub(p, x_max, OpClass::PureAccessor), p.epsilon);
+        assert_eq!(alg1_ub(p, x_max, OpClass::PureMutator), p.d);
+        // The sum AOP + MOP is constant: d + ε.
+        for x in [Time::ZERO, Time(1200), x_max] {
+            assert_eq!(
+                alg1_ub(p, x, OpClass::PureAccessor) + alg1_ub(p, x, OpClass::PureMutator),
+                p.d + p.epsilon
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The adversarial constructions across model parameters: the theorems are
+//! parameterized by (n, d, u, ε) and (for Theorem 3) by k ≤ n; the attacks
+//! must track the formulas at settings other than the defaults.
+
+use lintime_adt::prelude::*;
+use lintime_bounds::prelude::*;
+use lintime_core::prelude::*;
+use lintime_sim::prelude::*;
+
+#[test]
+fn thm3_bound_scales_with_k_not_just_n() {
+    // On an n = 4 cluster, attack with only k = 2 and k = 3 instances: the
+    // crossover must sit at (1 − 1/k)u, not (1 − 1/n)u.
+    let p = ModelParams::default_experiment(); // u = 2400
+    let spec = erase(Register::new(0));
+    for k in [2usize, 3, 4] {
+        // Exactness needs u % 2k == 0: 2400 % {4, 6, 8} = 0.
+        let bound = formulas::thm3_last_sensitive_lb(p, k);
+        let args: Vec<Value> = (0..k as i64).map(|i| Value::Int(50 + i)).collect();
+        for (mop, expect) in [(bound - Time(100), true), (bound, false)] {
+            let mut w = Waits::standard(p, Time::ZERO);
+            w.mop_respond = mop;
+            let r = thm3_attack(
+                p,
+                &spec,
+                "write",
+                &args,
+                &[Invocation::nullary("read")],
+                Algorithm::WtlwWaits(w),
+            );
+            assert_eq!(
+                r.outcome.violated(),
+                expect,
+                "k = {k}, |write| = {mop} vs bound {bound}: {:?}",
+                r.outcome
+            );
+        }
+    }
+}
+
+#[test]
+fn thm4_crossover_tracks_m_at_other_params() {
+    // Pick parameters where m = d/3 (not ε): d = 3600, u = 3600,
+    // ε = (1 − 1/3)u = 2400, so m = min{2400, 3600, 1200} = 1200 and the
+    // bound is 4800 — well below d + ε.
+    let p = ModelParams::with_optimal_epsilon(3, Time(3600), Time(3600));
+    assert_eq!(p.m(), Time(1200));
+    let bound = formulas::thm4_pair_free_lb(p);
+    assert_eq!(bound, Time(4800));
+    let spec = erase(RmwRegister::new(0));
+    for (total, expect) in [(bound - Time(100), true), (bound, false)] {
+        let mut w = Waits::standard(p, Time::ZERO);
+        w.execute = total - w.add;
+        let r = thm4_attack(
+            p,
+            &spec,
+            Invocation::new("rmw", 1),
+            Invocation::new("rmw", 1),
+            Algorithm::WtlwWaits(w),
+        );
+        assert_eq!(r.outcome.violated(), expect, "|rmw| = {total}: {:?}", r.outcome);
+    }
+}
+
+#[test]
+fn thm2_works_at_n_3_and_n_6() {
+    for n in [3usize, 6] {
+        let u = Time(2400);
+        let p = ModelParams::with_optimal_epsilon(n, Time(6000), u);
+        let q = formulas::thm2_pure_accessor_lb(p);
+        let spec = erase(FifoQueue::new());
+        let x = p.d - p.epsilon;
+        let mut w = Waits::standard(p, x);
+        w.aop_respond = q - Time(100);
+        let r = thm2_attack(
+            p,
+            &spec,
+            Invocation::new("enqueue", 7),
+            Invocation::nullary("peek"),
+            w.aop_respond,
+            w.mop_respond,
+            Algorithm::WtlwWaits(w),
+        );
+        assert!(r.outcome.violated(), "n = {n}: {:?}", r.outcome);
+        // Control at each n.
+        let r = thm2_attack(
+            p,
+            &spec,
+            Invocation::new("enqueue", 7),
+            Invocation::nullary("peek"),
+            p.d - x,
+            x + p.epsilon,
+            Algorithm::Wtlw { x },
+        );
+        assert!(!r.outcome.violated(), "n = {n} control: {:?}", r.outcome);
+    }
+}
+
+#[test]
+fn thm5_crossover_at_smaller_epsilon() {
+    // ε smaller than optimal: m = ε and the bound d + ε sits strictly below
+    // the default; the attack must still find it.
+    let p = ModelParams::new(4, Time(6000), Time(2400), Time(900));
+    let bound = formulas::thm5_sum_lb(p);
+    assert_eq!(bound, Time(6900));
+    let spec = erase(FifoQueue::new());
+    for (sum, expect) in [(bound - Time(100), true), (bound, false)] {
+        let mut w = Waits::standard(p, Time::ZERO);
+        w.aop_respond = sum - w.mop_respond;
+        let r = thm5_attack(
+            p,
+            &spec,
+            "enqueue",
+            Value::Int(1),
+            Value::Int(2),
+            Invocation::nullary("peek"),
+            Algorithm::WtlwWaits(w),
+        );
+        assert_eq!(r.outcome.violated(), expect, "sum = {sum}: {:?}", r.outcome);
+    }
+}

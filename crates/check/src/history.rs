@@ -1,0 +1,140 @@
+//! Concurrent histories: operation instances with real-time intervals,
+//! extracted from recorded runs.
+
+use lintime_adt::spec::OpInstance;
+use lintime_sim::run::Run;
+use lintime_sim::time::{Pid, Time};
+
+/// One completed operation in a concurrent history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedOp {
+    /// Invoking process.
+    pub pid: Pid,
+    /// The completed instance.
+    pub instance: OpInstance,
+    /// Real invocation time.
+    pub t_invoke: Time,
+    /// Real response time.
+    pub t_respond: Time,
+}
+
+impl TimedOp {
+    /// True iff this operation responded strictly before `other` was invoked
+    /// (the real-time precedence that linearizations must respect).
+    pub fn precedes(&self, other: &TimedOp) -> bool {
+        self.t_respond < other.t_invoke
+    }
+}
+
+/// A concurrent history: a set of completed operations with intervals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct History {
+    /// The operations, in no particular order.
+    pub ops: Vec<TimedOp>,
+}
+
+impl History {
+    /// Extract a history from a run. Fails if any operation is missing its
+    /// response (linearizability is defined over complete runs; see
+    /// Section 2.3).
+    pub fn from_run(run: &Run) -> Result<History, String> {
+        if !run.complete() {
+            let pending = run.ops.iter().filter(|o| o.ret.is_none()).count();
+            return Err(format!("run is not complete: {pending} pending operations"));
+        }
+        Ok(Self::from_run_lossy(run))
+    }
+
+    /// Extract a history from a run, silently dropping pending operations.
+    /// Sound for *refuting* linearizability only if the dropped operations
+    /// could not have helped; prefer [`History::from_run`].
+    pub fn from_run_lossy(run: &Run) -> History {
+        History {
+            ops: run
+                .ops
+                .iter()
+                .filter_map(|op| {
+                    Some(TimedOp {
+                        pid: op.pid,
+                        instance: op.instance()?,
+                        t_invoke: op.t_invoke,
+                        t_respond: op.t_respond?,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Build a history from explicit tuples (for tests):
+    /// `(pid, instance, t_invoke, t_respond)`.
+    pub fn from_tuples(items: Vec<(usize, OpInstance, i64, i64)>) -> History {
+        History {
+            ops: items
+                .into_iter()
+                .map(|(pid, instance, ti, tr)| TimedOp {
+                    pid: Pid(pid),
+                    instance,
+                    t_invoke: Time(ti),
+                    t_respond: Time(tr),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The precedence matrix: `prec[i]` lists the indices that must come
+    /// before op `i` in any linearization.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let n = self.ops.len();
+        let mut prec = vec![Vec::new(); n];
+        for (i, slot) in prec.iter_mut().enumerate() {
+            for j in 0..n {
+                if i != j && self.ops[j].precedes(&self.ops[i]) {
+                    slot.push(j);
+                }
+            }
+        }
+        prec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::OpInstance;
+
+    fn inst(op: &'static str, arg: i64, ret: i64) -> OpInstance {
+        OpInstance::new(op, arg, ret)
+    }
+
+    #[test]
+    fn precedence_is_strict_response_before_invoke() {
+        let h = History::from_tuples(vec![
+            (0, inst("a", 0, 0), 0, 10),
+            (1, inst("b", 0, 0), 10, 20), // touches at 10: NOT preceded
+            (2, inst("c", 0, 0), 11, 30),
+        ]);
+        assert!(!h.ops[0].precedes(&h.ops[1]));
+        assert!(h.ops[0].precedes(&h.ops[2]));
+        let prec = h.predecessors();
+        assert_eq!(prec[2], vec![0]);
+        assert!(prec[1].is_empty());
+    }
+
+    #[test]
+    fn from_tuples_roundtrip() {
+        let h = History::from_tuples(vec![(3, inst("x", 1, 2), 5, 9)]);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.ops[0].pid, Pid(3));
+        assert_eq!(h.ops[0].t_invoke, Time(5));
+    }
+}

@@ -1,0 +1,33 @@
+//! # lintime-check
+//!
+//! Linearizability checking for recorded runs, implementing the correctness
+//! condition of Section 2.3 of Wang, Talmage, Lee, Welch (IPPS 2014): a run
+//! is correct when there is a permutation of its operation instances that is
+//! legal for the sequential specification and respects the real-time order
+//! of non-overlapping operations.
+//!
+//! * [`history`] — concurrent histories extracted from runs;
+//! * [`wing_gong`] — the decision procedure (Wing–Gong search with Lowe's
+//!   state memoization);
+//! * [`bitset`] — the done-set representation used by the search;
+//! * [`compositional`] — per-object checking for multi-object (product)
+//!   histories, exploiting the locality of linearizability.
+//!
+//! The paper's Construction 1 (the *specific* linearization Algorithm 1
+//! induces) is verified separately in `lintime-core::construction`, since it
+//! inspects algorithm-internal timestamps.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod compositional;
+pub mod history;
+pub mod wing_gong;
+
+/// Convenient re-exports of the most-used items.
+pub mod prelude {
+    pub use crate::compositional::{check_components, ComponentVerdicts};
+    pub use crate::history::{History, TimedOp};
+    pub use crate::wing_gong::{check, check_with, CheckConfig, Verdict};
+}

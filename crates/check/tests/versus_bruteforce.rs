@@ -1,0 +1,115 @@
+//! Cross-validation: the Wing–Gong search must agree with a brute-force
+//! enumeration of all permutations on small histories, for random histories
+//! both legal-ish and corrupted.
+
+use lintime_adt::prelude::*;
+use lintime_check::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Brute force: try every permutation of the ops; linearizable iff some
+/// permutation is legal and respects real-time precedence.
+fn brute_force(spec: &Arc<dyn ObjectSpec>, h: &History) -> bool {
+    let n = h.ops.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    permute(&mut idx, 0, &mut |perm| {
+        // Real-time order.
+        for (a, &i) in perm.iter().enumerate() {
+            for &j in perm.iter().skip(a + 1) {
+                if h.ops[j].precedes(&h.ops[i]) {
+                    return false;
+                }
+            }
+        }
+        // Legality.
+        let seq: Vec<OpInstance> = perm.iter().map(|&i| h.ops[i].instance.clone()).collect();
+        spec.is_legal(&seq)
+    })
+}
+
+fn permute(idx: &mut Vec<usize>, k: usize, found: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == idx.len() {
+        return found(idx);
+    }
+    for i in k..idx.len() {
+        idx.swap(k, i);
+        if permute(idx, k + 1, found) {
+            idx.swap(k, i);
+            return true;
+        }
+        idx.swap(k, i);
+    }
+    false
+}
+
+/// Generate a small queue history: random instances with random intervals,
+/// values drawn from a tiny domain so collisions (and illegal histories) are
+/// common.
+fn arb_history() -> impl Strategy<Value = History> {
+    proptest::collection::vec(
+        (
+            0usize..3,               // pid
+            0usize..3,               // op selector
+            0i64..3,                 // arg/ret value
+            0i64..40,                // invoke time
+            1i64..40,                // duration
+        ),
+        1..6,
+    )
+    .prop_map(|items| {
+        let mut tuples = Vec::new();
+        for (pid, op_sel, v, ti, dur) in items {
+            let instance = match op_sel {
+                0 => OpInstance::new("enqueue", v, ()),
+                1 => OpInstance::new("dequeue", (), if v == 0 { Value::Unit } else { Value::Int(v) }),
+                _ => OpInstance::new("peek", (), if v == 0 { Value::Unit } else { Value::Int(v) }),
+            };
+            tuples.push((pid, instance, ti, ti + dur));
+        }
+        History::from_tuples(tuples)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
+
+    #[test]
+    fn checker_agrees_with_brute_force(h in arb_history()) {
+        let spec = erase(FifoQueue::new());
+        let fast = check(&spec, &h).is_linearizable();
+        let slow = brute_force(&spec, &h);
+        prop_assert_eq!(fast, slow, "history: {:?}", h);
+    }
+}
+
+#[test]
+fn hand_picked_disagreement_candidates() {
+    // Histories engineered to stress the memoization and precedence logic.
+    let spec = erase(FifoQueue::new());
+    let cases = vec![
+        // Same-instance twins, overlapping.
+        History::from_tuples(vec![
+            (0, OpInstance::new("enqueue", 1, ()), 0, 10),
+            (1, OpInstance::new("enqueue", 1, ()), 5, 15),
+            (2, OpInstance::new("dequeue", (), 1), 20, 30),
+            (3, OpInstance::new("dequeue", (), 1), 40, 50),
+        ]),
+        // Dequeue of a value whose enqueue starts after it ends (illegal).
+        History::from_tuples(vec![
+            (0, OpInstance::new("dequeue", (), 7), 0, 10),
+            (1, OpInstance::new("enqueue", 7, ()), 20, 30),
+        ]),
+        // Empty-dequeue racing an enqueue (legal: order dequeue first).
+        History::from_tuples(vec![
+            (0, OpInstance::new("dequeue", (), ()), 0, 30),
+            (1, OpInstance::new("enqueue", 7, ()), 10, 20),
+        ]),
+    ];
+    for h in cases {
+        assert_eq!(
+            check(&spec, &h).is_linearizable(),
+            brute_force(&spec, &h),
+            "{h:?}"
+        );
+    }
+}

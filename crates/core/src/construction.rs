@@ -1,0 +1,275 @@
+//! Construction 1 of the paper: the explicit linearization induced by
+//! Algorithm 1, verified structurally.
+//!
+//! The linearizability proof (Section 5.2) does not search for a witness —
+//! it *constructs* one:
+//!
+//! 1. all mutators, in increasing timestamp order;
+//! 2. each pure accessor inserted immediately after the last mutator its
+//!    invoking process had executed locally when the accessor returned;
+//! 3. runs of adjacent pure accessors sorted by timestamp.
+//!
+//! [`construct`] builds exactly that permutation from the execution logs the
+//! [`WtlwNode`]s keep, and [`verify`] checks the two linearization conditions
+//! (legality; real-time order of non-overlapping operations) plus the
+//! supporting lemmas (all replicas executed the same mutator sequence, in
+//! increasing timestamp order — Lemma 5).
+
+use crate::timestamp::Timestamp;
+use crate::wtlw::WtlwNode;
+use lintime_adt::spec::{ObjectSpec, OpInstance};
+use lintime_sim::run::Run;
+use lintime_sim::time::Time;
+use std::sync::Arc;
+
+/// One element of the constructed permutation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placed {
+    /// The operation instance.
+    pub instance: OpInstance,
+    /// Its timestamp (backdated for accessors).
+    pub ts: Timestamp,
+    /// Whether this entry is a pure accessor.
+    pub is_accessor: bool,
+}
+
+/// Build the Construction-1 permutation from node execution logs.
+///
+/// Fails if the replicas executed different mutator sequences (which would
+/// falsify Lemma 5 / History Oblivion).
+pub fn construct(nodes: &[WtlwNode]) -> Result<Vec<Placed>, String> {
+    let reference = &nodes[0].mutator_log;
+    for (i, node) in nodes.iter().enumerate().skip(1) {
+        if node.mutator_log.len() != reference.len() {
+            return Err(format!(
+                "replica p{} executed {} mutators, p0 executed {}",
+                i,
+                node.mutator_log.len(),
+                reference.len()
+            ));
+        }
+        for (k, (a, b)) in reference.iter().zip(&node.mutator_log).enumerate() {
+            if a != b {
+                return Err(format!(
+                    "replica p{i} diverges from p0 at mutator #{k}: {:?} vs {:?}",
+                    b, a
+                ));
+            }
+        }
+    }
+    // Lemma 5: mutators executed in increasing timestamp order.
+    for w in reference.windows(2) {
+        if w[0].ts >= w[1].ts {
+            return Err(format!(
+                "mutators executed out of timestamp order: {:?} then {:?}",
+                w[0].ts, w[1].ts
+            ));
+        }
+    }
+
+    // Bucket accessors by insertion position (index into the mutator
+    // sequence after which they go), then sort each bucket by timestamp.
+    let mut buckets: Vec<Vec<Placed>> = vec![Vec::new(); reference.len() + 1];
+    for node in nodes {
+        for acc in &node.accessor_log {
+            buckets[acc.after].push(Placed {
+                instance: acc.instance.clone(),
+                ts: acc.ts,
+                is_accessor: true,
+            });
+        }
+    }
+    for bucket in &mut buckets {
+        bucket.sort_by_key(|p| p.ts);
+    }
+
+    let mut pi = Vec::new();
+    pi.extend(buckets[0].iter().cloned());
+    for (k, m) in reference.iter().enumerate() {
+        pi.push(Placed { instance: m.instance.clone(), ts: m.ts, is_accessor: false });
+        pi.extend(buckets[k + 1].iter().cloned());
+    }
+    Ok(pi)
+}
+
+/// Verify that the constructed permutation linearizes the run:
+///
+/// * it contains exactly the run's completed instances;
+/// * it is legal for `spec`;
+/// * it respects the real-time order of non-overlapping operations.
+pub fn verify(
+    run: &Run,
+    nodes: &[WtlwNode],
+    spec: &Arc<dyn ObjectSpec>,
+) -> Result<Vec<Placed>, String> {
+    let pi = construct(nodes)?;
+
+    // Same multiset of instances as the run.
+    let mut from_run: Vec<OpInstance> =
+        run.ops.iter().filter_map(|o| o.instance()).collect();
+    let mut from_pi: Vec<OpInstance> = pi.iter().map(|p| p.instance.clone()).collect();
+    let key = |i: &OpInstance| format!("{i:?}");
+    from_run.sort_by_key(key);
+    from_pi.sort_by_key(key);
+    if from_run != from_pi {
+        return Err(format!(
+            "permutation instances differ from run instances:\n  run: {from_run:?}\n  pi:  {from_pi:?}"
+        ));
+    }
+
+    // Legality (Lemma 7).
+    let seq: Vec<OpInstance> = pi.iter().map(|p| p.instance.clone()).collect();
+    if let Some(idx) = spec.first_illegal(&seq) {
+        return Err(format!("constructed permutation illegal at position {idx}: {:?}", seq[idx]));
+    }
+
+    // Real-time order (Lemma 6). Match π entries to run records through
+    // intervals: for each pair i < j in π, op_j must NOT respond before op_i
+    // is invoked. Instances may repeat, so match greedily by earliest
+    // interval per identical instance, per position.
+    let intervals = match_intervals(run, &pi)?;
+    for i in 0..intervals.len() {
+        for j in (i + 1)..intervals.len() {
+            let (_, resp_j) = intervals[j];
+            let (inv_i, _) = intervals[i];
+            if resp_j < inv_i {
+                return Err(format!(
+                    "real-time order violated: π[{j}] ({:?}) responded at {:?} before π[{i}] ({:?}) invoked at {:?}",
+                    pi[j].instance, resp_j, pi[i].instance, inv_i
+                ));
+            }
+        }
+    }
+    Ok(pi)
+}
+
+/// Match each π entry to a run record, returning `(t_invoke, t_respond)` per
+/// entry. Identical instances are matched in invocation-time order, which is
+/// the most permissive assignment for the subsequent real-time check among
+/// equal candidates.
+fn match_intervals(run: &Run, pi: &[Placed]) -> Result<Vec<(Time, Time)>, String> {
+    let mut used = vec![false; run.ops.len()];
+    let mut out = Vec::with_capacity(pi.len());
+    for p in pi {
+        let mut best: Option<(usize, Time, Time)> = None;
+        for (k, op) in run.ops.iter().enumerate() {
+            if used[k] {
+                continue;
+            }
+            let Some(inst) = op.instance() else { continue };
+            if inst != p.instance {
+                continue;
+            }
+            let t_resp = op.t_respond.expect("completed");
+            if best.is_none_or(|(_, bi, _)| op.t_invoke < bi) {
+                best = Some((k, op.t_invoke, t_resp));
+            }
+        }
+        let (k, ti, tr) =
+            best.ok_or_else(|| format!("no unmatched run record for {:?}", p.instance))?;
+        used[k] = true;
+        out.push((ti, tr));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wtlw::WtlwNode;
+    use lintime_adt::spec::{erase, Invocation};
+    use lintime_adt::types::{FifoQueue, Register, RmwRegister};
+    use lintime_sim::delay::DelaySpec;
+    use lintime_sim::engine::{simulate_full, SimConfig};
+    use lintime_sim::schedule::Schedule;
+    use lintime_sim::time::{ModelParams, Pid, Time};
+
+    fn run_and_verify(
+        spec: Arc<dyn ObjectSpec>,
+        x: Time,
+        delay: DelaySpec,
+        schedule: Schedule,
+    ) -> Result<Vec<Placed>, String> {
+        let p = ModelParams::default_experiment();
+        let cfg = SimConfig::new(p, delay).with_schedule(schedule);
+        let (run, nodes) =
+            simulate_full(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x));
+        assert!(run.complete(), "{run}");
+        verify(&run, &nodes, &spec)
+    }
+
+    #[test]
+    fn register_workload_verifies() {
+        let pi = run_and_verify(
+            erase(Register::new(0)),
+            Time(1200),
+            DelaySpec::AllMax,
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("write", 1))
+                .at(Pid(1), Time(5), Invocation::new("write", 2))
+                .at(Pid(2), Time(10_000), Invocation::nullary("read"))
+                .at(Pid(3), Time(10_000), Invocation::nullary("read")),
+        )
+        .expect("construction must verify");
+        assert_eq!(pi.len(), 4);
+        // Mutators appear in timestamp order within π.
+        let mut last_mut_ts = None;
+        for p in &pi {
+            if !p.is_accessor {
+                assert!(last_mut_ts.is_none_or(|t| t < p.ts));
+                last_mut_ts = Some(p.ts);
+            }
+        }
+    }
+
+    #[test]
+    fn queue_with_mixed_ops_verifies() {
+        run_and_verify(
+            erase(FifoQueue::new()),
+            Time(600),
+            DelaySpec::UniformRandom { seed: 21 },
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("enqueue", 1))
+                .at(Pid(1), Time(0), Invocation::new("enqueue", 2))
+                .at(Pid(2), Time(100), Invocation::nullary("dequeue"))
+                .at(Pid(3), Time(200), Invocation::nullary("peek"))
+                .at(Pid(0), Time(30_000), Invocation::nullary("dequeue")),
+        )
+        .expect("construction must verify");
+    }
+
+    #[test]
+    fn rmw_contention_verifies() {
+        run_and_verify(
+            erase(RmwRegister::new(0)),
+            Time::ZERO,
+            DelaySpec::AllMin,
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
+                .at(Pid(1), Time(1), Invocation::new("rmw", 10))
+                .at(Pid(2), Time(2), Invocation::new("rmw", 100))
+                .at(Pid(3), Time(20_000), Invocation::nullary("read")),
+        )
+        .expect("construction must verify");
+    }
+
+    #[test]
+    fn diverging_replicas_are_reported() {
+        // Hand-build nodes with diverging logs.
+        let spec = erase(Register::new(0));
+        let p = ModelParams::default_experiment();
+        let mut a = WtlwNode::new(Pid(0), Arc::clone(&spec), p, Time::ZERO);
+        let mut b = WtlwNode::new(Pid(1), Arc::clone(&spec), p, Time::ZERO);
+        use crate::wtlw::ExecutedMutator;
+        a.mutator_log.push(ExecutedMutator {
+            ts: Timestamp::new(Time(1), Pid(0)),
+            instance: OpInstance::new("write", 1, ()),
+        });
+        b.mutator_log.push(ExecutedMutator {
+            ts: Timestamp::new(Time(1), Pid(0)),
+            instance: OpInstance::new("write", 2, ()),
+        });
+        let err = construct(&[a, b]).unwrap_err();
+        assert!(err.contains("diverges"), "{err}");
+    }
+}

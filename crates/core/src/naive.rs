@@ -1,0 +1,131 @@
+//! Deliberately *incorrect* fast algorithms: victims for the lower-bound
+//! adversaries of Theorems 2–5.
+//!
+//! The lower-bound theorems say: *any* algorithm whose operation `OP`
+//! responds faster than the bound admits an admissible run that is not
+//! linearizable. To exhibit that executably we need algorithms that actually
+//! respond too fast. [`NaiveLocalNode`] is the simplest: it executes against
+//! the local replica and responds after a configurable wait, gossiping
+//! mutations optimistically. Sweeping the wait below/above the bound (and
+//! feeding the runs to the adversarial schedules from the proofs) shows the
+//! violation/no-violation crossover exactly where the theorems place it.
+//!
+//! A second family of victims is built directly from Algorithm 1 with
+//! shortened timers — see [`crate::wtlw::Waits::scaled`] and
+//! [`crate::wtlw::WtlwNode::with_waits`].
+
+use lintime_adt::spec::{Invocation, ObjState, ObjectSpec};
+use lintime_sim::node::{Effects, Node};
+use lintime_sim::time::{Pid, Time};
+use std::sync::Arc;
+
+/// Message: an optimistic replication of a mutator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NaiveMsg {
+    /// The mutating invocation to replay.
+    pub inv: Invocation,
+}
+
+/// Timer: respond to the pending operation with a precomputed value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NaiveTimer {
+    ret: lintime_adt::value::Value,
+}
+
+/// An optimistically-replicated node: applies operations locally on
+/// invocation, gossips mutators, and responds after `wait`.
+///
+/// * `wait = 0` → responds instantly: violates every lower bound.
+/// * larger `wait`s delay the response without changing the (already chosen)
+///   return value, so return-value anomalies persist until the node would
+///   genuinely coordinate — exactly the behaviour the adversaries exploit.
+pub struct NaiveLocalNode {
+    spec: Arc<dyn ObjectSpec>,
+    object: Box<dyn ObjState>,
+    wait: Time,
+}
+
+impl NaiveLocalNode {
+    /// Create a node responding `wait` after each invocation.
+    pub fn new(spec: Arc<dyn ObjectSpec>, wait: Time) -> Self {
+        let object = spec.new_object();
+        NaiveLocalNode { spec, object, wait }
+    }
+}
+
+impl Node for NaiveLocalNode {
+    type Msg = NaiveMsg;
+    type Timer = NaiveTimer;
+
+    fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<NaiveMsg, NaiveTimer>) {
+        let class = self
+            .spec
+            .op_meta(inv.op)
+            .expect("unknown operation")
+            .class;
+        let ret = self.object.apply(inv.op, &inv.arg);
+        if class.is_mutator() {
+            fx.broadcast(NaiveMsg { inv });
+        }
+        if self.wait == Time::ZERO {
+            fx.respond(ret);
+        } else {
+            fx.set_timer(self.wait, NaiveTimer { ret });
+        }
+    }
+
+    fn on_deliver(&mut self, _from: Pid, msg: NaiveMsg, _fx: &mut Effects<NaiveMsg, NaiveTimer>) {
+        // Replay the remote mutation in arrival order (no coordination —
+        // replicas can permanently diverge; that is the point).
+        let _ = self.object.apply(msg.inv.op, &msg.inv.arg);
+    }
+
+    fn on_timer(&mut self, timer: NaiveTimer, fx: &mut Effects<NaiveMsg, NaiveTimer>) {
+        fx.respond(timer.ret);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::erase;
+    use lintime_adt::types::RmwRegister;
+    use lintime_adt::value::Value;
+    use lintime_sim::delay::DelaySpec;
+    use lintime_sim::engine::{simulate, SimConfig};
+    use lintime_sim::schedule::Schedule;
+    use lintime_sim::time::ModelParams;
+
+    #[test]
+    fn concurrent_rmws_both_see_zero() {
+        // The canonical non-linearizable outcome: two concurrent fetch-adds
+        // both return the initial value.
+        let p = ModelParams::default_experiment();
+        let spec = erase(RmwRegister::new(0));
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
+                .at(Pid(1), Time(0), Invocation::new("rmw", 1)),
+        );
+        let run = simulate(&cfg, |_| NaiveLocalNode::new(Arc::clone(&spec), Time::ZERO));
+        assert!(run.complete());
+        assert_eq!(run.ops[0].ret, Some(Value::Int(0)));
+        assert_eq!(run.ops[1].ret, Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn waiting_does_not_fix_the_precomputed_return() {
+        // Even with a wait, the return value was chosen at invocation time.
+        let p = ModelParams::default_experiment();
+        let spec = erase(RmwRegister::new(0));
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
+                .at(Pid(1), Time(0), Invocation::new("rmw", 1)),
+        );
+        let run = simulate(&cfg, |_| NaiveLocalNode::new(Arc::clone(&spec), p.d));
+        assert!(run.complete());
+        assert_eq!(run.ops[0].ret, run.ops[1].ret);
+        assert_eq!(run.ops[0].latency(), Some(p.d));
+    }
+}

@@ -1,0 +1,53 @@
+//! Invocation timestamps: `(local clock time, process id)` ordered
+//! lexicographically (Section 5.1 of the paper).
+
+use lintime_sim::time::{Pid, Time};
+use std::fmt;
+
+/// A timestamp assigned to an operation instance on invocation.
+///
+/// The priority function of the `To_Execute` queue is "lexicographic ordering
+/// of the timestamps of the instances, with the lowest first" — exactly the
+/// derived `Ord` on `(time, pid)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// Local clock time of the invocation (minus `X` for pure accessors).
+    pub time: Time,
+    /// Invoking process id (tie-breaker).
+    pub pid: Pid,
+}
+
+impl Timestamp {
+    /// Build a timestamp.
+    pub fn new(time: Time, pid: Pid) -> Self {
+        Timestamp { time, pid }
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.time, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_ordering() {
+        let a = Timestamp::new(Time(10), Pid(3));
+        let b = Timestamp::new(Time(10), Pid(4));
+        let c = Timestamp::new(Time(11), Pid(0));
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn equal_timestamps() {
+        let a = Timestamp::new(Time(5), Pid(1));
+        let b = Timestamp::new(Time(5), Pid(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,525 @@
+//! Algorithm 1 of the paper (Wang–Talmage–Lee–Welch): the first
+//! linearizable implementation of *arbitrary* data types with every
+//! operation faster than the folklore `2d`.
+//!
+//! Every process keeps a local copy of the object and a priority queue
+//! `To_Execute` of mutators waiting for their coordinated execution time.
+//! Operations carry timestamps `(local invocation time, pid)`; mutators are
+//! executed at every process in timestamp order, which (with the timer
+//! discipline below) yields a common linearization.
+//!
+//! | class | response time | mechanism |
+//! |---|---|---|
+//! | pure accessor (`AOP`) | `d − X` | timestamp `(t − X, i)`; wait `d − X`, drain smaller-timestamped mutators, execute locally |
+//! | pure mutator (`MOP`) | `X + ε` | broadcast; ack after `X + ε`, independent of execution |
+//! | mixed (`OOP`) | `d + ε` | broadcast; executes (and responds) when its `u + ε` post-add timer fires |
+//!
+//! Mutator pipeline at every process: the invoker simulates the minimum
+//! message delay with a `d − u` *add* timer (other processes add on message
+//! receipt), then a `u + ε` *execute* timer guarantees no smaller timestamp
+//! can still arrive (maximum delay spread `u` plus clock skew `ε`).
+//!
+//! The timer durations are gathered in [`Waits`]; [`Waits::standard`] is the
+//! paper's algorithm with tradeoff parameter `X ∈ [0, d − ε]`, and the
+//! lower-bound experiments build deliberately-too-fast variants
+//! ([`Waits::scaled`]) to act as victims for the Theorem 2–5 adversaries.
+
+use crate::timestamp::Timestamp;
+use lintime_adt::spec::{Invocation, ObjState, ObjectSpec, OpClass, OpInstance};
+use lintime_adt::value::Value;
+use lintime_sim::node::{Effects, Node};
+use lintime_sim::time::{ModelParams, Pid, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Timer durations used by [`WtlwNode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Waits {
+    /// Pure accessors respond this long after invocation (paper: `d − X`).
+    pub aop_respond: Time,
+    /// Pure accessor timestamps are backdated by this much (paper: `X`).
+    pub aop_backdate: Time,
+    /// Pure mutators acknowledge this long after invocation (paper: `X + ε`).
+    pub mop_respond: Time,
+    /// The invoker adds its own mutator to `To_Execute` after this long
+    /// (paper: `d − u`, the minimum message delay).
+    pub add: Time,
+    /// A mutator executes this long after being added (paper: `u + ε`).
+    pub execute: Time,
+}
+
+impl Waits {
+    /// The paper's Algorithm 1 with tradeoff parameter `x ∈ [0, d − ε]`.
+    pub fn standard(params: ModelParams, x: Time) -> Waits {
+        assert!(
+            x >= Time::ZERO && x <= params.d - params.epsilon,
+            "X must lie in [0, d - epsilon]"
+        );
+        Waits {
+            aop_respond: params.d - x,
+            aop_backdate: x,
+            mop_respond: x + params.epsilon,
+            add: params.min_delay(),
+            execute: params.u + params.epsilon,
+        }
+    }
+
+    /// A uniformly scaled (sped-up) variant: every wait multiplied by
+    /// `num/den`. Used to build lower-bound victims that respond too fast.
+    pub fn scaled(self, num: i64, den: i64) -> Waits {
+        let s = |t: Time| Time(t.as_ticks() * num / den);
+        Waits {
+            aop_respond: s(self.aop_respond),
+            aop_backdate: self.aop_backdate,
+            mop_respond: s(self.mop_respond),
+            add: s(self.add),
+            execute: s(self.execute),
+        }
+    }
+
+    /// Worst-case response time of an operation class under these waits.
+    pub fn predicted_latency(self, class: OpClass) -> Time {
+        match class {
+            OpClass::PureAccessor => self.aop_respond,
+            OpClass::PureMutator => self.mop_respond,
+            OpClass::Mixed => self.add + self.execute,
+        }
+    }
+}
+
+/// The paper's predicted worst-case latency for `class` under Algorithm 1
+/// with parameter `x`: `d − X`, `X + ε`, or `d + ε` (Lemma 4).
+pub fn predicted_latency(params: ModelParams, x: Time, class: OpClass) -> Time {
+    match class {
+        OpClass::PureAccessor => params.d - x,
+        OpClass::PureMutator => x + params.epsilon,
+        OpClass::Mixed => params.d + params.epsilon,
+    }
+}
+
+/// Message: announcement of a mutator invocation (line 15 of Algorithm 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WtlwMsg {
+    /// The invoked operation.
+    pub inv: Invocation,
+    /// Its timestamp.
+    pub ts: Timestamp,
+}
+
+/// Timer tags of Algorithm 1.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WtlwTimer {
+    /// Respond to a pure accessor (lines 3–9).
+    RespondAop {
+        /// The accessor invocation.
+        inv: Invocation,
+        /// Its (backdated) timestamp.
+        ts: Timestamp,
+    },
+    /// Acknowledge a pure mutator (lines 16–17).
+    RespondMop,
+    /// Add the invoker's own mutator to `To_Execute` (lines 14, 18–20).
+    Add {
+        /// The mutator invocation.
+        inv: Invocation,
+        /// Its timestamp.
+        ts: Timestamp,
+    },
+    /// Execute mutators with timestamps ≤ `ts` (lines 21–29).
+    Execute {
+        /// Timestamp of the entry this timer belongs to.
+        ts: Timestamp,
+    },
+}
+
+/// A mutator as executed on a process's local copy (Construction 1 input).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutedMutator {
+    /// The mutator's timestamp.
+    pub ts: Timestamp,
+    /// The executed instance (invocation + locally computed return).
+    pub instance: OpInstance,
+}
+
+/// A locally-invoked pure accessor as executed (Construction 1 input).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutedAccessor {
+    /// The accessor's (backdated) timestamp.
+    pub ts: Timestamp,
+    /// The executed instance.
+    pub instance: OpInstance,
+    /// How many mutators this process had executed when the accessor ran —
+    /// i.e. the accessor reads the state after `mutator_log[..after]`.
+    pub after: usize,
+}
+
+/// One process of Algorithm 1.
+pub struct WtlwNode {
+    pid: Pid,
+    spec: Arc<dyn ObjectSpec>,
+    object: Box<dyn ObjState>,
+    waits: Waits,
+    to_execute: BinaryHeap<Reverse<(Timestamp, Invocation)>>,
+    /// Timestamp of the locally-invoked *mixed* operation awaiting execution.
+    pending_mixed: Option<Timestamp>,
+    /// Number of mutators executed on the local copy (diagnostics).
+    executed: u64,
+    /// Mutators executed on the local copy, in execution order.
+    pub mutator_log: Vec<ExecutedMutator>,
+    /// Locally-invoked pure accessors, in execution order.
+    pub accessor_log: Vec<ExecutedAccessor>,
+}
+
+impl WtlwNode {
+    /// A node with the paper's standard waits for tradeoff parameter `x`.
+    pub fn new(pid: Pid, spec: Arc<dyn ObjectSpec>, params: ModelParams, x: Time) -> Self {
+        Self::with_waits(pid, spec, Waits::standard(params, x))
+    }
+
+    /// A node with explicit timer durations (used to build lower-bound
+    /// victims; correctness is only guaranteed for [`Waits::standard`]).
+    pub fn with_waits(pid: Pid, spec: Arc<dyn ObjectSpec>, waits: Waits) -> Self {
+        let object = spec.new_object();
+        WtlwNode {
+            pid,
+            spec,
+            object,
+            waits,
+            to_execute: BinaryHeap::new(),
+            pending_mixed: None,
+            executed: 0,
+            mutator_log: Vec::new(),
+            accessor_log: Vec::new(),
+        }
+    }
+
+    /// Number of mutators executed on the local copy so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Canonical encoding of the local copy's current state.
+    pub fn local_state(&self) -> Value {
+        self.object.canonical()
+    }
+
+    fn add_to_queue(&mut self, inv: Invocation, ts: Timestamp, fx: &mut Effects<WtlwMsg, WtlwTimer>) {
+        self.to_execute.push(Reverse((ts, inv)));
+        fx.set_timer(self.waits.execute, WtlwTimer::Execute { ts });
+    }
+
+    /// Execute every queued mutator with timestamp ≤ `up_to`, in timestamp
+    /// order (the while-loops of lines 4–8 and 22–29). `firing` is the
+    /// timestamp whose own Execute timer triggered this drain (if any), so we
+    /// do not try to cancel an already-consumed timer.
+    fn drain_up_to(
+        &mut self,
+        up_to: Timestamp,
+        firing: Option<Timestamp>,
+        fx: &mut Effects<WtlwMsg, WtlwTimer>,
+    ) {
+        while let Some(Reverse((ts, _))) = self.to_execute.peek() {
+            if *ts > up_to {
+                break;
+            }
+            let Reverse((ts, inv)) = self.to_execute.pop().expect("peeked entry");
+            let ret = self.object.apply(inv.op, &inv.arg);
+            self.executed += 1;
+            self.mutator_log.push(ExecutedMutator {
+                ts,
+                instance: OpInstance { op: inv.op, arg: inv.arg.clone(), ret: ret.clone() },
+            });
+            if Some(ts) != firing {
+                fx.cancel_timer(WtlwTimer::Execute { ts });
+            }
+            if self.pending_mixed == Some(ts) {
+                self.pending_mixed = None;
+                fx.respond(ret);
+            }
+        }
+    }
+}
+
+impl Node for WtlwNode {
+    type Msg = WtlwMsg;
+    type Timer = WtlwTimer;
+
+    fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<WtlwMsg, WtlwTimer>) {
+        let class = self
+            .spec
+            .op_meta(inv.op)
+            .unwrap_or_else(|| panic!("unknown operation {:?} for type {}", inv.op, self.spec.name()))
+            .class;
+        match class {
+            OpClass::PureAccessor => {
+                // Line 2: timestamp backdated by X; respond timer for d − X.
+                let ts = Timestamp::new(fx.local_time() - self.waits.aop_backdate, self.pid);
+                fx.set_timer(self.waits.aop_respond, WtlwTimer::RespondAop { inv, ts });
+            }
+            OpClass::PureMutator | OpClass::Mixed => {
+                let ts = Timestamp::new(fx.local_time(), self.pid);
+                if class == OpClass::PureMutator {
+                    // Line 12: pure mutators acknowledge after X + ε.
+                    fx.set_timer(self.waits.mop_respond, WtlwTimer::RespondMop);
+                } else {
+                    self.pending_mixed = Some(ts);
+                }
+                // Line 14: simulate the minimum message delay to ourselves.
+                fx.set_timer(self.waits.add, WtlwTimer::Add { inv: inv.clone(), ts });
+                // Line 15: announce to all other processes.
+                fx.broadcast(WtlwMsg { inv, ts });
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, _from: Pid, msg: WtlwMsg, fx: &mut Effects<WtlwMsg, WtlwTimer>) {
+        // Lines 18–20 (receive branch): queue the remote mutator.
+        self.add_to_queue(msg.inv, msg.ts, fx);
+    }
+
+    fn on_timer(&mut self, timer: WtlwTimer, fx: &mut Effects<WtlwMsg, WtlwTimer>) {
+        match timer {
+            WtlwTimer::RespondAop { inv, ts } => {
+                // Lines 3–9: drain smaller-timestamped mutators, then execute
+                // the accessor locally and respond.
+                self.drain_up_to(ts, None, fx);
+                let ret = self.object.apply(inv.op, &inv.arg);
+                self.accessor_log.push(ExecutedAccessor {
+                    ts,
+                    instance: OpInstance { op: inv.op, arg: inv.arg.clone(), ret: ret.clone() },
+                    after: self.mutator_log.len(),
+                });
+                fx.respond(ret);
+            }
+            WtlwTimer::RespondMop => {
+                // Lines 16–17.
+                fx.respond(Value::Unit);
+            }
+            WtlwTimer::Add { inv, ts } => {
+                // Lines 18–20 (timer branch).
+                self.add_to_queue(inv, ts, fx);
+            }
+            WtlwTimer::Execute { ts } => {
+                // Lines 21–29.
+                self.drain_up_to(ts, Some(ts), fx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::erase;
+    use lintime_adt::types::{FifoQueue, Register, RmwRegister};
+    use lintime_sim::delay::DelaySpec;
+    use lintime_sim::engine::{simulate, SimConfig};
+    use lintime_sim::schedule::Schedule;
+
+    fn params() -> ModelParams {
+        ModelParams::default_experiment()
+    }
+
+    fn wtlw_cluster(
+        spec: Arc<dyn ObjectSpec>,
+        x: Time,
+        cfg: SimConfig,
+    ) -> lintime_sim::run::Run {
+        let p = cfg.params;
+        simulate(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x))
+    }
+
+    #[test]
+    fn waits_standard_matches_paper() {
+        let p = params();
+        let w = Waits::standard(p, Time(1200));
+        assert_eq!(w.aop_respond, Time(4800)); // d - X
+        assert_eq!(w.mop_respond, Time(3000)); // X + ε
+        assert_eq!(w.add, Time(3600)); // d - u
+        assert_eq!(w.execute, Time(4200)); // u + ε
+        assert_eq!(w.predicted_latency(OpClass::Mixed), p.d + p.epsilon);
+    }
+
+    #[test]
+    #[should_panic(expected = "X must lie")]
+    fn waits_rejects_out_of_range_x() {
+        let p = params();
+        let _ = Waits::standard(p, p.d); // d > d - ε
+    }
+
+    #[test]
+    fn solo_write_read_round_trip() {
+        let p = params();
+        let x = Time::ZERO;
+        let spec = erase(Register::new(0));
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("write", 42))
+                .at(Pid(1), Time(20_000), Invocation::nullary("read")),
+        );
+        let run = wtlw_cluster(spec, x, cfg);
+        assert!(run.complete(), "{run}");
+        assert!(run.errors.is_empty(), "{:?}", run.errors);
+        // Write is a pure mutator: responds at X + ε = 1800.
+        assert_eq!(run.ops[0].latency(), Some(p.epsilon));
+        // Read (pure accessor): responds at d − X = 6000 and sees the write.
+        assert_eq!(run.ops[1].latency(), Some(p.d));
+        assert_eq!(run.ops[1].ret, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn latencies_match_lemma_4_exactly() {
+        // Lemma 4: AOP = d − X, MOP = X + ε, OOP = d + ε, for every X and
+        // under any admissible delay assignment.
+        let p = params();
+        for x in [Time::ZERO, Time(1200), Time(2400), p.d - p.epsilon] {
+            for delay in [DelaySpec::AllMax, DelaySpec::AllMin, DelaySpec::UniformRandom { seed: 5 }] {
+                let spec = erase(RmwRegister::new(0));
+                let cfg = SimConfig::new(p, delay).with_schedule(
+                    Schedule::new()
+                        .at(Pid(0), Time(0), Invocation::new("write", 1))
+                        .at(Pid(1), Time(0), Invocation::nullary("read"))
+                        .at(Pid(2), Time(0), Invocation::new("rmw", 1)),
+                );
+                let run = wtlw_cluster(spec, x, cfg);
+                assert!(run.complete());
+                assert_eq!(run.ops[0].latency(), Some(x + p.epsilon), "write at X={x}");
+                assert_eq!(run.ops[1].latency(), Some(p.d - x), "read at X={x}");
+                assert_eq!(run.ops[2].latency(), Some(p.d + p.epsilon), "rmw at X={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_execute_in_timestamp_order_everywhere() {
+        let p = params();
+        let spec = erase(Register::new(0));
+        // Two concurrent writes with slightly different invocation times; a
+        // late read must see the one with the larger timestamp.
+        let cfg = SimConfig::new(p, DelaySpec::AllMin).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("write", 10))
+                .at(Pid(1), Time(1), Invocation::new("write", 20))
+                .at(Pid(2), Time(30_000), Invocation::nullary("read"))
+                .at(Pid(3), Time(30_000), Invocation::nullary("read")),
+        );
+        let run = wtlw_cluster(spec, Time::ZERO, cfg);
+        assert!(run.complete());
+        assert_eq!(run.ops[2].ret, Some(Value::Int(20)));
+        assert_eq!(run.ops[3].ret, Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn skewed_clocks_still_agree_on_order() {
+        let p = params();
+        let spec = erase(Register::new(0));
+        // p1's clock is ε ahead; its write at real time 0 gets timestamp ε,
+        // while p0's write at real time 1 gets timestamp 1 < ε = 1800. Every
+        // replica must order p0's write first and p1's write last.
+        let cfg = SimConfig::new(p, DelaySpec::AllMax)
+            .with_offsets(vec![Time::ZERO, p.epsilon, Time::ZERO, Time::ZERO])
+            .with_schedule(
+                Schedule::new()
+                    .at(Pid(1), Time(0), Invocation::new("write", 111))
+                    .at(Pid(0), Time(1), Invocation::new("write", 222))
+                    .at(Pid(3), Time(40_000), Invocation::nullary("read")),
+            );
+        let run = wtlw_cluster(spec, Time::ZERO, cfg);
+        assert!(run.complete());
+        // Larger timestamp wins: p1's (1800) > p0's (1).
+        assert_eq!(run.ops[2].ret, Some(Value::Int(111)));
+    }
+
+    #[test]
+    fn mixed_op_returns_globally_ordered_value() {
+        let p = params();
+        let spec = erase(RmwRegister::new(0));
+        // Two concurrent rmw(1): exactly one sees 0 and the other sees 1.
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
+                .at(Pid(1), Time(5), Invocation::new("rmw", 1)),
+        );
+        let run = wtlw_cluster(spec, Time::ZERO, cfg);
+        assert!(run.complete());
+        let mut rets: Vec<Value> = run.ops.iter().filter_map(|o| o.ret.clone()).collect();
+        rets.sort();
+        assert_eq!(rets, vec![Value::Int(0), Value::Int(1)]);
+    }
+
+    #[test]
+    fn queue_fifo_across_processes() {
+        let p = params();
+        let spec = erase(FifoQueue::new());
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 11 }).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("enqueue", 1))
+                .at(Pid(1), Time(10_000), Invocation::new("enqueue", 2))
+                .at(Pid(2), Time(40_000), Invocation::nullary("dequeue"))
+                .at(Pid(3), Time(60_000), Invocation::nullary("dequeue")),
+        );
+        let run = wtlw_cluster(spec, Time(600), cfg);
+        assert!(run.complete());
+        assert_eq!(run.ops[2].ret, Some(Value::Int(1)));
+        assert_eq!(run.ops[3].ret, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn accessor_sees_all_previously_completed_mutators() {
+        // Lemma 6 case 2: a read invoked after a write responded must see it,
+        // even with the read's timestamp backdated by X.
+        let p = params();
+        let x = p.d - p.epsilon; // most aggressive backdating
+        let spec = erase(Register::new(0));
+        let write_resp = x + p.epsilon; // MOP latency
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("write", 9))
+                // Invoke the read the instant the write responds.
+                .at(Pid(1), write_resp, Invocation::nullary("read")),
+        );
+        let run = wtlw_cluster(spec, x, cfg);
+        assert!(run.complete());
+        assert_eq!(run.ops[1].ret, Some(Value::Int(9)), "{run}");
+    }
+
+    #[test]
+    fn quiescence_no_leftover_events() {
+        // Eventual Quiescence: a finite workload produces a finite run.
+        let p = params();
+        let spec = erase(FifoQueue::new());
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("enqueue", 1)),
+        );
+        let run = wtlw_cluster(spec, Time::ZERO, cfg);
+        assert!(run.complete());
+        // Run ends once the last replica executes the mutator: invocation
+        // message d, plus u + ε execute timer.
+        assert_eq!(run.last_time, p.d + p.u + p.epsilon);
+    }
+
+    #[test]
+    fn history_oblivion_final_states_agree() {
+        // After quiescence every replica holds the same state regardless of
+        // delay pattern — the History Oblivion property needed in Section 4.
+        let p = params();
+        let mut rets_per_delay = Vec::new();
+        for delay in [DelaySpec::AllMax, DelaySpec::AllMin, DelaySpec::UniformRandom { seed: 3 }] {
+            let spec = erase(FifoQueue::new());
+            let cfg = SimConfig::new(p, delay).with_schedule(
+                Schedule::new()
+                    .at(Pid(0), Time(0), Invocation::new("enqueue", 1))
+                    .at(Pid(1), Time(2), Invocation::new("enqueue", 2))
+                    .at(Pid(2), Time(50_000), Invocation::nullary("peek"))
+                    .at(Pid(3), Time(50_000), Invocation::nullary("peek")),
+            );
+            let run = wtlw_cluster(spec, Time::ZERO, cfg);
+            assert!(run.complete());
+            assert_eq!(run.ops[2].ret, run.ops[3].ret);
+            rets_per_delay.push(run.ops[2].ret.clone());
+        }
+        // The executed sequence is the same, so all delay patterns agree.
+        assert!(rets_per_delay.windows(2).all(|w| w[0] == w[1]));
+    }
+}

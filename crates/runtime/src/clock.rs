@@ -1,0 +1,98 @@
+//! Wall-clock ↔ virtual-time mapping for the live runtime.
+//!
+//! The live platform maps one virtual *tick* to a configurable real
+//! [`Duration`]. All processes share an epoch `Instant`; each has a fixed
+//! virtual offset, giving exactly the paper's drift-free offset clocks
+//! (modulo OS scheduling jitter, which is why live experiments use tick
+//! durations large enough that jitter ≪ `u`).
+
+use lintime_sim::time::Time;
+use std::time::{Duration, Instant};
+
+/// A process-local clock: shared epoch, per-process offset, tick scale.
+#[derive(Clone, Copy, Debug)]
+pub struct LiveClock {
+    epoch: Instant,
+    offset: Time,
+    tick: Duration,
+}
+
+impl LiveClock {
+    /// Create a clock.
+    pub fn new(epoch: Instant, offset: Time, tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "tick duration must be positive");
+        LiveClock { epoch, offset, tick }
+    }
+
+    /// Real (virtual) time elapsed since the epoch, in ticks.
+    pub fn real_now(&self) -> Time {
+        let elapsed = Instant::now().saturating_duration_since(self.epoch);
+        Time((elapsed.as_nanos() / self.tick.as_nanos()) as i64)
+    }
+
+    /// Local clock reading: real time plus this process's offset.
+    pub fn local_now(&self) -> Time {
+        self.real_now() + self.offset
+    }
+
+    /// The `Instant` at which the given *real* tick count occurs.
+    pub fn instant_at_real(&self, t: Time) -> Instant {
+        if t <= Time::ZERO {
+            return self.epoch;
+        }
+        self.epoch + self.tick * (t.as_ticks() as u32)
+    }
+
+    /// The `Instant` at which the given *local* clock value occurs.
+    pub fn instant_at_local(&self, local: Time) -> Instant {
+        self.instant_at_real(local - self.offset)
+    }
+
+    /// Convert a tick count to a real duration.
+    pub fn to_duration(&self, t: Time) -> Duration {
+        if t <= Time::ZERO {
+            return Duration::ZERO;
+        }
+        self.tick * (t.as_ticks() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_is_real_plus_offset() {
+        let epoch = Instant::now();
+        let c = LiveClock::new(epoch, Time(500), Duration::from_micros(100));
+        let real = c.real_now();
+        let local = c.local_now();
+        // Within a tick or two of each other.
+        assert!((local - real - Time(500)).abs() <= Time(2));
+    }
+
+    #[test]
+    fn instants_round_trip() {
+        let epoch = Instant::now();
+        let c = LiveClock::new(epoch, Time(0), Duration::from_micros(50));
+        let at = c.instant_at_real(Time(100));
+        assert_eq!(at.duration_since(epoch), Duration::from_micros(5000));
+        assert_eq!(c.to_duration(Time(10)), Duration::from_micros(500));
+        assert_eq!(c.to_duration(Time(-5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = LiveClock::new(Instant::now(), Time(0), Duration::from_micros(50));
+        let a = c.real_now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.real_now();
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick duration")]
+    fn zero_tick_rejected() {
+        let _ = LiveClock::new(Instant::now(), Time(0), Duration::ZERO);
+    }
+}

@@ -1,0 +1,207 @@
+//! The live-cluster harness: spawn router + node threads, drive a timed
+//! invocation schedule in wall-clock time, and collect a recorded
+//! [`Run`] that the linearizability checker can verify.
+
+use crate::clock::LiveClock;
+use crate::platform::{spawn_node, Command};
+use crate::router::Router;
+use crossbeam::channel::{bounded, Sender};
+use lintime_sim::delay::DelaySpec;
+use lintime_sim::node::Node;
+use lintime_sim::run::Run;
+use lintime_sim::schedule::TimedInvocation;
+use lintime_sim::time::{ModelParams, Pid, Time};
+use std::time::{Duration, Instant};
+
+/// Configuration of a live cluster.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Model parameters, in virtual ticks.
+    pub params: ModelParams,
+    /// Real duration of one virtual tick. Pick it large enough that OS
+    /// scheduling jitter (≈ a millisecond) is small compared to `u` ticks.
+    pub tick: Duration,
+    /// Clock offsets per process (deliberate skew injection).
+    pub offsets: Vec<Time>,
+    /// Message-delay model (same specs as the simulator).
+    pub delay: DelaySpec,
+    /// How long (in ticks) to wait after the last scheduled invocation
+    /// before shutting the cluster down.
+    pub settle: Time,
+}
+
+impl LiveConfig {
+    /// A config with zero offsets and a settle time of `3d`.
+    pub fn new(params: ModelParams, tick: Duration, delay: DelaySpec) -> Self {
+        LiveConfig {
+            params,
+            tick,
+            offsets: vec![Time::ZERO; params.n],
+            delay,
+            settle: params.d * 3,
+        }
+    }
+}
+
+/// Run a timed schedule against a live cluster of `Node`s and record the
+/// result. Invocation and response times are measured in virtual ticks from
+/// the cluster epoch, so the returned [`Run`] is directly comparable to a
+/// simulator run (modulo scheduling jitter).
+pub fn run_live<N: Node + 'static>(
+    cfg: &LiveConfig,
+    schedule: &[TimedInvocation],
+    mut make_node: impl FnMut(Pid) -> N,
+) -> Run {
+    let n = cfg.params.n;
+    assert_eq!(cfg.offsets.len(), n);
+    // Give threads a little lead time before tick 0.
+    let epoch = Instant::now() + Duration::from_millis(20);
+    let base_clock = LiveClock::new(epoch, Time::ZERO, cfg.tick);
+
+    let mut inbox_txs = Vec::with_capacity(n);
+    let mut inbox_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded(4096);
+        inbox_txs.push(tx);
+        inbox_rxs.push(rx);
+    }
+    let router = Router::spawn(cfg.params, cfg.delay.clone(), base_clock, inbox_txs);
+
+    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (i, inbox) in inbox_rxs.into_iter().enumerate() {
+        let pid = Pid(i);
+        let clock = LiveClock::new(epoch, cfg.offsets[i], cfg.tick);
+        let (cmd_tx, cmd_rx) = bounded(1024);
+        cmd_txs.push(cmd_tx);
+        handles.push(spawn_node(
+            pid,
+            n,
+            clock,
+            make_node(pid),
+            inbox,
+            cmd_rx,
+            router.tx.clone(),
+        ));
+    }
+
+    // Drive the schedule in wall-clock time.
+    let mut timed: Vec<TimedInvocation> = schedule.to_vec();
+    timed.sort_by_key(|t| t.at);
+    let mut last = Time::ZERO;
+    for inv in timed {
+        let due = base_clock.instant_at_real(inv.at);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        cmd_txs[inv.pid.0]
+            .send(Command::Invoke(inv.inv))
+            .expect("node thread alive");
+        last = last.max(inv.at);
+    }
+
+    // Let in-flight work settle, then stop.
+    let stop_at = base_clock.instant_at_real(last + cfg.settle);
+    let now = Instant::now();
+    if stop_at > now {
+        std::thread::sleep(stop_at - now);
+    }
+    for tx in &cmd_txs {
+        let _ = tx.send(Command::Shutdown);
+    }
+    let mut ops = Vec::new();
+    let mut errors = Vec::new();
+    for h in handles {
+        let out = h.join().expect("node thread panicked");
+        ops.extend(out.records);
+        errors.extend(out.errors);
+    }
+    let events = router.join();
+    ops.sort_by_key(|o| (o.t_invoke, o.pid));
+    let last_time = ops
+        .iter()
+        .flat_map(|o| [Some(o.t_invoke), o.t_respond])
+        .flatten()
+        .max()
+        .unwrap_or(Time::ZERO);
+    Run {
+        params: cfg.params,
+        offsets: cfg.offsets.clone(),
+        ops,
+        msgs: Vec::new(),
+        views: Vec::new(),
+        last_time,
+        events,
+        errors,
+        delay_violations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::{erase, Invocation};
+    use lintime_adt::types::FifoQueue;
+    use lintime_adt::value::Value;
+    use lintime_core::wtlw::WtlwNode;
+    use std::sync::Arc;
+
+    /// Small virtual scale: d = 300 ticks of 200 µs = 60 ms; jitter of a
+    /// millisecond or two is ≈ 10 ticks ≪ u = 120.
+    fn cfg() -> LiveConfig {
+        let params = ModelParams::new(3, Time(300), Time(120), Time(90));
+        LiveConfig::new(params, Duration::from_micros(200), DelaySpec::AllMin)
+    }
+
+    #[test]
+    fn live_wtlw_queue_round_trip() {
+        let cfg = cfg();
+        let p = cfg.params;
+        let spec = erase(FifoQueue::new());
+        let schedule = vec![
+            TimedInvocation { pid: Pid(0), at: Time(50), inv: Invocation::new("enqueue", 7) },
+            TimedInvocation { pid: Pid(1), at: Time(1500), inv: Invocation::nullary("peek") },
+            TimedInvocation { pid: Pid(2), at: Time(3000), inv: Invocation::nullary("dequeue") },
+        ];
+        let run = run_live(&cfg, &schedule, |pid| {
+            WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
+        });
+        assert!(run.complete(), "{run}");
+        assert!(run.errors.is_empty(), "{:?}", run.errors);
+        assert_eq!(run.ops[1].ret, Some(Value::Int(7)));
+        assert_eq!(run.ops[2].ret, Some(Value::Int(7)));
+        // Latencies approximate the formulas: enqueue ≈ ε = 90, peek ≈ d =
+        // 300, dequeue ≈ d + ε = 390 (tolerate jitter of ~40 ticks).
+        let tol = Time(40);
+        let enq = run.ops[0].latency().unwrap();
+        assert!(enq >= p.epsilon && enq <= p.epsilon + tol, "enqueue {enq}");
+        let peek = run.ops[1].latency().unwrap();
+        assert!(peek >= p.d && peek <= p.d + tol, "peek {peek}");
+        let deq = run.ops[2].latency().unwrap();
+        assert!(deq >= p.d + p.epsilon && deq <= p.d + p.epsilon + tol, "dequeue {deq}");
+    }
+
+    #[test]
+    fn live_run_is_linearizable() {
+        let cfg = cfg();
+        let p = cfg.params;
+        let spec = erase(FifoQueue::new());
+        // Concurrent enqueues from all three processes, then probes.
+        let schedule = vec![
+            TimedInvocation { pid: Pid(0), at: Time(50), inv: Invocation::new("enqueue", 1) },
+            TimedInvocation { pid: Pid(1), at: Time(55), inv: Invocation::new("enqueue", 2) },
+            TimedInvocation { pid: Pid(2), at: Time(60), inv: Invocation::new("enqueue", 3) },
+            TimedInvocation { pid: Pid(0), at: Time(2000), inv: Invocation::nullary("dequeue") },
+            TimedInvocation { pid: Pid(1), at: Time(3500), inv: Invocation::nullary("dequeue") },
+            TimedInvocation { pid: Pid(2), at: Time(5000), inv: Invocation::nullary("dequeue") },
+        ];
+        let run = run_live(&cfg, &schedule, |pid| {
+            WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
+        });
+        assert!(run.complete(), "{run}");
+        let history = lintime_check::history::History::from_run(&run).unwrap();
+        let verdict = lintime_check::wing_gong::check(&spec, &history);
+        assert!(verdict.is_linearizable(), "{run}");
+    }
+}

@@ -1,0 +1,161 @@
+//! One OS thread per process: the live counterpart of the simulator's event
+//! loop, driving the *same* [`Node`] implementations.
+
+use crate::clock::LiveClock;
+use crate::router::Envelope;
+use crossbeam::channel::{Receiver, Sender};
+use lintime_adt::spec::Invocation;
+use lintime_sim::node::{Effects, Node};
+use lintime_sim::run::OpRecord;
+use lintime_sim::time::Pid;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Commands from the harness to a node thread.
+pub enum Command {
+    /// Invoke an operation at this process.
+    Invoke(Invocation),
+    /// Stop the event loop and return the records.
+    Shutdown,
+}
+
+/// What a node thread hands back on shutdown.
+pub struct NodeOutput {
+    /// Operations invoked at this process, with measured tick intervals.
+    pub records: Vec<OpRecord>,
+    /// Protocol errors observed (e.g. overlapping invocations).
+    pub errors: Vec<String>,
+}
+
+struct PendingTimer<T> {
+    due: Instant,
+    id: u64,
+    tag: T,
+}
+
+/// Spawn the event loop for one process.
+pub fn spawn_node<N: Node + 'static>(
+    pid: Pid,
+    n: usize,
+    clock: LiveClock,
+    mut node: N,
+    inbox: Receiver<(Pid, N::Msg)>,
+    commands: Receiver<Command>,
+    router_tx: Sender<Envelope<N::Msg>>,
+) -> JoinHandle<NodeOutput> {
+    std::thread::Builder::new()
+        .name(format!("lintime-node-{pid}"))
+        .spawn(move || {
+            let mut timers: Vec<PendingTimer<N::Timer>> = Vec::new();
+            let mut next_timer_id = 0u64;
+            let mut records: Vec<OpRecord> = Vec::new();
+            let mut errors: Vec<String> = Vec::new();
+            let mut pending: Option<usize> = None;
+
+            loop {
+                // Fire due timers first.
+                let now = Instant::now();
+                while let Some(idx) = due_timer(&timers, now) {
+                    let t = timers.swap_remove(idx);
+                    let mut fx = Effects::new(pid, n, clock.local_now());
+                    node.on_timer(t.tag, &mut fx);
+                    apply_effects(
+                        pid, &clock, fx, &router_tx, &mut timers, &mut next_timer_id,
+                        &mut records, &mut errors, &mut pending,
+                    );
+                }
+                let timeout = timers
+                    .iter()
+                    .map(|t| t.due)
+                    .min()
+                    .map(|due| due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(20));
+
+                crossbeam::channel::select! {
+                    recv(inbox) -> msg => if let Ok((from, m)) = msg {
+                        let mut fx = Effects::new(pid, n, clock.local_now());
+                        node.on_deliver(from, m, &mut fx);
+                        apply_effects(
+                            pid, &clock, fx, &router_tx, &mut timers, &mut next_timer_id,
+                            &mut records, &mut errors, &mut pending,
+                        );
+                    }, // Err: router gone; timers may still drain
+                    recv(commands) -> cmd => match cmd {
+                        Ok(Command::Invoke(inv)) => {
+                            if pending.is_some() {
+                                errors.push(format!(
+                                    "{pid}: invocation {inv:?} while another operation is pending"
+                                ));
+                                continue;
+                            }
+                            pending = Some(records.len());
+                            records.push(OpRecord {
+                                pid,
+                                invocation: inv.clone(),
+                                ret: None,
+                                t_invoke: clock.real_now(),
+                                t_respond: None,
+                            });
+                            let mut fx = Effects::new(pid, n, clock.local_now());
+                            node.on_invoke(inv, &mut fx);
+                            apply_effects(
+                                pid, &clock, fx, &router_tx, &mut timers, &mut next_timer_id,
+                                &mut records, &mut errors, &mut pending,
+                            );
+                        }
+                        Ok(Command::Shutdown) | Err(_) => {
+                            return NodeOutput { records, errors };
+                        }
+                    },
+                    default(timeout) => {}
+                }
+            }
+        })
+        .expect("spawn node thread")
+}
+
+fn due_timer<T>(timers: &[PendingTimer<T>], now: Instant) -> Option<usize> {
+    timers
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.due <= now)
+        .min_by_key(|(_, t)| (t.due, t.id))
+        .map(|(i, _)| i)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_effects<M: Send, T: Clone + PartialEq>(
+    pid: Pid,
+    clock: &LiveClock,
+    fx: Effects<M, T>,
+    router_tx: &Sender<Envelope<M>>,
+    timers: &mut Vec<PendingTimer<T>>,
+    next_timer_id: &mut u64,
+    records: &mut [OpRecord],
+    errors: &mut Vec<String>,
+    pending: &mut Option<usize>,
+) {
+    let parts = fx.into_parts();
+    for tag in parts.timers_cancelled {
+        timers.retain(|t| t.tag != tag);
+    }
+    for (to, msg) in parts.sends {
+        if router_tx.send(Envelope { from: pid, to, msg }).is_err() {
+            errors.push(format!("{pid}: router closed during send"));
+        }
+    }
+    for (local_fire, tag) in parts.timers_set {
+        let id = *next_timer_id;
+        *next_timer_id += 1;
+        timers.push(PendingTimer { due: clock.instant_at_local(local_fire), id, tag });
+    }
+    if let Some(ret) = parts.response {
+        match pending.take() {
+            Some(idx) => {
+                records[idx].ret = Some(ret);
+                records[idx].t_respond = Some(clock.real_now());
+            }
+            None => errors.push(format!("{pid}: response with no pending operation")),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The delay-injecting message router.
+//!
+//! All inter-process traffic flows through one router thread, which holds
+//! every message for its assigned delay (drawn from the same [`DelaySpec`]s
+//! the simulator uses) before forwarding it to the destination's inbox.
+//! This is the substitution for the paper's wide-area network: the delays
+//! are WAN-shaped (`[d − u, d]` in virtual ticks) while the transport is
+//! local crossbeam channels.
+
+use crate::clock::LiveClock;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use lintime_sim::delay::DelaySpec;
+use lintime_sim::time::{ModelParams, Pid};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A routed message envelope.
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: Pid,
+    /// Destination.
+    pub to: Pid,
+    /// Payload.
+    pub msg: M,
+}
+
+struct Scheduled<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Handle to the router thread.
+pub struct Router<M> {
+    /// Send side handed to every node.
+    pub tx: Sender<Envelope<M>>,
+    handle: JoinHandle<u64>,
+}
+
+impl<M: Send + 'static> Router<M> {
+    /// Spawn the router. `inboxes[i]` receives messages destined for `p_i`,
+    /// tagged with the sender. Returns once all `tx` clones are dropped and
+    /// the heap drains; `join` yields the number of routed messages.
+    pub fn spawn(
+        params: ModelParams,
+        delay: DelaySpec,
+        clock: LiveClock,
+        inboxes: Vec<Sender<(Pid, M)>>,
+    ) -> Router<M> {
+        let (tx, rx): (Sender<Envelope<M>>, Receiver<Envelope<M>>) = bounded(4096);
+        let handle = std::thread::Builder::new()
+            .name("lintime-router".into())
+            .spawn(move || route(params, delay, clock, rx, inboxes))
+            .expect("spawn router");
+        Router { tx, handle }
+    }
+
+    /// Wait for the router to drain and stop (drop all `tx` clones first).
+    pub fn join(self) -> u64 {
+        drop(self.tx);
+        self.handle.join().expect("router panicked")
+    }
+}
+
+fn route<M>(
+    params: ModelParams,
+    delay: DelaySpec,
+    clock: LiveClock,
+    rx: Receiver<Envelope<M>>,
+    inboxes: Vec<Sender<(Pid, M)>>,
+) -> u64 {
+    let n = params.n;
+    let mut counters = vec![0u64; n * n];
+    let mut heap: BinaryHeap<Reverse<Scheduled<M>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut routed = 0u64;
+    let mut closed = false;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(s)| s.due <= now) {
+            let Reverse(s) = heap.pop().expect("peeked");
+            // A closed inbox means the node already shut down; drop quietly.
+            let _ = inboxes[s.env.to.0].send((s.env.from, s.env.msg));
+            routed += 1;
+        }
+        if closed && heap.is_empty() {
+            return routed;
+        }
+        // Wait for new traffic or the next due time.
+        let timeout = heap
+            .peek()
+            .map(|Reverse(s)| s.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(std::time::Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(env) => {
+                let k = {
+                    let c = &mut counters[env.from.0 * n + env.to.0];
+                    let v = *c;
+                    *c += 1;
+                    v
+                };
+                let ticks = delay.delay(params, env.from, env.to, k);
+                let due = Instant::now() + clock.to_duration(ticks);
+                heap.push(Reverse(Scheduled { due, seq, env }));
+                seq += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => closed = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_sim::time::Time;
+    use std::time::Duration;
+
+    #[test]
+    fn routes_with_injected_delay() {
+        let params = ModelParams::new(2, Time(300), Time(120), Time(90));
+        let tick = Duration::from_micros(100); // d = 30 ms
+        let clock = LiveClock::new(Instant::now(), Time(0), tick);
+        let (in0_tx, _in0_rx) = bounded(16);
+        let (in1_tx, in1_rx) = bounded(16);
+        let router: Router<u32> =
+            Router::spawn(params, DelaySpec::AllMin, clock, vec![in0_tx, in1_tx]);
+        let start = Instant::now();
+        router
+            .tx
+            .send(Envelope { from: Pid(0), to: Pid(1), msg: 42 })
+            .unwrap();
+        let (from, msg) = in1_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!((from, msg), (Pid(0), 42));
+        // d − u = 180 ticks = 18 ms; allow generous jitter upward.
+        assert!(elapsed >= Duration::from_millis(17), "{elapsed:?} too fast");
+        assert!(elapsed < Duration::from_millis(100), "{elapsed:?} too slow");
+        assert_eq!(router.join(), 1);
+    }
+
+    #[test]
+    fn preserves_order_for_equal_delays() {
+        let params = ModelParams::new(2, Time(100), Time(50), Time(10));
+        let tick = Duration::from_micros(50);
+        let clock = LiveClock::new(Instant::now(), Time(0), tick);
+        let (in0_tx, _in0) = bounded(64);
+        let (in1_tx, in1_rx) = bounded(64);
+        let router: Router<u32> =
+            Router::spawn(params, DelaySpec::Constant(Time(60)), clock, vec![in0_tx, in1_tx]);
+        for i in 0..10 {
+            router
+                .tx
+                .send(Envelope { from: Pid(0), to: Pid(1), msg: i })
+                .unwrap();
+        }
+        let got: Vec<u32> = (0..10)
+            .map(|_| in1_rx.recv_timeout(Duration::from_secs(2)).unwrap().1)
+            .collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        router.join();
+    }
+}

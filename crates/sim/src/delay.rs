@@ -1,0 +1,192 @@
+//! Message-delay models.
+//!
+//! The engine asks the delay model for the delay of each message as it is
+//! sent. Models are *pure functions* of `(from, to, per-pair message index,
+//! seed)` so runs are deterministic and replayable, which the shifting
+//! machinery relies on.
+//!
+//! The paper's lower-bound constructions use *pair-wise uniform* delays given
+//! by an `n×n` matrix `D` ([`DelaySpec::Matrix`]); Theorem 1's shift
+//! transform maps matrices to matrices (see [`crate::engine::SimConfig::shifted`]).
+
+use crate::time::{ModelParams, Pid, Time};
+
+/// A deterministic message-delay assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelaySpec {
+    /// Every message takes exactly this long.
+    Constant(Time),
+    /// Pair-wise uniform delays: `matrix[from][to]`. Diagonal entries are
+    /// unused (processes do not message themselves).
+    Matrix(Vec<Vec<Time>>),
+    /// Independent per-message delays drawn uniformly from `[d - u, d]`,
+    /// deterministically derived from the seed (splitmix-style hashing).
+    UniformRandom {
+        /// RNG seed; equal seeds give equal delay assignments.
+        seed: u64,
+    },
+    /// Adversarially slow: maximum delay `d` everywhere. Equivalent to
+    /// `Constant(d)` but self-describing in experiment configs.
+    AllMax,
+    /// Adversarially fast: minimum delay `d - u` everywhere.
+    AllMin,
+}
+
+impl DelaySpec {
+    /// Build a pair-wise uniform matrix from a function.
+    pub fn matrix_from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Time) -> DelaySpec {
+        DelaySpec::Matrix(
+            (0..n)
+                .map(|i| (0..n).map(|j| f(i, j)).collect())
+                .collect(),
+        )
+    }
+
+    /// The delay of the `k`-th message from `from` to `to`.
+    pub fn delay(&self, params: ModelParams, from: Pid, to: Pid, k: u64) -> Time {
+        match self {
+            DelaySpec::Constant(t) => *t,
+            DelaySpec::Matrix(m) => m[from.0][to.0],
+            DelaySpec::UniformRandom { seed } => {
+                let h = splitmix64(
+                    seed ^ (from.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (to.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                        ^ k.wrapping_mul(0x1656_67B1_9E37_79F9),
+                );
+                let span = (params.u.as_ticks() + 1) as u64;
+                params.min_delay() + Time((h % span) as i64)
+            }
+            DelaySpec::AllMax => params.d,
+            DelaySpec::AllMin => params.min_delay(),
+        }
+    }
+
+    /// Check that every delay this spec can produce is admissible for
+    /// `params`. For `Matrix`, checks all off-diagonal entries.
+    pub fn admissible(&self, params: ModelParams) -> bool {
+        match self {
+            DelaySpec::Constant(t) => params.delay_ok(*t),
+            DelaySpec::Matrix(m) => {
+                m.len() == params.n
+                    && m.iter().enumerate().all(|(i, row)| {
+                        row.len() == params.n
+                            && row
+                                .iter()
+                                .enumerate()
+                                .all(|(j, t)| i == j || params.delay_ok(*t))
+                    })
+            }
+            DelaySpec::UniformRandom { .. } | DelaySpec::AllMax | DelaySpec::AllMin => true,
+        }
+    }
+
+    /// The entries of a matrix spec, if this is one.
+    pub fn as_matrix(&self) -> Option<&Vec<Vec<Time>>> {
+        match self {
+            DelaySpec::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Materialize this spec as an explicit matrix (only for pair-wise
+    /// uniform specs: `Constant`, `Matrix`, `AllMax`, `AllMin`).
+    pub fn to_matrix(&self, params: ModelParams) -> Option<Vec<Vec<Time>>> {
+        match self {
+            DelaySpec::Matrix(m) => Some(m.clone()),
+            DelaySpec::Constant(t) => {
+                Some(vec![vec![*t; params.n]; params.n])
+            }
+            DelaySpec::AllMax => Some(vec![vec![params.d; params.n]; params.n]),
+            DelaySpec::AllMin => Some(vec![vec![params.min_delay(); params.n]; params.n]),
+            DelaySpec::UniformRandom { .. } => None,
+        }
+    }
+}
+
+/// SplitMix64 hash step: uniform, fast, deterministic.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::default_experiment()
+    }
+
+    #[test]
+    fn constant_and_extremes() {
+        let p = params();
+        assert_eq!(DelaySpec::AllMax.delay(p, Pid(0), Pid(1), 0), p.d);
+        assert_eq!(DelaySpec::AllMin.delay(p, Pid(0), Pid(1), 0), p.min_delay());
+        assert_eq!(
+            DelaySpec::Constant(Time(4000)).delay(p, Pid(2), Pid(3), 9),
+            Time(4000)
+        );
+    }
+
+    #[test]
+    fn matrix_lookup() {
+        let p = params();
+        let spec = DelaySpec::matrix_from_fn(4, |i, j| Time(3600 + (i as i64) * 100 + j as i64));
+        assert_eq!(spec.delay(p, Pid(2), Pid(1), 5), Time(3801));
+        assert!(spec.admissible(p));
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_and_in_range() {
+        let p = params();
+        let spec = DelaySpec::UniformRandom { seed: 42 };
+        for k in 0..1000 {
+            let d1 = spec.delay(p, Pid(0), Pid(1), k);
+            let d2 = spec.delay(p, Pid(0), Pid(1), k);
+            assert_eq!(d1, d2);
+            assert!(p.delay_ok(d1), "delay {d1:?} out of range");
+        }
+        // Different seeds give different assignments (statistically).
+        let other = DelaySpec::UniformRandom { seed: 43 };
+        let same = (0..100)
+            .filter(|&k| spec.delay(p, Pid(0), Pid(1), k) == other.delay(p, Pid(0), Pid(1), k))
+            .count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn uniform_random_spans_the_range() {
+        let p = params();
+        let spec = DelaySpec::UniformRandom { seed: 7 };
+        let mut min_seen = Time::MAX;
+        let mut max_seen = Time::MIN;
+        for k in 0..5000 {
+            let d = spec.delay(p, Pid(0), Pid(1), k);
+            min_seen = min_seen.min(d);
+            max_seen = max_seen.max(d);
+        }
+        // With 5000 samples over 2401 values both extremes should be close.
+        assert!(min_seen <= p.min_delay() + Time(20));
+        assert!(max_seen >= p.d - Time(20));
+    }
+
+    #[test]
+    fn inadmissible_matrix_detected() {
+        let p = params();
+        let spec = DelaySpec::matrix_from_fn(4, |_, _| Time(100)); // below d - u
+        assert!(!spec.admissible(p));
+        let ok = DelaySpec::matrix_from_fn(4, |_, _| p.d);
+        assert!(ok.admissible(p));
+    }
+
+    #[test]
+    fn to_matrix_materializes() {
+        let p = params();
+        let m = DelaySpec::AllMin.to_matrix(p).unwrap();
+        assert_eq!(m[0][1], p.min_delay());
+        assert!(DelaySpec::UniformRandom { seed: 1 }.to_matrix(p).is_none());
+    }
+}

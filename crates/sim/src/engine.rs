@@ -1,0 +1,623 @@
+//! The deterministic discrete-event engine realizing the system model of
+//! Section 2.2: `n` processes with drift-free offset clocks, point-to-point
+//! messages with per-message delays from a [`DelaySpec`], and
+//! event-triggered state machines ([`Node`]).
+//!
+//! Determinism: events are processed in `(real time, class, sequence)` order,
+//! where simultaneous events order deliveries before timers before
+//! invocations; all delay models are pure functions. Re-running the same
+//! [`SimConfig`] always produces the identical [`Run`] — the property the
+//! shifting experiments (Theorem 1) rely on.
+
+use crate::delay::DelaySpec;
+use crate::node::{Effects, Node};
+use crate::run::{MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
+use crate::schedule::Schedule;
+use crate::time::{ModelParams, Pid, Time};
+use lintime_adt::spec::Invocation;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Complete configuration of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Model parameters `(n, d, u, ε)`.
+    pub params: ModelParams,
+    /// Clock offsets `C`: local = real + `offsets[i]`.
+    pub offsets: Vec<Time>,
+    /// Message-delay assignment `D`.
+    pub delay: DelaySpec,
+    /// Invocation schedule.
+    pub schedule: Schedule,
+    /// Record per-message send/receive times (needed for record-level
+    /// admissibility checks and chopping).
+    pub record_messages: bool,
+    /// Record per-process views (needed for view-equivalence checks).
+    pub record_views: bool,
+    /// Hard stop: ignore events after this real time (None = run to
+    /// quiescence).
+    pub max_real_time: Option<Time>,
+    /// Hard stop: maximum number of events to process.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A configuration with synchronized clocks (all offsets 0), the given
+    /// delay spec, and an empty schedule.
+    pub fn new(params: ModelParams, delay: DelaySpec) -> Self {
+        SimConfig {
+            params,
+            offsets: vec![Time::ZERO; params.n],
+            delay,
+            schedule: Schedule::new(),
+            record_messages: false,
+            record_views: false,
+            max_real_time: None,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Set the clock offsets (must have length `n`).
+    pub fn with_offsets(mut self, offsets: Vec<Time>) -> Self {
+        assert_eq!(offsets.len(), self.params.n);
+        self.offsets = offsets;
+        self
+    }
+
+    /// Set the schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enable message and view recording.
+    pub fn recording_all(mut self) -> Self {
+        self.record_messages = true;
+        self.record_views = true;
+        self
+    }
+
+    /// Check configuration admissibility (Section 2.2): clock skews within ε
+    /// and the delay spec within `[d - u, d]`.
+    pub fn admissible(&self) -> Result<(), String> {
+        let max = self.offsets.iter().copied().max().unwrap_or(Time::ZERO);
+        let min = self.offsets.iter().copied().min().unwrap_or(Time::ZERO);
+        if max - min > self.params.epsilon {
+            return Err(format!(
+                "clock skew {} exceeds epsilon {}",
+                max - min,
+                self.params.epsilon
+            ));
+        }
+        if !self.delay.admissible(self.params) {
+            return Err("delay spec produces delays outside [d-u, d]".to_string());
+        }
+        Ok(())
+    }
+
+    /// The shifted configuration `shift(·, x̄)` per Theorem 1: offsets become
+    /// `c_i − x_i`, matrix delays become `δ_ij − x_i + x_j`, and scheduled
+    /// invocations at `p_i` move by `x_i`. Panics if the delay spec is not
+    /// pair-wise uniform (only those are shiftable in closed form).
+    pub fn shifted(&self, x: &[Time]) -> SimConfig {
+        assert_eq!(x.len(), self.params.n);
+        let matrix = self
+            .delay
+            .to_matrix(self.params)
+            .expect("only pair-wise uniform delay specs can be shifted");
+        let n = self.params.n;
+        let shifted_matrix = DelaySpec::matrix_from_fn(n, |i, j| {
+            if i == j {
+                matrix[i][j]
+            } else {
+                matrix[i][j] - x[i] + x[j]
+            }
+        });
+        SimConfig {
+            params: self.params,
+            offsets: self.offsets.iter().zip(x).map(|(c, xi)| *c - *xi).collect(),
+            delay: shifted_matrix,
+            schedule: self.schedule.shifted(x),
+            record_messages: self.record_messages,
+            record_views: self.record_views,
+            max_real_time: self.max_real_time,
+            max_events: self.max_events,
+        }
+    }
+}
+
+/// Event payload in the engine heap.
+enum EventKind<M, T> {
+    Invoke { inv: Invocation, from_script: bool },
+    Deliver { from: Pid, msg: M },
+    Timer { id: u64, tag: T },
+}
+
+/// Heap key: `(time, class, seq)`. Lower class processes first at equal
+/// times: deliveries (0), then timers (1), then invocations (2).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    time: Time,
+    class: u8,
+    seq: u64,
+}
+
+struct Entry<M, T> {
+    key: EventKey,
+    pid: Pid,
+    kind: EventKind<M, T>,
+}
+
+impl<M, T> PartialEq for Entry<M, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M, T> Eq for Entry<M, T> {}
+impl<M, T> PartialOrd for Entry<M, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, T> Ord for Entry<M, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct ProcState {
+    /// Index into `ops` of the pending operation, if any, and whether it was
+    /// issued by the closed-loop script (scripts only advance on their own
+    /// operations' responses).
+    pending_op: Option<(usize, bool)>,
+    /// Remaining closed-loop script invocations.
+    script: VecDeque<Invocation>,
+    script_gap: Time,
+}
+
+/// Run the simulation: one node per process, built by `make_node`.
+pub fn simulate<N: Node>(config: &SimConfig, make_node: impl FnMut(Pid) -> N) -> Run {
+    simulate_full(config, make_node).0
+}
+
+/// Like [`simulate`], but also returns the final node states (useful for
+/// inspecting algorithm-internal logs, e.g. the Construction-1 verifier).
+pub fn simulate_full<N: Node>(
+    config: &SimConfig,
+    mut make_node: impl FnMut(Pid) -> N,
+) -> (Run, Vec<N>) {
+    let params = config.params;
+    let n = params.n;
+    assert_eq!(config.offsets.len(), n, "need one clock offset per process");
+
+    let mut nodes: Vec<N> = (0..n).map(|i| make_node(Pid(i))).collect();
+    let mut heap: BinaryHeap<Reverse<Entry<N::Msg, N::Timer>>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut next_timer_id: u64 = 0;
+    let mut dead_timers: HashSet<u64> = HashSet::new();
+    // Tags of live timers per process, parallel to ids, for cancellation.
+    let mut live_tags: Vec<Vec<(u64, N::Timer)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut msg_counters: Vec<u64> = vec![0; n * n];
+
+    let mut procs: Vec<ProcState> = (0..n)
+        .map(|_| ProcState {
+            pending_op: None,
+            script: VecDeque::new(),
+            script_gap: Time::ZERO,
+        })
+        .collect();
+
+    let mut ops: Vec<OpRecord> = Vec::new();
+    let mut msgs: Vec<MsgRecord> = Vec::new();
+    let mut views: Vec<Vec<ViewStep>> = (0..n).map(|_| Vec::new()).collect();
+    let mut errors: Vec<String> = Vec::new();
+    let mut delay_violations: u64 = 0;
+    let mut last_time = Time::ZERO;
+    let mut events: u64 = 0;
+
+    // Seed the heap from the schedule.
+    for t in &config.schedule.timed {
+        heap.push(Reverse(Entry {
+            key: EventKey { time: t.at, class: 2, seq },
+            pid: t.pid,
+            kind: EventKind::Invoke { inv: t.inv.clone(), from_script: false },
+        }));
+        seq += 1;
+    }
+    for s in &config.schedule.scripts {
+        let p = &mut procs[s.pid.0];
+        p.script = s.invocations.iter().cloned().collect();
+        p.script_gap = s.gap;
+        if let Some(first) = p.script.pop_front() {
+            heap.push(Reverse(Entry {
+                key: EventKey { time: s.start, class: 2, seq },
+                pid: s.pid,
+                kind: EventKind::Invoke { inv: first, from_script: true },
+            }));
+            seq += 1;
+        }
+    }
+
+    while let Some(Reverse(entry)) = heap.pop() {
+        let now = entry.key.time;
+        if let Some(cap) = config.max_real_time {
+            if now > cap {
+                break;
+            }
+        }
+        if events >= config.max_events {
+            errors.push(format!("event cap {} reached", config.max_events));
+            break;
+        }
+        events += 1;
+        last_time = last_time.max(now);
+        let pid = entry.pid;
+        let local = now + config.offsets[pid.0];
+        let mut fx: Effects<N::Msg, N::Timer> = Effects::new(pid, n, local);
+
+        let trigger = match entry.kind {
+            EventKind::Invoke { inv, from_script } => {
+                if procs[pid.0].pending_op.is_some() {
+                    errors.push(format!(
+                        "{pid}: invocation {inv:?} at {now} while another operation is pending"
+                    ));
+                    continue;
+                }
+                procs[pid.0].pending_op = Some((ops.len(), from_script));
+                ops.push(OpRecord {
+                    pid,
+                    invocation: inv.clone(),
+                    ret: None,
+                    t_invoke: now,
+                    t_respond: None,
+                });
+                let trig = config
+                    .record_views
+                    .then(|| StepTrigger::Invoke(format!("{inv:?}")));
+                nodes[pid.0].on_invoke(inv, &mut fx);
+                trig
+            }
+            EventKind::Deliver { from, msg } => {
+                let trig = config.record_views.then(|| StepTrigger::Deliver {
+                    from,
+                    msg: format!("{msg:?}"),
+                });
+                nodes[pid.0].on_deliver(from, msg, &mut fx);
+                trig
+            }
+            EventKind::Timer { id, tag } => {
+                if dead_timers.remove(&id) {
+                    continue;
+                }
+                live_tags[pid.0].retain(|(tid, _)| *tid != id);
+                let trig = config
+                    .record_views
+                    .then(|| StepTrigger::Timer(format!("{tag:?}")));
+                nodes[pid.0].on_timer(tag, &mut fx);
+                trig
+            }
+        };
+
+        // Apply effects deterministically: cancels, then sends, then timers,
+        // then the response.
+        for tag in fx.timers_cancelled.drain(..) {
+            live_tags[pid.0].retain(|(id, t)| {
+                if *t == tag {
+                    dead_timers.insert(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let sends = fx.sends.len();
+        for (to, msg) in fx.sends.drain(..) {
+            assert!(to.0 < n, "send to unknown process {to}");
+            assert_ne!(to, pid, "processes do not message themselves");
+            let k = {
+                let c = &mut msg_counters[pid.0 * n + to.0];
+                let v = *c;
+                *c += 1;
+                v
+            };
+            let delay = config.delay.delay(params, pid, to, k);
+            assert!(delay >= Time::ZERO, "negative message delay {delay:?}");
+            if !params.delay_ok(delay) {
+                delay_violations += 1;
+            }
+            let t_recv = now + delay;
+            let deliverable = config.max_real_time.is_none_or(|cap| t_recv <= cap);
+            if config.record_messages {
+                msgs.push(MsgRecord {
+                    from: pid,
+                    to,
+                    t_send: now,
+                    t_recv: deliverable.then_some(t_recv),
+                });
+            }
+            heap.push(Reverse(Entry {
+                key: EventKey { time: t_recv, class: 0, seq },
+                pid: to,
+                kind: EventKind::Deliver { from: pid, msg },
+            }));
+            seq += 1;
+        }
+        for (local_fire, tag) in fx.timers_set.drain(..) {
+            let real_fire = local_fire - config.offsets[pid.0];
+            let id = next_timer_id;
+            next_timer_id += 1;
+            live_tags[pid.0].push((id, tag.clone()));
+            heap.push(Reverse(Entry {
+                key: EventKey { time: real_fire, class: 1, seq },
+                pid,
+                kind: EventKind::Timer { id, tag },
+            }));
+            seq += 1;
+        }
+        let response = fx.response.take();
+        if config.record_views {
+            if let Some(trigger) = trigger {
+                views[pid.0].push(ViewStep {
+                    local_time: local,
+                    trigger,
+                    sends,
+                    response: response.as_ref().map(|v| format!("{v:?}")),
+                });
+            }
+        }
+        if let Some(ret) = response {
+            match procs[pid.0].pending_op.take() {
+                Some((op_idx, from_script)) => {
+                    ops[op_idx].ret = Some(ret);
+                    ops[op_idx].t_respond = Some(now);
+                    // Closed-loop: a *scripted* response schedules the next
+                    // scripted invocation.
+                    if from_script {
+                        if let Some(next_inv) = procs[pid.0].script.pop_front() {
+                            let at = now + procs[pid.0].script_gap;
+                            heap.push(Reverse(Entry {
+                                key: EventKey { time: at, class: 2, seq },
+                                pid,
+                                kind: EventKind::Invoke { inv: next_inv, from_script: true },
+                            }));
+                            seq += 1;
+                        }
+                    }
+                }
+                None => {
+                    errors.push(format!("{pid}: response {ret:?} at {now} with no pending op"));
+                }
+            }
+        }
+    }
+
+    let run = Run {
+        params,
+        offsets: config.offsets.clone(),
+        ops,
+        msgs,
+        views,
+        last_time,
+        events,
+        errors,
+        delay_violations,
+    };
+    (run, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::value::Value;
+
+    /// Echo node: responds to any invocation after a fixed local delay,
+    /// optionally pinging all peers first.
+    struct EchoNode {
+        wait: Time,
+        ping_peers: bool,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct RespondTimer(Invocation);
+
+    impl Node for EchoNode {
+        type Msg = u32;
+        type Timer = RespondTimer;
+
+        fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<u32, RespondTimer>) {
+            if self.ping_peers {
+                fx.broadcast(7);
+            }
+            fx.set_timer(self.wait, RespondTimer(inv));
+        }
+
+        fn on_deliver(&mut self, _from: Pid, _msg: u32, _fx: &mut Effects<u32, RespondTimer>) {}
+
+        fn on_timer(&mut self, t: RespondTimer, fx: &mut Effects<u32, RespondTimer>) {
+            fx.respond(t.0.arg.clone());
+        }
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::new(ModelParams::default_experiment(), DelaySpec::AllMax)
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let cfg = config().with_schedule(
+            Schedule::new().at(Pid(0), Time(100), Invocation::new("echo", 5)),
+        );
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(50), ping_peers: false });
+        assert!(run.complete());
+        assert_eq!(run.ops.len(), 1);
+        assert_eq!(run.ops[0].ret, Some(Value::Int(5)));
+        assert_eq!(run.ops[0].latency(), Some(Time(50)));
+        assert!(run.errors.is_empty());
+    }
+
+    #[test]
+    fn messages_are_delivered_with_spec_delay() {
+        let cfg = SimConfig {
+            record_messages: true,
+            ..config()
+        }
+        .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("go")));
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(1), ping_peers: true });
+        assert_eq!(run.msgs.len(), 3);
+        for m in &run.msgs {
+            assert_eq!(m.delay(), Some(run.params.d));
+        }
+        assert!(run.is_admissible());
+    }
+
+    #[test]
+    fn closed_loop_script_runs_sequentially() {
+        let invs = vec![
+            Invocation::new("a", 1),
+            Invocation::new("b", 2),
+            Invocation::new("c", 3),
+        ];
+        let cfg = config().with_schedule(Schedule::new().script(crate::schedule::Script {
+            pid: Pid(2),
+            start: Time(10),
+            gap: Time(5),
+            invocations: invs,
+        }));
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(20), ping_peers: false });
+        assert_eq!(run.ops.len(), 3);
+        assert_eq!(run.ops[0].t_invoke, Time(10));
+        assert_eq!(run.ops[0].t_respond, Some(Time(30)));
+        assert_eq!(run.ops[1].t_invoke, Time(35)); // 30 + gap 5
+        assert_eq!(run.ops[2].t_invoke, Time(60));
+        assert!(run.complete());
+    }
+
+    #[test]
+    fn overlapping_invocations_are_rejected() {
+        let cfg = config().with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::nullary("x"))
+                .at(Pid(0), Time(1), Invocation::nullary("y")), // overlaps (wait=50)
+        );
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(50), ping_peers: false });
+        assert_eq!(run.ops.len(), 1);
+        assert_eq!(run.errors.len(), 1);
+        assert!(run.errors[0].contains("pending"));
+    }
+
+    #[test]
+    fn determinism_identical_reruns() {
+        let cfg = SimConfig {
+            record_messages: true,
+            record_views: true,
+            ..config()
+        }
+        .with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(0), Invocation::new("echo", 1))
+                .at(Pid(1), Time(0), Invocation::new("echo", 2))
+                .at(Pid(2), Time(3), Invocation::new("echo", 3)),
+        );
+        let r1 = simulate(&cfg, |_| EchoNode { wait: Time(9), ping_peers: true });
+        let r2 = simulate(&cfg, |_| EchoNode { wait: Time(9), ping_peers: true });
+        assert_eq!(r1.ops, r2.ops);
+        assert_eq!(r1.msgs, r2.msgs);
+        assert!(r1.views_equal(&r2));
+        assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn max_real_time_stops_the_run() {
+        let cfg = SimConfig {
+            max_real_time: Some(Time(25)),
+            ..config()
+        }
+        .with_schedule(Schedule::new().script(crate::schedule::Script {
+            pid: Pid(0),
+            start: Time(0),
+            gap: Time(0),
+            invocations: vec![Invocation::nullary("x"); 100],
+        }));
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(10), ping_peers: false });
+        // Only ops fully inside [0, 25] complete: invocations at 0, 10, 20.
+        assert!(run.ops.len() <= 3);
+        assert!(run.last_time <= Time(25));
+    }
+
+    /// Node that sets a timer then cancels it upon a message.
+    struct CancelNode;
+    impl Node for CancelNode {
+        type Msg = ();
+        type Timer = u8;
+        fn on_invoke(&mut self, _inv: Invocation, fx: &mut Effects<(), u8>) {
+            fx.set_timer(Time(100), 1); // would respond late
+            fx.send(Pid(1), ());
+        }
+        fn on_deliver(&mut self, _from: Pid, _msg: (), fx: &mut Effects<(), u8>) {
+            // p1 echoes back; p0 cancels the slow timer and responds fast.
+            if fx.pid() == Pid(1) {
+                fx.send(Pid(0), ());
+            } else {
+                fx.cancel_timer(1);
+                fx.respond(Value::Int(99));
+            }
+        }
+        fn on_timer(&mut self, _t: u8, fx: &mut Effects<(), u8>) {
+            fx.respond(Value::Int(-1));
+        }
+    }
+
+    #[test]
+    fn timer_cancellation_prevents_firing() {
+        let params = ModelParams::new(2, Time(30), Time(10), Time(5));
+        let cfg = SimConfig::new(params, DelaySpec::AllMin)
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("x")));
+        let run = simulate(&cfg, |_| CancelNode);
+        assert!(run.complete());
+        // Round trip of 2 × (d-u) = 40 < timer 100, so cancel wins.
+        assert_eq!(run.ops[0].ret, Some(Value::Int(99)));
+        assert_eq!(run.ops[0].latency(), Some(Time(40)));
+        assert!(run.errors.is_empty());
+    }
+
+    #[test]
+    fn event_ordering_delivers_before_timers() {
+        // A deliver and a timer scheduled for the same instant: deliver wins,
+        // so the CancelNode cancels its timer exactly at the tie.
+        let params = ModelParams::new(2, Time(50), Time(10), Time(5));
+        let cfg = SimConfig::new(params, DelaySpec::AllMax)
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("x")));
+        // Round trip = 100 = timer fire time.
+        let run = simulate(&cfg, |_| CancelNode);
+        assert_eq!(run.ops[0].ret, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn shifted_config_follows_theorem_1() {
+        let cfg = config();
+        let x = vec![Time(100), Time(-100), Time(0), Time(0)];
+        let shifted = cfg.shifted(&x);
+        assert_eq!(shifted.offsets[0], Time(-100));
+        assert_eq!(shifted.offsets[1], Time(100));
+        let m = shifted.delay.as_matrix().unwrap();
+        // d' = d - x_0 + x_1 = 6000 - 100 - 100.
+        assert_eq!(m[0][1], Time(5800));
+        assert_eq!(m[1][0], Time(6200));
+        assert_eq!(m[2][3], Time(6000));
+    }
+
+    #[test]
+    fn inadmissible_config_detected() {
+        let mut cfg = config();
+        assert!(cfg.admissible().is_ok());
+        cfg.offsets[0] = Time(99999);
+        assert!(cfg.admissible().is_err());
+        let bad_delay = SimConfig::new(
+            ModelParams::default_experiment(),
+            DelaySpec::Constant(Time(1)),
+        );
+        assert!(bad_delay.admissible().is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Run fragments, the `chop` operator, and appendability (Section 4.1).
+//!
+//! The paper's "modified shift" technique starts from an admissible run with
+//! pair-wise uniform delays, shifts it so that *exactly one* ordered pair of
+//! processes has an invalid delay, and then **chops** each process's timed
+//! view just before information through the invalid channel could reach it.
+//! Lemma 2 states the result is again a run fragment whose delays are all
+//! valid. This module implements `chop` as surgery on recorded [`Run`]s and
+//! provides an executable check of Lemma 2's two claims, which the property
+//! tests exercise with random shift vectors and delay matrices.
+
+use crate::run::{MsgRecord, OpRecord, Run};
+use crate::time::{Pid, Time};
+
+/// A chopped run fragment: the original records truncated at per-process cut
+/// times.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Per-process cut times (real): every step of `p_i` at time ≥ `cuts[i]`
+    /// has been removed.
+    pub cuts: Vec<Time>,
+    /// Surviving operation records (responses after the cut are removed).
+    pub ops: Vec<OpRecord>,
+    /// Surviving message records (receipts after the recipient's cut become
+    /// undelivered).
+    pub msgs: Vec<MsgRecord>,
+}
+
+/// Errors from [`chop`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChopError {
+    /// The run records contain no message from `s` to `r`, so `t_m` is
+    /// undefined.
+    NoMessageOnInvalidChannel,
+    /// Message recording was disabled for the run.
+    NoMessageRecords,
+}
+
+/// All-pairs shortest path distances with respect to a delay matrix
+/// (Dijkstra is overkill at these sizes; Floyd–Warshall keeps it simple).
+pub fn shortest_paths(matrix: &[Vec<Time>]) -> Vec<Vec<Time>> {
+    let n = matrix.len();
+    let mut dist = vec![vec![Time::MAX; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = Time::ZERO;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                dist[i][j] = matrix[i][j];
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if dist[i][k] != Time::MAX && dist[k][j] != Time::MAX {
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// `chop(R, δ)` for a run with pair-wise uniform delays `matrix` in which the
+/// single invalid delay is on the channel `s → r` (Section 4.1):
+///
+/// * `t_m` — real time of the first message from `s` to `r`;
+/// * `p_r` is cut just before `t* = t_m + min(d_sr, δ)`;
+/// * every other `p_i` is cut just before `t* + δ_ri` where `δ_ri` is the
+///   shortest-path distance from `r` to `i` in `matrix`.
+pub fn chop(
+    run: &Run,
+    matrix: &[Vec<Time>],
+    s: Pid,
+    r: Pid,
+    delta: Time,
+) -> Result<Fragment, ChopError> {
+    if run.msgs.is_empty() && !run.ops.is_empty() {
+        return Err(ChopError::NoMessageRecords);
+    }
+    let t_m = run
+        .msgs
+        .iter()
+        .filter(|m| m.from == s && m.to == r)
+        .map(|m| m.t_send)
+        .min()
+        .ok_or(ChopError::NoMessageOnInvalidChannel)?;
+    let n = matrix.len();
+    let d_sr = matrix[s.0][r.0];
+    let t_star = t_m + d_sr.min(delta);
+    let dist = shortest_paths(matrix);
+    let mut cuts = vec![Time::ZERO; n];
+    for (i, cut) in cuts.iter_mut().enumerate() {
+        *cut = if i == r.0 { t_star } else { t_star + dist[r.0][i] };
+    }
+    Ok(apply_cuts(run, &cuts))
+}
+
+/// Truncate a run at per-process cut times: steps at time ≥ `cuts[i]` are
+/// removed from `p_i`'s view.
+pub fn apply_cuts(run: &Run, cuts: &[Time]) -> Fragment {
+    let ops = run
+        .ops
+        .iter()
+        .filter(|op| op.t_invoke < cuts[op.pid.0])
+        .map(|op| {
+            let mut op = op.clone();
+            if op.t_respond.is_some_and(|t| t >= cuts[op.pid.0]) {
+                op.t_respond = None;
+                op.ret = None;
+            }
+            op
+        })
+        .collect();
+    let msgs = run
+        .msgs
+        .iter()
+        .filter(|m| m.t_send < cuts[m.from.0])
+        .map(|m| {
+            let mut m = m.clone();
+            if m.t_recv.is_some_and(|t| t >= cuts[m.to.0]) {
+                m.t_recv = None;
+            }
+            m
+        })
+        .collect();
+    Fragment { cuts: cuts.to_vec(), ops, msgs }
+}
+
+impl Fragment {
+    /// First real time of any surviving step (`first-time` in the paper).
+    pub fn first_time(&self) -> Option<Time> {
+        self.ops
+            .iter()
+            .map(|o| o.t_invoke)
+            .chain(self.msgs.iter().map(|m| m.t_send))
+            .min()
+    }
+
+    /// Last real time of any surviving step.
+    pub fn last_time(&self) -> Option<Time> {
+        self.ops
+            .iter()
+            .flat_map(|o| [Some(o.t_invoke), o.t_respond])
+            .flatten()
+            .chain(
+                self.msgs
+                    .iter()
+                    .flat_map(|m| [Some(m.t_send), m.t_recv])
+                    .flatten(),
+            )
+            .max()
+    }
+
+    /// Executable check of Lemma 2 for this fragment:
+    ///
+    /// 1. every message **received** in the fragment has delay in
+    ///    `[d - u, d]`;
+    /// 2. every message sent but **not received** in the fragment has its
+    ///    recipient's view cut before `t_send + d`;
+    /// 3. the fragment is *closed*: every surviving receipt's send also
+    ///    survives (sends happen before the sender's cut).
+    pub fn verify_lemma2(&self, params: crate::time::ModelParams) -> Result<(), String> {
+        for m in &self.msgs {
+            match m.t_recv {
+                Some(t_recv) => {
+                    let delay = t_recv - m.t_send;
+                    if !params.delay_ok(delay) {
+                        return Err(format!(
+                            "received message {}→{} has invalid delay {delay:?}",
+                            m.from, m.to
+                        ));
+                    }
+                    if t_recv >= self.cuts[m.to.0] {
+                        return Err(format!(
+                            "message {}→{} received after the recipient's cut",
+                            m.from, m.to
+                        ));
+                    }
+                }
+                None => {
+                    // Cuts are exclusive: surviving steps are strictly before
+                    // the cut, so admissibility ("last step < t_send + d")
+                    // holds iff cut ≤ t_send + d.
+                    if self.cuts[m.to.0] > m.t_send + params.d {
+                        return Err(format!(
+                            "undelivered message {}→{} but recipient survives past t_send + d",
+                            m.from, m.to
+                        ));
+                    }
+                }
+            }
+            if m.t_send >= self.cuts[m.from.0] {
+                return Err(format!(
+                    "message {}→{} sent after the sender's cut",
+                    m.from, m.to
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appendability check (Section 4.1): this fragment may be appended to a
+    /// complete run `prefix` when the clock offsets agree and this fragment
+    /// starts strictly after `prefix` ends. (The state-continuity condition
+    /// is discharged by History Oblivion for the algorithms we run; it is not
+    /// checkable at the record level.)
+    pub fn appendable_to(&self, prefix: &Run) -> Result<(), String> {
+        if !prefix.complete() {
+            return Err("prefix run is not complete".into());
+        }
+        if let Some(ft) = self.first_time() {
+            if ft <= prefix.last_time() {
+                return Err(format!(
+                    "fragment starts at {ft:?}, not after prefix last-time {:?}",
+                    prefix.last_time()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Append this fragment's records to a prefix run, producing a combined
+    /// record set (offsets and params taken from the prefix).
+    pub fn append_to(&self, prefix: &Run) -> Result<Run, String> {
+        self.appendable_to(prefix)?;
+        let mut ops = prefix.ops.clone();
+        ops.extend(self.ops.iter().cloned());
+        let mut msgs = prefix.msgs.clone();
+        msgs.extend(self.msgs.iter().cloned());
+        let last_time = self.last_time().unwrap_or(prefix.last_time()).max(prefix.last_time());
+        let delay_violations = msgs
+            .iter()
+            .filter_map(MsgRecord::delay)
+            .filter(|d| !prefix.params.delay_ok(*d))
+            .count() as u64;
+        Ok(Run {
+            params: prefix.params,
+            offsets: prefix.offsets.clone(),
+            ops,
+            msgs,
+            views: Vec::new(),
+            last_time,
+            events: prefix.events,
+            errors: prefix.errors.clone(),
+            delay_violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ModelParams;
+    use lintime_adt::spec::Invocation;
+    use lintime_adt::value::Value;
+
+    fn params() -> ModelParams {
+        ModelParams::default_experiment()
+    }
+
+    fn mk_run(ops: Vec<OpRecord>, msgs: Vec<MsgRecord>) -> Run {
+        let last = msgs
+            .iter()
+            .flat_map(|m| [Some(m.t_send), m.t_recv])
+            .flatten()
+            .chain(ops.iter().flat_map(|o| [Some(o.t_invoke), o.t_respond]).flatten())
+            .max()
+            .unwrap_or(Time::ZERO);
+        Run {
+            params: params(),
+            offsets: vec![Time::ZERO; 4],
+            ops,
+            msgs,
+            views: Vec::new(),
+            last_time: last,
+            events: 0,
+            errors: Vec::new(),
+            delay_violations: 0,
+        }
+    }
+
+    #[test]
+    fn shortest_paths_uniform_matrix() {
+        let m = vec![vec![Time(10); 3]; 3];
+        let d = shortest_paths(&m);
+        assert_eq!(d[0][0], Time::ZERO);
+        assert_eq!(d[0][1], Time(10));
+        assert_eq!(d[2][1], Time(10));
+    }
+
+    #[test]
+    fn shortest_paths_prefers_two_hops() {
+        // 0→1 direct is 100; 0→2→1 is 10+10.
+        let mut m = vec![vec![Time(100); 3]; 3];
+        m[0][2] = Time(10);
+        m[2][1] = Time(10);
+        let d = shortest_paths(&m);
+        assert_eq!(d[0][1], Time(20));
+    }
+
+    #[test]
+    fn chop_cuts_at_proof_times() {
+        let p = params();
+        // Matrix with a single invalid delay 1→0 of d + m.
+        let m_extra = p.m();
+        let mut matrix = vec![vec![p.d; 4]; 4];
+        matrix[1][0] = p.d + m_extra;
+        let msgs = vec![
+            MsgRecord { from: Pid(1), to: Pid(0), t_send: Time(100), t_recv: Some(Time(100) + p.d + m_extra) },
+            MsgRecord { from: Pid(1), to: Pid(2), t_send: Time(100), t_recv: Some(Time(100) + p.d) },
+        ];
+        let run = mk_run(Vec::new(), msgs);
+        let delta = p.d - m_extra;
+        let frag = chop(&run, &matrix, Pid(1), Pid(0), delta).unwrap();
+        // t* = 100 + min(d + m, d - m) = 100 + d - m.
+        let t_star = Time(100) + p.d - m_extra;
+        assert_eq!(frag.cuts[0], t_star);
+        // Others cut at t* + shortest path from p0 (all edges d).
+        assert_eq!(frag.cuts[1], t_star + p.d);
+        assert_eq!(frag.cuts[2], t_star + p.d);
+        // The invalid message is no longer received (recv at 100 + d + m ≥ cut).
+        assert!(frag.msgs[0].t_recv.is_none());
+        assert!(frag.verify_lemma2(p).is_ok());
+    }
+
+    #[test]
+    fn chop_requires_message_on_invalid_channel() {
+        let run = mk_run(
+            Vec::new(),
+            vec![MsgRecord { from: Pid(0), to: Pid(1), t_send: Time(0), t_recv: Some(Time(6000)) }],
+        );
+        let matrix = vec![vec![params().d; 4]; 4];
+        assert_eq!(
+            chop(&run, &matrix, Pid(2), Pid(3), Time(4000)).unwrap_err(),
+            ChopError::NoMessageOnInvalidChannel
+        );
+    }
+
+    #[test]
+    fn apply_cuts_truncates_ops_and_msgs() {
+        let ops = vec![
+            OpRecord {
+                pid: Pid(0),
+                invocation: Invocation::nullary("read"),
+                ret: Some(Value::Int(1)),
+                t_invoke: Time(10),
+                t_respond: Some(Time(50)),
+            },
+            OpRecord {
+                pid: Pid(1),
+                invocation: Invocation::nullary("read"),
+                ret: Some(Value::Int(2)),
+                t_invoke: Time(100),
+                t_respond: Some(Time(150)),
+            },
+        ];
+        let run = mk_run(ops, Vec::new());
+        let frag = apply_cuts(&run, &[Time(40), Time(120), Time(0), Time(0)]);
+        // p0's op survives but loses its response (respond at 50 ≥ cut 40).
+        assert_eq!(frag.ops.len(), 2);
+        assert!(frag.ops[0].ret.is_none());
+        // p1's op survives intact? invoked at 100 < 120 but responds 150 ≥ 120.
+        assert!(frag.ops[1].ret.is_none());
+    }
+
+    #[test]
+    fn append_requires_gap() {
+        let prefix = mk_run(
+            vec![OpRecord {
+                pid: Pid(0),
+                invocation: Invocation::nullary("read"),
+                ret: Some(Value::Int(0)),
+                t_invoke: Time(0),
+                t_respond: Some(Time(100)),
+            }],
+            Vec::new(),
+        );
+        let late = Fragment {
+            cuts: vec![Time::MAX; 4],
+            ops: vec![OpRecord {
+                pid: Pid(1),
+                invocation: Invocation::nullary("read"),
+                ret: Some(Value::Int(0)),
+                t_invoke: Time(200),
+                t_respond: Some(Time(300)),
+            }],
+            msgs: Vec::new(),
+        };
+        let combined = late.append_to(&prefix).unwrap();
+        assert_eq!(combined.ops.len(), 2);
+        assert_eq!(combined.last_time, Time(300));
+
+        let early = Fragment {
+            cuts: vec![Time::MAX; 4],
+            ops: vec![OpRecord {
+                pid: Pid(1),
+                invocation: Invocation::nullary("read"),
+                ret: None,
+                t_invoke: Time(50),
+                t_respond: None,
+            }],
+            msgs: Vec::new(),
+        };
+        assert!(early.append_to(&prefix).is_err());
+    }
+
+    #[test]
+    fn lemma2_detects_violations() {
+        let p = params();
+        // A "fragment" where an invalid-delay message is still received.
+        let frag = Fragment {
+            cuts: vec![Time::MAX; 4],
+            ops: Vec::new(),
+            msgs: vec![MsgRecord {
+                from: Pid(0),
+                to: Pid(1),
+                t_send: Time(0),
+                t_recv: Some(p.d + Time(1)),
+            }],
+        };
+        assert!(frag.verify_lemma2(p).is_err());
+        // An undelivered message whose recipient lives too long.
+        let frag2 = Fragment {
+            cuts: vec![Time::MAX, Time::MAX, Time::MAX, Time::MAX],
+            ops: Vec::new(),
+            msgs: vec![MsgRecord { from: Pid(0), to: Pid(1), t_send: Time(0), t_recv: None }],
+        };
+        assert!(frag2.verify_lemma2(p).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Recorded runs: operation records, message records, timed views,
+//! admissibility, and record-level shifting (Theorem 1).
+
+use crate::time::{ModelParams, Pid, Time};
+use lintime_adt::spec::{Invocation, OpInstance};
+use lintime_adt::value::Value;
+use std::fmt;
+
+/// One operation instance as observed in a run: the invocation, the response
+/// (if any), and their real times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpRecord {
+    /// Invoking process.
+    pub pid: Pid,
+    /// The invocation.
+    pub invocation: Invocation,
+    /// The return value, if the operation responded.
+    pub ret: Option<Value>,
+    /// Real time of the invocation event.
+    pub t_invoke: Time,
+    /// Real time of the response, if any.
+    pub t_respond: Option<Time>,
+}
+
+impl OpRecord {
+    /// Elapsed time of the operation, if completed.
+    pub fn latency(&self) -> Option<Time> {
+        self.t_respond.map(|t| t - self.t_invoke)
+    }
+
+    /// The completed instance `(op, arg, ret)`, if the operation responded.
+    pub fn instance(&self) -> Option<OpInstance> {
+        self.ret.as_ref().map(|ret| OpInstance {
+            op: self.invocation.op,
+            arg: self.invocation.arg.clone(),
+            ret: ret.clone(),
+        })
+    }
+}
+
+/// One message as observed in a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MsgRecord {
+    /// Sender.
+    pub from: Pid,
+    /// Recipient.
+    pub to: Pid,
+    /// Real send time.
+    pub t_send: Time,
+    /// Real receive time (`None` if undelivered when the run was cut off).
+    pub t_recv: Option<Time>,
+}
+
+impl MsgRecord {
+    /// The message delay, if delivered.
+    pub fn delay(&self) -> Option<Time> {
+        self.t_recv.map(|t| t - self.t_send)
+    }
+}
+
+/// The trigger of one step, as visible to the process (no real times).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepTrigger {
+    /// An operation invocation arrived from the user.
+    Invoke(String),
+    /// A message arrived.
+    Deliver {
+        /// Sending process.
+        from: Pid,
+        /// Debug rendering of the payload.
+        msg: String,
+    },
+    /// A timer went off.
+    Timer(String),
+}
+
+/// One step of a process's view: the local clock reading, the trigger, and a
+/// digest of the transition's outputs. Real times are deliberately absent —
+/// "processes have no way of observing" them — so equal views across two runs
+/// certify that the runs are indistinguishable to the process (the key fact
+/// behind the shifting technique).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewStep {
+    /// Local clock value at the step.
+    pub local_time: Time,
+    /// The triggering event.
+    pub trigger: StepTrigger,
+    /// Number of messages sent by the transition.
+    pub sends: usize,
+    /// Debug rendering of the response, if one was produced.
+    pub response: Option<String>,
+}
+
+/// A recorded run of the engine.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// Model parameters of the run.
+    pub params: ModelParams,
+    /// Clock offsets: local = real + `offsets[i]` at process `p_i`.
+    pub offsets: Vec<Time>,
+    /// All operations, in invocation order.
+    pub ops: Vec<OpRecord>,
+    /// All messages (empty unless message recording was enabled).
+    pub msgs: Vec<MsgRecord>,
+    /// Per-process views (empty unless view recording was enabled).
+    pub views: Vec<Vec<ViewStep>>,
+    /// Real time of the last processed event.
+    pub last_time: Time,
+    /// Number of events processed.
+    pub events: u64,
+    /// Engine-detected protocol errors (e.g. overlapping invocations at one
+    /// process). Empty in well-formed experiments.
+    pub errors: Vec<String>,
+    /// Delay-admissibility violations observed while running (messages with
+    /// delay outside `[d - u, d]`).
+    pub delay_violations: u64,
+}
+
+impl Run {
+    /// True iff every invocation received a response (the first correctness
+    /// requirement of Section 2.3).
+    pub fn complete(&self) -> bool {
+        self.ops.iter().all(|op| op.ret.is_some())
+    }
+
+    /// True iff the run is admissible: clock skews within ε and all observed
+    /// message delays within `[d - u, d]`.
+    pub fn is_admissible(&self) -> bool {
+        self.skew() <= self.params.epsilon && self.delay_violations == 0
+    }
+
+    /// Maximum pairwise clock skew.
+    pub fn skew(&self) -> Time {
+        let max = self.offsets.iter().copied().max().unwrap_or(Time::ZERO);
+        let min = self.offsets.iter().copied().min().unwrap_or(Time::ZERO);
+        max - min
+    }
+
+    /// All completed operations with their instances and intervals.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|op| op.ret.is_some())
+    }
+
+    /// Latencies of all completed instances of operation `op` (all, if `None`).
+    pub fn latencies(&self, op: Option<&str>) -> Vec<Time> {
+        self.completed()
+            .filter(|r| op.is_none_or(|name| r.invocation.op == name))
+            .filter_map(|r| r.latency())
+            .collect()
+    }
+
+    /// Worst-case latency over completed instances of `op` (all ops if `None`).
+    pub fn max_latency(&self, op: Option<&str>) -> Option<Time> {
+        self.latencies(op).into_iter().max()
+    }
+
+    /// `last-time` of the run (Section 2.2): the maximum real time of any
+    /// step; equals `self.last_time`.
+    pub fn last_time(&self) -> Time {
+        self.last_time
+    }
+
+    /// Record-level `shift(R, x̄)`: move every step of `p_i` by `x[i]`.
+    ///
+    /// Per Theorem 1 this changes the clock offset of `p_i` to `c_i − x_i`
+    /// and the delay of a message from `p_i` to `p_j` to `δ − x_i + x_j`,
+    /// while every process's *view* is unchanged. The returned run reflects
+    /// exactly that; `delay_violations` is recomputed from the shifted
+    /// message records (which requires message recording to have been on if
+    /// you intend to re-check admissibility).
+    pub fn shifted(&self, x: &[Time]) -> Run {
+        assert_eq!(x.len(), self.offsets.len(), "need one shift per process");
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| OpRecord {
+                pid: op.pid,
+                invocation: op.invocation.clone(),
+                ret: op.ret.clone(),
+                t_invoke: op.t_invoke + x[op.pid.0],
+                t_respond: op.t_respond.map(|t| t + x[op.pid.0]),
+            })
+            .collect::<Vec<_>>();
+        let msgs: Vec<MsgRecord> = self
+            .msgs
+            .iter()
+            .map(|m| MsgRecord {
+                from: m.from,
+                to: m.to,
+                t_send: m.t_send + x[m.from.0],
+                t_recv: m.t_recv.map(|t| t + x[m.to.0]),
+            })
+            .collect();
+        let offsets: Vec<Time> = self
+            .offsets
+            .iter()
+            .zip(x)
+            .map(|(c, xi)| *c - *xi)
+            .collect();
+        let delay_violations = msgs
+            .iter()
+            .filter_map(MsgRecord::delay)
+            .filter(|d| !self.params.delay_ok(*d))
+            .count() as u64;
+        let last_time = ops
+            .iter()
+            .flat_map(|o| [Some(o.t_invoke), o.t_respond])
+            .flatten()
+            .chain(msgs.iter().flat_map(|m| [Some(m.t_send), m.t_recv]).flatten())
+            .max()
+            .unwrap_or(self.last_time);
+        Run {
+            params: self.params,
+            offsets,
+            ops,
+            msgs,
+            views: self.views.clone(), // views are shift-invariant
+            last_time,
+            events: self.events,
+            errors: self.errors.clone(),
+            delay_violations,
+        }
+    }
+
+    /// Compare per-process views with another run (both must have view
+    /// recording enabled). Used to validate the shifting theorem: a run and
+    /// its re-executed shift must have identical views.
+    pub fn views_equal(&self, other: &Run) -> bool {
+        self.views == other.views
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run: {} ops ({} complete), {} msgs, last_time {}, admissible: {}",
+            self.ops.len(),
+            self.completed().count(),
+            self.msgs.len(),
+            self.last_time,
+            self.is_admissible()
+        )?;
+        for op in &self.ops {
+            writeln!(
+                f,
+                "  {} {:?} [{} .. {}] -> {:?}",
+                op.pid,
+                op.invocation,
+                op.t_invoke,
+                op.t_respond.map_or("pending".to_string(), |t| t.to_string()),
+                op.ret
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> Run {
+        let params = ModelParams::default_experiment();
+        Run {
+            params,
+            offsets: vec![Time(0); 4],
+            ops: vec![
+                OpRecord {
+                    pid: Pid(0),
+                    invocation: Invocation::new("write", 1),
+                    ret: Some(Value::Unit),
+                    t_invoke: Time(100),
+                    t_respond: Some(Time(1900)),
+                },
+                OpRecord {
+                    pid: Pid(1),
+                    invocation: Invocation::nullary("read"),
+                    ret: Some(Value::Int(1)),
+                    t_invoke: Time(2000),
+                    t_respond: Some(Time(8000)),
+                },
+            ],
+            msgs: vec![MsgRecord {
+                from: Pid(0),
+                to: Pid(1),
+                t_send: Time(100),
+                t_recv: Some(Time(3700)),
+            }],
+            views: vec![Vec::new(); 4],
+            last_time: Time(8000),
+            events: 10,
+            errors: Vec::new(),
+            delay_violations: 0,
+        }
+    }
+
+    #[test]
+    fn completeness_and_latency() {
+        let run = sample_run();
+        assert!(run.complete());
+        assert_eq!(run.max_latency(Some("write")), Some(Time(1800)));
+        assert_eq!(run.max_latency(Some("read")), Some(Time(6000)));
+        assert_eq!(run.max_latency(None), Some(Time(6000)));
+        assert_eq!(run.latencies(Some("nothing")), vec![]);
+    }
+
+    #[test]
+    fn admissibility_depends_on_skew_and_delays() {
+        let mut run = sample_run();
+        assert!(run.is_admissible());
+        run.offsets[0] = Time(5000); // skew 5000 > ε = 1800
+        assert!(!run.is_admissible());
+    }
+
+    #[test]
+    fn shifting_follows_theorem_1() {
+        let run = sample_run();
+        let x = [Time(600), Time(-600), Time(0), Time(0)];
+        let shifted = run.shifted(&x);
+        // Offsets: c_i - x_i.
+        assert_eq!(shifted.offsets[0], Time(-600));
+        assert_eq!(shifted.offsets[1], Time(600));
+        // Op intervals move with their process.
+        assert_eq!(shifted.ops[0].t_invoke, Time(700));
+        assert_eq!(shifted.ops[1].t_invoke, Time(1400));
+        // Message delay: δ - x_from + x_to = 3600 - 600 - 600 = 2400 < d - u.
+        assert_eq!(shifted.msgs[0].delay(), Some(Time(2400)));
+        assert_eq!(shifted.delay_violations, 1);
+        assert!(!shifted.is_admissible());
+        // Skew became 1200 ≤ ε, so inadmissibility is purely delay-driven.
+        assert_eq!(shifted.skew(), Time(1200));
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let run = sample_run();
+        let shifted = run.shifted(&[Time::ZERO; 4]);
+        assert_eq!(shifted.ops, run.ops);
+        assert_eq!(shifted.msgs, run.msgs);
+        assert_eq!(shifted.offsets, run.offsets);
+        assert!(shifted.is_admissible());
+    }
+
+    #[test]
+    fn instance_extraction() {
+        let run = sample_run();
+        let inst = run.ops[1].instance().unwrap();
+        assert_eq!(inst.op, "read");
+        assert_eq!(inst.ret, Value::Int(1));
+    }
+}

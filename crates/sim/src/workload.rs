@@ -1,0 +1,174 @@
+//! Reusable workload generators: turn a declarative mix specification into a
+//! [`Schedule`], deterministically from a seed. Used by the benchmark
+//! harness, the examples, and randomized correctness sweeps.
+
+use crate::schedule::Schedule;
+use crate::time::{ModelParams, Pid, Time};
+use lintime_adt::spec::{Invocation, ObjectSpec, OpClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative operation-class weights of a workload mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Weight of pure accessors.
+    pub accessors: u32,
+    /// Weight of pure mutators.
+    pub mutators: u32,
+    /// Weight of mixed operations.
+    pub mixed: u32,
+}
+
+impl Mix {
+    /// Mostly reads: 80 / 15 / 5.
+    pub const READ_HEAVY: Mix = Mix { accessors: 80, mutators: 15, mixed: 5 };
+    /// Mostly writes: 15 / 80 / 5.
+    pub const WRITE_HEAVY: Mix = Mix { accessors: 15, mutators: 80, mixed: 5 };
+    /// Balanced thirds.
+    pub const BALANCED: Mix = Mix { accessors: 34, mutators: 33, mixed: 33 };
+
+    fn total(&self) -> u32 {
+        self.accessors + self.mutators + self.mixed
+    }
+
+    fn pick(&self, roll: u32) -> OpClass {
+        if roll < self.accessors {
+            OpClass::PureAccessor
+        } else if roll < self.accessors + self.mutators {
+            OpClass::PureMutator
+        } else {
+            OpClass::Mixed
+        }
+    }
+}
+
+/// A declarative workload: `ops_per_process` operations per process, drawn
+/// from `mix`, with inter-invocation gaps uniform in `[0, max_gap]` after
+/// each response (closed-loop per process via timed, non-overlapping
+/// invocations).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Operation-class mix.
+    pub mix: Mix,
+    /// Operations issued by each process.
+    pub ops_per_process: usize,
+    /// Maximum extra gap between a response deadline and the next invocation.
+    pub max_gap: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A balanced default: 6 ops per process, gaps up to `2d`.
+    pub fn balanced(params: ModelParams, seed: u64) -> Workload {
+        Workload { mix: Mix::BALANCED, ops_per_process: 6, max_gap: params.d * 2, seed }
+    }
+
+    /// Materialize into a schedule for `spec`. Invocations at each process
+    /// are spaced at least `d + u + ε + 1` apart (an upper bound on any
+    /// Algorithm-1 or folklore response time), so the one-pending-op user
+    /// constraint holds for every algorithm under test.
+    ///
+    /// If the type lacks an operation of a drawn class, the draw falls back
+    /// to any operation (every type has at least one accessor and mutator).
+    pub fn schedule(&self, params: ModelParams, spec: &dyn ObjectSpec) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut schedule = Schedule::new();
+        // Worst-case completion for WTLW and both folklore baselines.
+        let op_budget = (params.d + params.u + params.epsilon).max(params.d * 2) + Time(1);
+        let metas = spec.ops();
+        for pid in 0..params.n {
+            let mut at = Time(rng.gen_range(0..=self.max_gap.as_ticks().max(1)));
+            for _ in 0..self.ops_per_process {
+                let class = self.mix.pick(rng.gen_range(0..self.mix.total()));
+                let candidates: Vec<_> = metas.iter().filter(|m| m.class == class).collect();
+                let meta = if candidates.is_empty() {
+                    &metas[rng.gen_range(0..metas.len())]
+                } else {
+                    candidates[rng.gen_range(0..candidates.len())]
+                };
+                let args = spec.suggested_args(meta.name);
+                let arg = args[rng.gen_range(0..args.len())].clone();
+                schedule = schedule.at(Pid(pid), at, Invocation::new(meta.name, arg));
+                at += op_budget + Time(rng.gen_range(0..=self.max_gap.as_ticks().max(1)));
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::erase;
+    use lintime_adt::types::{FifoQueue, GrowSet};
+
+    fn p() -> ModelParams {
+        ModelParams::default_experiment()
+    }
+
+    #[test]
+    fn generates_requested_volume() {
+        let spec = erase(FifoQueue::new());
+        let w = Workload { mix: Mix::BALANCED, ops_per_process: 5, max_gap: Time(100), seed: 1 };
+        let s = w.schedule(p(), spec.as_ref());
+        assert_eq!(s.len(), 5 * p().n);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = erase(FifoQueue::new());
+        let w = Workload::balanced(p(), 7);
+        assert_eq!(w.schedule(p(), spec.as_ref()), w.schedule(p(), spec.as_ref()));
+        let w2 = Workload { seed: 8, ..w };
+        assert_ne!(w.schedule(p(), spec.as_ref()), w2.schedule(p(), spec.as_ref()));
+    }
+
+    #[test]
+    fn read_heavy_mostly_reads() {
+        let spec = erase(FifoQueue::new());
+        let w = Workload {
+            mix: Mix::READ_HEAVY,
+            ops_per_process: 50,
+            max_gap: Time(10),
+            seed: 3,
+        };
+        let s = w.schedule(p(), spec.as_ref());
+        let peeks = s.timed.iter().filter(|t| t.inv.op == "peek").count();
+        assert!(peeks * 2 > s.len(), "{peeks} peeks of {}", s.len());
+    }
+
+    #[test]
+    fn per_process_invocations_never_overlap() {
+        let spec = erase(FifoQueue::new());
+        let w = Workload::balanced(p(), 11);
+        let s = w.schedule(p(), spec.as_ref());
+        let budget = (p().d * 2).max(p().d + p().u + p().epsilon);
+        for pid in 0..p().n {
+            let mut times: Vec<Time> = s
+                .timed
+                .iter()
+                .filter(|t| t.pid == Pid(pid))
+                .map(|t| t.at)
+                .collect();
+            times.sort();
+            for w in times.windows(2) {
+                assert!(w[1] - w[0] > budget, "overlap risk at {pid}");
+            }
+        }
+    }
+
+    #[test]
+    fn falls_back_when_class_missing() {
+        // GrowSet has no mixed operation; mixed draws must fall back.
+        let spec = erase(GrowSet::new());
+        let w = Workload {
+            mix: Mix { accessors: 0, mutators: 0, mixed: 100 },
+            ops_per_process: 10,
+            max_gap: Time(10),
+            seed: 5,
+        };
+        let s = w.schedule(p(), spec.as_ref());
+        assert_eq!(s.len(), 10 * p().n);
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the discrete-event engine itself: determinism, event
+//! accounting, admissibility reporting, and schedule-shifting identities,
+//! independent of any particular algorithm.
+
+use lintime_adt::spec::Invocation;
+use lintime_adt::value::Value;
+use lintime_sim::prelude::*;
+use proptest::prelude::*;
+
+/// A little protocol that exercises every engine feature: on invoke, ping a
+/// neighbour and set two timers, cancelling one when the pong returns.
+struct PingNode {
+    wait: Time,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum PingTimer {
+    Respond(Invocation),
+    Doom,
+}
+
+impl Node for PingNode {
+    type Msg = u8;
+    type Timer = PingTimer;
+
+    fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<u8, PingTimer>) {
+        let next = Pid((fx.pid().0 + 1) % fx.n());
+        fx.send(next, 1);
+        fx.set_timer(self.wait, PingTimer::Respond(inv));
+        fx.set_timer(self.wait * 4, PingTimer::Doom);
+    }
+
+    fn on_deliver(&mut self, from: Pid, msg: u8, fx: &mut Effects<u8, PingTimer>) {
+        if msg == 1 {
+            fx.send(from, 2); // pong
+        } else {
+            fx.cancel_timer(PingTimer::Doom);
+        }
+    }
+
+    fn on_timer(&mut self, t: PingTimer, fx: &mut Effects<u8, PingTimer>) {
+        match t {
+            PingTimer::Respond(inv) => fx.respond(inv.arg.clone()),
+            PingTimer::Doom => panic!("doom timer must always be cancelled in these runs"),
+        }
+    }
+}
+
+fn arb_params() -> impl Strategy<Value = ModelParams> {
+    (2usize..6, 1i64..50, 0i64..50).prop_map(|(n, u_base, eps)| {
+        let u = Time(u_base * 12);
+        let d = u * 3;
+        ModelParams::new(n, d, u, Time(eps))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 60, .. ProptestConfig::default() })]
+
+    #[test]
+    fn identical_configs_identical_runs(
+        params in arb_params(),
+        seed in 0u64..1000,
+        starts in proptest::collection::vec(0i64..500, 1..6),
+    ) {
+        // Wait long enough that doom timers (4 × wait) outlive the pong
+        // round trip (2d).
+        let wait = params.d * 3;
+        let mut schedule = Schedule::new();
+        // Slot width exceeds the jitter range (500) plus the response time
+        // (wait), so same-process invocations can never overlap.
+        let slot = wait * 2 + Time(500);
+        for (k, s) in starts.iter().enumerate() {
+            schedule = schedule.at(
+                Pid(k % params.n),
+                slot * (k as i64) + Time(*s),
+                Invocation::new("ping", k as i64),
+            );
+        }
+        let cfg = SimConfig::new(params, DelaySpec::UniformRandom { seed })
+            .with_schedule(schedule)
+            .recording_all();
+        let a = simulate(&cfg, |_| PingNode { wait });
+        let b = simulate(&cfg, |_| PingNode { wait });
+        prop_assert_eq!(&a.ops, &b.ops);
+        prop_assert_eq!(&a.msgs, &b.msgs);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert!(a.views_equal(&b));
+        prop_assert!(a.complete());
+        prop_assert!(a.errors.is_empty());
+        // Each op responds with its argument after exactly `wait`.
+        for op in &a.ops {
+            prop_assert_eq!(op.latency(), Some(wait));
+            prop_assert_eq!(op.ret.clone(), Some(op.invocation.arg.clone()));
+        }
+    }
+
+    #[test]
+    fn admissibility_accounting_is_exact(
+        params in arb_params(),
+        excess in 1i64..100,
+    ) {
+        // A single too-slow channel: every message on it is counted.
+        let bad = DelaySpec::matrix_from_fn(params.n, |i, j| {
+            if i == 0 && j == 1 {
+                params.d + Time(excess)
+            } else {
+                params.d
+            }
+        });
+        let wait = params.d * 3;
+        let cfg = SimConfig::new(params, bad).with_schedule(
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("ping", 1)),
+        );
+        let run = simulate(&cfg, |_| PingNode { wait });
+        // p0 pings p1 (slow channel): exactly one violating message.
+        prop_assert_eq!(run.delay_violations, 1);
+        prop_assert!(!run.is_admissible());
+    }
+
+    #[test]
+    fn schedule_shift_round_trips(
+        params in arb_params(),
+        xs in proptest::collection::vec(-200i64..200, 6),
+    ) {
+        let x: Vec<Time> = (0..params.n).map(|i| Time(xs[i % xs.len()])).collect();
+        let neg: Vec<Time> = x.iter().map(|t| -*t).collect();
+        let schedule = Schedule::new()
+            .at(Pid(0), Time(5), Invocation::nullary("a"))
+            .script(Script {
+                pid: Pid(1),
+                start: Time(100),
+                gap: Time(7),
+                invocations: vec![Invocation::nullary("b"); 3],
+            });
+        let round = schedule.shifted(&x).shifted(&neg);
+        prop_assert_eq!(round, schedule);
+    }
+}
+
+#[test]
+fn max_events_cap_reports_an_error() {
+    // A self-perpetuating protocol would run forever; the cap must stop it
+    // and say so.
+    struct Storm;
+    impl Node for Storm {
+        type Msg = ();
+        type Timer = ();
+        fn on_invoke(&mut self, _inv: Invocation, fx: &mut Effects<(), ()>) {
+            fx.broadcast(());
+        }
+        fn on_deliver(&mut self, from: Pid, _msg: (), fx: &mut Effects<(), ()>) {
+            fx.send(from, ()); // ping-pong forever
+        }
+        fn on_timer(&mut self, _t: (), _fx: &mut Effects<(), ()>) {}
+    }
+    let p = ModelParams::new(2, Time(30), Time(10), Time(5));
+    let mut cfg = SimConfig::new(p, DelaySpec::AllMin)
+        .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("go")));
+    cfg.max_events = 500;
+    let run = lintime_sim::engine::simulate(&cfg, |_| Storm);
+    assert!(run.events <= 500);
+    assert!(run.errors.iter().any(|e| e.contains("event cap")));
+    // The pending op never responded.
+    assert!(!run.complete());
+    let _ = Value::Unit;
+}
+
+#[test]
+fn chop_and_append_on_recorded_runs() {
+    // The §4.1 pipeline on real engine output: record a run whose delay
+    // matrix has exactly one invalid entry, chop it, verify Lemma 2, and
+    // append the fragment to a quiesced prefix.
+    use lintime_sim::fragment::{chop, shortest_paths};
+
+    struct Chatty;
+    impl Node for Chatty {
+        type Msg = u8;
+        type Timer = ();
+        fn on_invoke(&mut self, _inv: Invocation, fx: &mut Effects<u8, ()>) {
+            fx.broadcast(0);
+            fx.set_timer(Time(10), ());
+        }
+        fn on_deliver(&mut self, _from: Pid, msg: u8, fx: &mut Effects<u8, ()>) {
+            if msg == 0 {
+                fx.broadcast(1); // second wave
+            }
+        }
+        fn on_timer(&mut self, _t: (), fx: &mut Effects<u8, ()>) {
+            fx.respond(Value::Unit);
+        }
+    }
+
+    let p = ModelParams::new(3, Time(300), Time(120), Time(60));
+    let mut matrix = vec![vec![p.d; 3]; 3];
+    matrix[1][0] = p.d + Time(90); // the single invalid delay
+    let cfg = SimConfig::new(p, DelaySpec::Matrix(matrix.clone()))
+        .with_schedule(
+            Schedule::new()
+                .at(Pid(0), Time(1000), Invocation::nullary("go"))
+                .at(Pid(1), Time(1000), Invocation::nullary("go")),
+        )
+        .recording_all();
+    let run = simulate(&cfg, |_| Chatty);
+    assert!(run.delay_violations > 0);
+
+    let frag = chop(&run, &matrix, Pid(1), Pid(0), p.d - Time(90)).unwrap();
+    frag.verify_lemma2(p).expect("Lemma 2 must hold after chopping");
+    // The chop cut every process: cuts are finite and ordered by shortest
+    // paths from the receiver.
+    let dist = shortest_paths(&matrix);
+    assert_eq!(frag.cuts[1] - frag.cuts[0], dist[0][1]);
+    assert_eq!(frag.cuts[2] - frag.cuts[0], dist[0][2]);
+
+    // Appendability: a quiesced prefix ending before the fragment begins.
+    let prefix_cfg = SimConfig::new(p, DelaySpec::AllMax)
+        .with_schedule(Schedule::new().at(Pid(2), Time(0), Invocation::nullary("go")))
+        .recording_all();
+    let prefix = simulate(&prefix_cfg, |_| Chatty);
+    assert!(prefix.complete());
+    assert!(prefix.last_time() < frag.first_time().unwrap());
+    let combined = frag.append_to(&prefix).expect("appendable");
+    assert_eq!(combined.ops.len(), prefix.ops.len() + frag.ops.len());
+}

@@ -1,0 +1,81 @@
+//! A distributed ticket dispenser built on a Read-Modify-Write register:
+//! every site calls `rmw(1)` (fetch-and-add) and must receive a *unique*
+//! ticket number. This is the canonical pair-free operation of Theorem 4 —
+//! it cannot be implemented faster than `d + min{ε, u, d/3}`, and cutting
+//! corners produces duplicate tickets.
+//!
+//! ```sh
+//! cargo run --example ticket_counter
+//! ```
+
+use lintime_adt::prelude::*;
+use lintime_check::prelude::*;
+use lintime_core::prelude::*;
+use lintime_sim::prelude::*;
+use std::collections::HashSet;
+
+fn dispense(algo: Algorithm, params: ModelParams, rounds: usize) -> (Vec<i64>, bool) {
+    let spec = erase(RmwRegister::new(0));
+    let mut schedule = Schedule::new();
+    // Every site grabs a ticket in every round; rounds are concurrent
+    // internally (all four sites race) but separated from each other.
+    for round in 0..rounds {
+        let base = Time((round as i64) * 4 * params.d.as_ticks());
+        for i in 0..params.n {
+            schedule = schedule.at(Pid(i), base + Time(i as i64 * 7), Invocation::new("rmw", 1));
+        }
+    }
+    let cfg = SimConfig::new(params, DelaySpec::UniformRandom { seed: 3 }).with_schedule(schedule);
+    let run = run_algorithm(algo, &spec, &cfg);
+    assert!(run.complete());
+    let tickets: Vec<i64> = run
+        .ops
+        .iter()
+        .filter_map(|o| o.ret.as_ref().and_then(Value::as_int))
+        .collect();
+    let history = History::from_run(&run).expect("complete");
+    let linearizable = check(&spec, &history).is_linearizable();
+    (tickets, linearizable)
+}
+
+fn main() {
+    let params = ModelParams::default_experiment();
+    let rounds = 3;
+    println!(
+        "ticket dispenser: {} sites × {} rounds of concurrent fetch-and-add\n",
+        params.n, rounds
+    );
+
+    for (label, algo) in [
+        ("Algorithm 1 (X = 0)", Algorithm::Wtlw { x: Time::ZERO }),
+        ("centralized folklore", Algorithm::Centralized),
+        ("naive local replica (broken)", Algorithm::NaiveLocal(Time::ZERO)),
+    ] {
+        let (tickets, linearizable) = dispense(algo, params, rounds);
+        let unique: HashSet<_> = tickets.iter().collect();
+        let dup = tickets.len() - unique.len();
+        println!("{label}:");
+        println!("  tickets issued: {tickets:?}");
+        println!(
+            "  duplicates: {dup}; linearizable: {}",
+            if linearizable { "yes ✓" } else { "NO ✗" }
+        );
+        match algo {
+            Algorithm::NaiveLocal(_) => {
+                assert!(dup > 0 || !linearizable, "the strawman should misbehave");
+            }
+            _ => {
+                assert_eq!(dup, 0, "{label} issued duplicate tickets");
+                assert!(linearizable);
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "Theorem 4 says a correct dispenser cannot beat d + min{{ε, u, d/3}} = {} ticks;\n\
+         Algorithm 1 achieves exactly d + ε = {} — tight since ε ≤ min{{u, d/3}} here.",
+        params.d + params.m(),
+        params.d + params.epsilon
+    );
+}

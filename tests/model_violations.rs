@@ -1,0 +1,129 @@
+//! Failure injection: the model assumptions are *necessary*, not just
+//! sufficient. Give the adversary one message slower than `d`, or one clock
+//! skewed beyond `ε`, and the standard Algorithm 1 — whose timer constants
+//! sit exactly on the model's edge — produces checker-verified
+//! non-linearizable runs. Each scenario comes with an admissible control
+//! that stays linearizable.
+
+use lintime_adt::prelude::*;
+use lintime_check::prelude::*;
+use lintime_core::prelude::*;
+use lintime_sim::prelude::*;
+
+fn params() -> ModelParams {
+    ModelParams::default_experiment()
+}
+
+fn verdict_for(cfg: &SimConfig, spec: &std::sync::Arc<dyn ObjectSpec>) -> Verdict {
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, spec, cfg);
+    assert!(run.complete(), "{run}");
+    let history = History::from_run(&run).unwrap();
+    check(spec, &history)
+}
+
+#[test]
+fn late_message_breaks_linearizability() {
+    let p = params();
+    let spec = erase(Register::new(0));
+    // One channel (p0 → p1) delayed beyond d so that p1 executes its own
+    // later-timestamped write before learning of p0's earlier one, replaying
+    // them in the wrong order relative to the other replicas.
+    let excess = Time(3700); // > 2ε + 1
+    let schedule = Schedule::new()
+        .at(Pid(0), Time(0), Invocation::new("write", 1))
+        .at(Pid(1), p.epsilon + Time(10), Invocation::new("write", 2))
+        .at(Pid(1), Time(40_000), Invocation::nullary("read"))
+        .at(Pid(2), Time(40_000), Invocation::nullary("read"));
+    let bad_delay = DelaySpec::matrix_from_fn(p.n, |i, j| {
+        if i == 0 && j == 1 {
+            p.d + excess
+        } else {
+            p.d
+        }
+    });
+    let bad = SimConfig::new(p, bad_delay).with_schedule(schedule.clone());
+    assert!(bad.admissible().is_err(), "injected delay must be inadmissible");
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &bad);
+    assert!(run.delay_violations > 0);
+    let history = History::from_run(&run).unwrap();
+    assert_eq!(
+        check(&spec, &history),
+        Verdict::NotLinearizable,
+        "replicas must diverge when a message exceeds d: {run}"
+    );
+
+    // Control: the same schedule with the delay at exactly d is fine.
+    let good = SimConfig::new(p, DelaySpec::AllMax).with_schedule(schedule);
+    assert!(good.admissible().is_ok());
+    assert!(verdict_for(&good, &spec).is_linearizable());
+}
+
+#[test]
+fn excess_clock_skew_breaks_linearizability() {
+    let p = params();
+    let spec = erase(Register::new(0));
+    // p1's clock runs ε + 600 ahead: its write at real t0 carries a larger
+    // timestamp than p0's write invoked after it *responded*, so replicas
+    // keep p1's value although real-time order demands p0's.
+    let skew = p.epsilon + Time(600);
+    let schedule = Schedule::new()
+        .at(Pid(1), Time(0), Invocation::new("write", 2))
+        .at(Pid(0), p.epsilon + Time(300), Invocation::new("write", 1))
+        .at(Pid(2), Time(40_000), Invocation::nullary("read"))
+        .at(Pid(3), Time(40_000), Invocation::nullary("read"));
+    let bad = SimConfig::new(p, DelaySpec::AllMax)
+        .with_offsets(vec![Time::ZERO, skew, Time::ZERO, Time::ZERO])
+        .with_schedule(schedule.clone());
+    assert!(bad.admissible().is_err(), "injected skew must be inadmissible");
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &bad);
+    let history = History::from_run(&run).unwrap();
+    assert_eq!(
+        check(&spec, &history),
+        Verdict::NotLinearizable,
+        "stale final value must be detected: {run}"
+    );
+
+    // Control: skew exactly ε is admissible and correct.
+    let good = SimConfig::new(p, DelaySpec::AllMax)
+        .with_offsets(vec![Time::ZERO, p.epsilon, Time::ZERO, Time::ZERO])
+        .with_schedule(schedule);
+    assert!(good.admissible().is_ok());
+    assert!(verdict_for(&good, &spec).is_linearizable());
+}
+
+#[test]
+fn too_fast_message_is_harmless_but_detected() {
+    // Delays *below* d − u violate admissibility but cannot hurt this
+    // algorithm (information arriving early is never wrong) — the run stays
+    // linearizable while the violation is still reported.
+    let p = params();
+    let spec = erase(FifoQueue::new());
+    let fast = DelaySpec::Constant(p.min_delay() - Time(500));
+    let cfg = SimConfig::new(p, fast).with_schedule(
+        Schedule::new()
+            .at(Pid(0), Time(0), Invocation::new("enqueue", 1))
+            .at(Pid(1), Time(20_000), Invocation::nullary("dequeue")),
+    );
+    assert!(cfg.admissible().is_err());
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+    assert!(run.delay_violations > 0);
+    let history = History::from_run(&run).unwrap();
+    assert!(check(&spec, &history).is_linearizable());
+}
+
+#[test]
+fn engine_rejects_protocol_misuse() {
+    // The Section 2.2 user constraint (one pending op per process) is
+    // enforced and reported rather than silently corrupting the run.
+    let p = params();
+    let spec = erase(FifoQueue::new());
+    let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+        Schedule::new()
+            .at(Pid(0), Time(0), Invocation::nullary("dequeue"))
+            .at(Pid(0), Time(1), Invocation::nullary("dequeue")), // overlaps
+    );
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+    assert_eq!(run.errors.len(), 1);
+    assert!(run.errors[0].contains("pending"));
+    assert_eq!(run.ops.len(), 1, "the offending invocation is dropped");
+}

@@ -1,0 +1,355 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * sequential specifications: prefix closure / determinism / FIFO-LIFO laws;
+//! * Theorem 1 identities for random shift vectors;
+//! * chop validity (Lemma 2) for random delay matrices;
+//! * Algorithm 1 linearizability under randomized schedules, delays, skews,
+//!   and X (Theorem 6);
+//! * checker ↔ construction agreement.
+
+use lintime_adt::prelude::*;
+use lintime_check::prelude::*;
+use lintime_core::prelude::*;
+use lintime_sim::fragment::{chop, Fragment};
+use lintime_sim::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn params() -> ModelParams {
+    ModelParams::default_experiment()
+}
+
+/// Strategy: a random invocation for a given type, by index.
+fn arb_op_for(spec: Arc<dyn ObjectSpec>) -> impl Strategy<Value = Invocation> {
+    let metas: Vec<_> = spec.ops().to_vec();
+    (0..metas.len()).prop_flat_map(move |i| {
+        let meta = metas[i].clone();
+        let args = spec.suggested_args(meta.name);
+        (0..args.len()).prop_map(move |j| Invocation::new(meta.name, args[j].clone()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn queue_fifo_law(values in proptest::collection::vec(0i64..100, 1..8)) {
+        // Enqueue all, then dequeue all: exact FIFO order.
+        let q = FifoQueue::new();
+        let mut invs: Vec<Invocation> =
+            values.iter().map(|v| Invocation::new("enqueue", *v)).collect();
+        invs.extend(values.iter().map(|_| Invocation::nullary("dequeue")));
+        let (_, insts) = q.run(&invs);
+        let dequeued: Vec<i64> = insts[values.len()..]
+            .iter()
+            .filter_map(|i| i.ret.as_int())
+            .collect();
+        prop_assert_eq!(dequeued, values);
+    }
+
+    #[test]
+    fn stack_lifo_law(values in proptest::collection::vec(0i64..100, 1..8)) {
+        let s = Stack::new();
+        let mut invs: Vec<Invocation> =
+            values.iter().map(|v| Invocation::new("push", *v)).collect();
+        invs.extend(values.iter().map(|_| Invocation::nullary("pop")));
+        let (_, insts) = s.run(&invs);
+        let popped: Vec<i64> = insts[values.len()..]
+            .iter()
+            .filter_map(|i| i.ret.as_int())
+            .collect();
+        let mut expect = values.clone();
+        expect.reverse();
+        prop_assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn specs_are_deterministic(seed_ops in proptest::collection::vec(0usize..100, 0..10)) {
+        // Running the same invocation sequence twice gives identical results.
+        for spec in all_types() {
+            let metas = spec.ops();
+            let invs: Vec<Invocation> = seed_ops
+                .iter()
+                .map(|i| {
+                    let meta = &metas[i % metas.len()];
+                    let args = spec.suggested_args(meta.name);
+                    Invocation::new(meta.name, args[i % args.len()].clone())
+                })
+                .collect();
+            prop_assert_eq!(spec.run_history(&invs), spec.run_history(&invs));
+        }
+    }
+
+    #[test]
+    fn theorem_1_identities(
+        x0 in -900i64..900,
+        x1 in -900i64..900,
+        x2 in -900i64..900,
+        base in 0i64..2400,
+    ) {
+        // shift(R, x̄): offsets become c − x, matrix delays δ − x_i + x_j.
+        let p = params();
+        let x = vec![Time(x0), Time(x1), Time(x2), Time::ZERO];
+        let delay = DelaySpec::Constant(p.min_delay() + Time(base));
+        let cfg = SimConfig::new(p, delay);
+        let shifted = cfg.shifted(&x);
+        let m = shifted.delay.as_matrix().unwrap();
+        for i in 0..p.n {
+            prop_assert_eq!(shifted.offsets[i], cfg.offsets[i] - x[i]);
+            for j in 0..p.n {
+                if i != j {
+                    prop_assert_eq!(
+                        m[i][j],
+                        p.min_delay() + Time(base) - x[i] + x[j]
+                    );
+                }
+            }
+        }
+        // Shifting by −x̄ undoes the transform.
+        let neg: Vec<Time> = x.iter().map(|t| -*t).collect();
+        let back = shifted.shifted(&neg);
+        prop_assert_eq!(back.offsets, cfg.offsets);
+        prop_assert_eq!(back.delay.to_matrix(p), cfg.delay.to_matrix(p));
+    }
+
+    #[test]
+    fn record_level_shift_matches_reexecution(
+        x0 in -450i64..450,
+        x1 in -450i64..450,
+        seed in 0u64..50,
+    ) {
+        let p = params();
+        let spec = erase(Register::new(0));
+        let schedule = Schedule::new()
+            .at(Pid(0), Time(0), Invocation::new("write", 5))
+            .at(Pid(1), Time(7), Invocation::nullary("read"))
+            .at(Pid(2), Time(25_000), Invocation::nullary("read"));
+        let base_delay = p.min_delay() + Time((seed as i64 * 37) % (p.u.as_ticks() / 2)) + Time(600);
+        let cfg = SimConfig::new(p, DelaySpec::Constant(base_delay))
+            .with_schedule(schedule)
+            .recording_all();
+        let base = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+        prop_assert!(base.complete());
+
+        let x = vec![Time(x0), Time(x1), Time::ZERO, Time::ZERO];
+        let re = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg.shifted(&x));
+        let mut surgery = base.shifted(&x).ops;
+        prop_assert!(base.views_equal(&re), "views change under shift");
+        let mut reexec = re.ops.clone();
+        surgery.sort_by_key(|o| (o.pid, o.t_invoke));
+        reexec.sort_by_key(|o| (o.pid, o.t_invoke));
+        for (a, b) in surgery.iter().zip(&reexec) {
+            prop_assert_eq!(a.t_invoke, b.t_invoke);
+            prop_assert_eq!(a.t_respond, b.t_respond);
+            prop_assert_eq!(&a.ret, &b.ret);
+        }
+    }
+
+    #[test]
+    fn chop_satisfies_lemma_2(
+        bad_extra in 1i64..2400,
+        delta_off in 0i64..2400,
+        s in 0usize..4,
+        r in 0usize..4,
+    ) {
+        prop_assume!(s != r);
+        let p = params();
+        // Pair-wise uniform matrix with exactly one invalid (too large) delay.
+        let mut matrix = vec![vec![p.d; p.n]; p.n];
+        matrix[s][r] = p.d + Time(bad_extra);
+        // A run in which every process messages every other at time 0.
+        let msgs: Vec<MsgRecord> = (0..p.n)
+            .flat_map(|i| (0..p.n).filter(move |j| *j != i).map(move |j| (i, j)))
+            .map(|(i, j)| MsgRecord {
+                from: Pid(i),
+                to: Pid(j),
+                t_send: Time((i * 7 + j) as i64),
+                t_recv: Some(Time((i * 7 + j) as i64) + matrix[i][j]),
+            })
+            .collect();
+        let run = Run {
+            params: p,
+            offsets: vec![Time::ZERO; p.n],
+            ops: Vec::new(),
+            msgs,
+            views: Vec::new(),
+            last_time: Time(100_000),
+            events: 0,
+            errors: Vec::new(),
+            delay_violations: 1,
+        };
+        let delta = p.min_delay() + Time(delta_off);
+        let frag: Fragment = chop(&run, &matrix, Pid(s), Pid(r), delta).unwrap();
+        prop_assert!(frag.verify_lemma2(p).is_ok(), "{:?}", frag.verify_lemma2(p));
+    }
+
+    #[test]
+    fn wtlw_always_linearizable(
+        seed in 0u64..500,
+        x_frac in 0i64..=4,
+        skew_seed in 0u64..100,
+    ) {
+        // Theorem 6 as a property: random schedule, random delays, random
+        // admissible skew, random X — every run linearizes.
+        let p = params();
+        let spec = erase(FifoQueue::new());
+        let x = Time((p.d - p.epsilon).as_ticks() * x_frac / 4);
+        let mut schedule = Schedule::new();
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let mut free = vec![Time::ZERO; p.n];
+        for _ in 0..8 {
+            let pid = (next() % p.n as u64) as usize;
+            let at = free[pid] + Time((next() % (2 * p.d.as_ticks() as u64)) as i64);
+            let inv = match next() % 3 {
+                0 => Invocation::new("enqueue", (next() % 50) as i64),
+                1 => Invocation::nullary("peek"),
+                _ => Invocation::nullary("dequeue"),
+            };
+            schedule = schedule.at(Pid(pid), at, inv);
+            free[pid] = at + p.d + p.u + p.epsilon + Time(1);
+        }
+        let offsets: Vec<Time> = (0..p.n)
+            .map(|i| Time(((skew_seed.wrapping_mul(31).wrapping_add(i as u64 * 97)) % (p.epsilon.as_ticks() as u64 + 1)) as i64))
+            .collect();
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
+            .with_offsets(offsets)
+            .with_schedule(schedule);
+        prop_assert!(cfg.admissible().is_ok());
+        let run = run_algorithm(Algorithm::Wtlw { x }, &spec, &cfg);
+        prop_assert!(run.complete());
+        prop_assert!(run.errors.is_empty(), "{:?}", run.errors);
+        let history = History::from_run(&run).unwrap();
+        prop_assert!(check(&spec, &history).is_linearizable(), "{run}");
+    }
+
+    #[test]
+    fn arbitrary_sequential_histories_linearize_trivially(
+        ops in proptest::collection::vec(0usize..64, 1..10),
+        type_idx in 0usize..7,
+    ) {
+        // Any *sequential* history generated by the spec itself is
+        // linearizable (sanity link between spec and checker).
+        let spec = all_types().swap_remove(type_idx);
+        let metas = spec.ops().to_vec();
+        let mut tuples = Vec::new();
+        let mut obj = spec.new_object();
+        let mut t = 0i64;
+        for i in &ops {
+            let meta = &metas[i % metas.len()];
+            let args = spec.suggested_args(meta.name);
+            let arg = args[i % args.len()].clone();
+            let ret = obj.apply(meta.name, &arg);
+            tuples.push((0usize, lintime_adt::spec::OpInstance { op: meta.name, arg, ret }, t, t + 5));
+            t += 10;
+        }
+        let h = History::from_tuples(tuples);
+        prop_assert!(check(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn smoke_arbitrary_single_ops(inv_idx in 0usize..3, seed in 0u64..20) {
+        // One arbitrary operation alone always completes within its bound.
+        let p = params();
+        let spec = erase(FifoQueue::new());
+        let inv = match inv_idx {
+            0 => Invocation::new("enqueue", 1),
+            1 => Invocation::nullary("peek"),
+            _ => Invocation::nullary("dequeue"),
+        };
+        let class = spec.op_meta(inv.op).unwrap().class;
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
+            .with_schedule(Schedule::new().at(Pid(0), Time::ZERO, inv));
+        let run = run_algorithm(Algorithm::Wtlw { x: Time(1200) }, &spec, &cfg);
+        prop_assert!(run.complete());
+        prop_assert_eq!(
+            run.ops[0].latency().unwrap(),
+            predicted_latency(p, Time(1200), class)
+        );
+    }
+}
+
+// Keep the unused strategy helper exercised (it is useful for downstream
+// crates writing their own properties).
+#[test]
+fn arb_op_strategy_smoke() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let spec = erase(FifoQueue::new());
+    let mut runner = TestRunner::deterministic();
+    for _ in 0..10 {
+        let inv = arb_op_for(Arc::clone(&spec))
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        assert!(spec.op_meta(inv.op).is_some());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn corrupted_returns_are_rejected(seed in 0u64..200, type_idx in 0usize..9, victim in 0usize..12) {
+        // Take a real (linearizable) run, replace one value-bearing return
+        // with an impossible value: the checker must reject.
+        let p = params();
+        let spec = all_types().swap_remove(type_idx);
+        let run = lintime_bench::experiments::random_workload_run(p, &spec, seed);
+        let mut history = History::from_run(&run).unwrap();
+        let candidates: Vec<usize> = history
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                spec.op_meta(o.instance.op).is_some_and(|m| m.has_ret)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let idx = candidates[victim % candidates.len()];
+        // No suggested argument universe reaches this value, so no
+        // linearization can produce it.
+        history.ops[idx].instance.ret = Value::Int(987_654_321);
+        prop_assert_eq!(
+            check(&spec, &history),
+            Verdict::NotLinearizable,
+            "corruption at {} of {} undetected",
+            idx,
+            spec.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    #[test]
+    fn history_based_execution_matches_state_based(
+        seeds in proptest::collection::vec(0usize..1000, 0..10),
+        type_idx in 0usize..9,
+    ) {
+        // The paper's literal execute_Locally (history replay, Algorithm 1
+        // lines 30–33) and our canonical-state execution must agree on every
+        // return value and canonical state.
+        use lintime_adt::spec::HistoryObject;
+        let spec = all_types().swap_remove(type_idx);
+        let metas = spec.ops().to_vec();
+        let mut by_state = spec.new_object();
+        let mut by_history = HistoryObject::new(std::sync::Arc::clone(&spec));
+        for i in &seeds {
+            let meta = &metas[i % metas.len()];
+            let args = spec.suggested_args(meta.name);
+            let arg = args[i % args.len()].clone();
+            let a = by_state.apply(meta.name, &arg);
+            let b = by_history.apply(meta.name, &arg);
+            prop_assert_eq!(a, b, "{} {}", spec.name(), meta.name);
+            prop_assert_eq!(by_state.canonical(), by_history.canonical());
+        }
+    }
+}
