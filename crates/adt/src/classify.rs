@@ -502,7 +502,12 @@ pub struct OpReport {
 }
 
 /// Produce an [`OpReport`] for every operation of `t`.
-pub fn report<T: DataType>(t: &T, universe: &Universe, limits: ExploreLimits, k_max: usize) -> Vec<OpReport> {
+pub fn report<T: DataType>(
+    t: &T,
+    universe: &Universe,
+    limits: ExploreLimits,
+    k_max: usize,
+) -> Vec<OpReport> {
     t.ops()
         .iter()
         .map(|meta| OpReport {

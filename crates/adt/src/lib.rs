@@ -56,6 +56,7 @@ pub mod value;
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::classify;
+    pub use crate::product::ProductSpec;
     pub use crate::spec::{
         erase, DataType, DataTypeExt, Erased, HistoryObject, Invocation, ObjState, ObjectSpec,
         OpClass, OpInstance, OpMeta,
@@ -64,7 +65,6 @@ pub mod prelude {
         all_types, by_name, Counter, FifoQueue, GrowSet, KvStore, PriorityQueue, Register,
         RmwRegister, RootedTree, Stack,
     };
-    pub use crate::product::ProductSpec;
     pub use crate::universe::{reachable_states, ExploreLimits, Universe};
     pub use crate::value::Value;
 }

@@ -51,10 +51,7 @@ impl ProductSpec {
 
     /// Look up a component by prefix.
     pub fn component(&self, prefix: &str) -> Option<&Arc<dyn ObjectSpec>> {
-        self.components
-            .iter()
-            .find(|(p, _)| *p == prefix)
-            .map(|(_, s)| s)
+        self.components.iter().find(|(p, _)| *p == prefix).map(|(_, s)| s)
     }
 
     /// Split a namespaced operation name into `(prefix, inner op)`.

@@ -346,8 +346,6 @@ pub fn erase<T: DataType>(t: T) -> Arc<dyn ObjectSpec> {
     Arc::new(Erased::new(t))
 }
 
-
-
 /// A history-based object: the literal `execute_Locally` of the paper's
 /// Algorithm 1 (lines 30–33), which stores the executed operation sequence
 /// and derives each return value as "the unique `ret` such that
@@ -380,10 +378,7 @@ impl ObjState for HistoryObject {
         // Line 31: let ret be the unique return value such that
         // history.op(arg, ret) is legal — computed by replaying the history.
         self.history.push(Invocation { op, arg: arg.clone() });
-        self.spec
-            .run_history(&self.history)
-            .pop()
-            .expect("non-empty history")
+        self.spec.run_history(&self.history).pop().expect("non-empty history")
     }
 
     fn clone_box(&self) -> Box<dyn ObjState> {
@@ -404,8 +399,8 @@ impl ObjState for HistoryObject {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::register::Register;
     use crate::types::queue::FifoQueue;
+    use crate::types::register::Register;
 
     #[test]
     fn op_class_predicates() {
@@ -455,15 +450,9 @@ mod tests {
     #[test]
     fn erased_legality_checks() {
         let erased = erase(FifoQueue::new());
-        let legal = vec![
-            OpInstance::new("enqueue", 5, ()),
-            OpInstance::new("peek", (), 5),
-        ];
+        let legal = vec![OpInstance::new("enqueue", 5, ()), OpInstance::new("peek", (), 5)];
         assert!(erased.is_legal(&legal));
-        let illegal = vec![
-            OpInstance::new("enqueue", 5, ()),
-            OpInstance::new("peek", (), 6),
-        ];
+        let illegal = vec![OpInstance::new("enqueue", 5, ()), OpInstance::new("peek", (), 6)];
         assert_eq!(erased.first_illegal(&illegal), Some(1));
     }
 

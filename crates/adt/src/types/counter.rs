@@ -98,10 +98,8 @@ mod tests {
     #[test]
     fn fetch_inc_returns_old() {
         let c = Counter::new();
-        let (_, insts) = c.run(&[
-            Invocation::nullary(ops::FETCH_INC),
-            Invocation::nullary(ops::FETCH_INC),
-        ]);
+        let (_, insts) =
+            c.run(&[Invocation::nullary(ops::FETCH_INC), Invocation::nullary(ops::FETCH_INC)]);
         assert_eq!(insts[0].ret, Value::Int(0));
         assert_eq!(insts[1].ret, Value::Int(1));
     }

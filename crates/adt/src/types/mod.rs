@@ -86,11 +86,7 @@ mod tests {
                 "{} lacks an accessor",
                 t.name()
             );
-            assert!(
-                t.ops().iter().any(|m| m.class.is_mutator()),
-                "{} lacks a mutator",
-                t.name()
-            );
+            assert!(t.ops().iter().any(|m| m.class.is_mutator()), "{} lacks a mutator", t.name());
         }
     }
 }

@@ -118,20 +118,14 @@ mod tests {
     #[test]
     fn duplicates_are_kept() {
         let pq = PriorityQueue::new();
-        let (s, _) = pq.run(&[
-            Invocation::new(ops::INSERT, 2),
-            Invocation::new(ops::INSERT, 2),
-        ]);
+        let (s, _) = pq.run(&[Invocation::new(ops::INSERT, 2), Invocation::new(ops::INSERT, 2)]);
         assert_eq!(s, vec![2, 2]);
     }
 
     #[test]
     fn min_does_not_remove() {
         let pq = PriorityQueue::new();
-        let (s, insts) = pq.run(&[
-            Invocation::new(ops::INSERT, 9),
-            Invocation::nullary(ops::MIN),
-        ]);
+        let (s, insts) = pq.run(&[Invocation::new(ops::INSERT, 9), Invocation::nullary(ops::MIN)]);
         assert_eq!(insts[1].ret, Value::Int(9));
         assert_eq!(s.len(), 1);
     }

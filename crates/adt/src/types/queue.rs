@@ -51,7 +51,12 @@ impl DataType for FifoQueue {
         VecDeque::new()
     }
 
-    fn apply(&self, state: &VecDeque<i64>, op: &'static str, arg: &Value) -> (VecDeque<i64>, Value) {
+    fn apply(
+        &self,
+        state: &VecDeque<i64>,
+        op: &'static str,
+        arg: &Value,
+    ) -> (VecDeque<i64>, Value) {
         match op {
             ops::ENQUEUE => {
                 let v = arg.as_int().expect("enqueue requires an integer argument");
@@ -109,10 +114,8 @@ mod tests {
     #[test]
     fn empty_queue_responses() {
         let q = FifoQueue::new();
-        let (_, insts) = q.run(&[
-            Invocation::nullary(ops::DEQUEUE),
-            Invocation::nullary(ops::PEEK),
-        ]);
+        let (_, insts) =
+            q.run(&[Invocation::nullary(ops::DEQUEUE), Invocation::nullary(ops::PEEK)]);
         assert_eq!(insts[0].ret, Value::Unit);
         assert_eq!(insts[1].ret, Value::Unit);
     }
@@ -145,10 +148,7 @@ mod tests {
     #[test]
     fn canonical_reflects_contents() {
         let q = FifoQueue::new();
-        let (s, _) = q.run(&[
-            Invocation::new(ops::ENQUEUE, 4),
-            Invocation::new(ops::ENQUEUE, 5),
-        ]);
+        let (s, _) = q.run(&[Invocation::new(ops::ENQUEUE, 4), Invocation::new(ops::ENQUEUE, 5)]);
         assert_eq!(q.canonical(&s), Value::list([Value::Int(4), Value::Int(5)]));
     }
 }

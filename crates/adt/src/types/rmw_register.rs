@@ -170,10 +170,7 @@ mod tests {
     #[test]
     fn write_then_rmw_interacts() {
         let r = RmwRegister::default();
-        let (s, insts) = r.run(&[
-            Invocation::new(ops::WRITE, 100),
-            Invocation::new(ops::RMW, -1),
-        ]);
+        let (s, insts) = r.run(&[Invocation::new(ops::WRITE, 100), Invocation::new(ops::RMW, -1)]);
         assert_eq!(insts[1].ret, Value::Int(100));
         assert_eq!(s, 99);
     }

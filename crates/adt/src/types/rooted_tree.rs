@@ -135,8 +135,7 @@ impl DataType for RootedTree {
                 let mut next = state.clone();
                 let valid = child != ROOT
                     && Self::contains(state, parent)
-                    && !(Self::contains(state, child)
-                        && Self::in_subtree(state, child, parent));
+                    && !(Self::contains(state, child) && Self::in_subtree(state, child, parent));
                 if valid {
                     next.insert(child, parent);
                 }
@@ -239,13 +238,7 @@ mod tests {
         let rets: Vec<_> = insts[3..].iter().map(|i| i.ret.clone()).collect();
         assert_eq!(
             rets,
-            vec![
-                Value::Int(0),
-                Value::Int(1),
-                Value::Int(2),
-                Value::Int(3),
-                Value::Unit
-            ]
+            vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3), Value::Unit]
         );
     }
 

@@ -52,7 +52,12 @@ impl DataType for GrowSet {
         BTreeSet::new()
     }
 
-    fn apply(&self, state: &BTreeSet<i64>, op: &'static str, arg: &Value) -> (BTreeSet<i64>, Value) {
+    fn apply(
+        &self,
+        state: &BTreeSet<i64>,
+        op: &'static str,
+        arg: &Value,
+    ) -> (BTreeSet<i64>, Value) {
         match op {
             ops::ADD => {
                 let v = arg.as_int().expect("add requires an integer argument");

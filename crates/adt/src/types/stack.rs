@@ -121,14 +121,8 @@ mod tests {
         // The Section 4.3 observation: among push-only histories, peek's
         // return is a function of the final push alone.
         let s = Stack::new();
-        let (st1, _) = s.run(&[
-            Invocation::new(ops::PUSH, 1),
-            Invocation::new(ops::PUSH, 9),
-        ]);
-        let (st2, _) = s.run(&[
-            Invocation::new(ops::PUSH, 5),
-            Invocation::new(ops::PUSH, 9),
-        ]);
+        let (st1, _) = s.run(&[Invocation::new(ops::PUSH, 1), Invocation::new(ops::PUSH, 9)]);
+        let (st2, _) = s.run(&[Invocation::new(ops::PUSH, 5), Invocation::new(ops::PUSH, 9)]);
         let (_, r1) = s.apply(&st1, ops::PEEK, &Value::Unit);
         let (_, r2) = s.apply(&st2, ops::PEEK, &Value::Unit);
         assert_eq!(r1, r2);
@@ -137,10 +131,7 @@ mod tests {
     #[test]
     fn empty_stack_responses() {
         let s = Stack::new();
-        let (_, insts) = s.run(&[
-            Invocation::nullary(ops::POP),
-            Invocation::nullary(ops::PEEK),
-        ]);
+        let (_, insts) = s.run(&[Invocation::nullary(ops::POP), Invocation::nullary(ops::PEEK)]);
         assert_eq!(insts[0].ret, Value::Unit);
         assert_eq!(insts[1].ret, Value::Unit);
     }

@@ -74,7 +74,10 @@ impl Universe {
     }
 
     /// Candidate argument values of one operation.
-    pub fn args_of<'a>(&'a self, op: &'a str) -> impl Iterator<Item = &'a crate::value::Value> + 'a {
+    pub fn args_of<'a>(
+        &'a self,
+        op: &'a str,
+    ) -> impl Iterator<Item = &'a crate::value::Value> + 'a {
         self.of_op(op).map(|inv| &inv.arg)
     }
 

@@ -12,8 +12,7 @@ use std::fmt;
 /// The total order (`Ord`) is structural and exists so values can be used as
 /// keys (e.g. in the reachable-state sets of the classifier) and so the
 /// timestamp tie-breaking in tests is deterministic. `Unit` sorts first.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Value {
     /// The absence of an argument or return value (`-` in the paper).
     #[default]
@@ -70,7 +69,6 @@ impl Value {
         matches!(self, Value::Unit)
     }
 }
-
 
 impl From<i64> for Value {
     fn from(i: i64) -> Self {
@@ -161,11 +159,13 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_unit_first() {
-        let mut vs = [Value::Int(5),
+        let mut vs = [
+            Value::Int(5),
             Value::Unit,
             Value::Bool(false),
             Value::Int(-1),
-            Value::list([Value::Int(1)])];
+            Value::list([Value::Int(1)]),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Unit);
         // Ints sorted among themselves.
@@ -185,10 +185,7 @@ mod tests {
     fn debug_formatting() {
         assert_eq!(format!("{:?}", Value::Unit), "-");
         assert_eq!(format!("{:?}", Value::Int(3)), "3");
-        assert_eq!(
-            format!("{:?}", Value::list([Value::Int(1), Value::Int(2)])),
-            "[1, 2]"
-        );
+        assert_eq!(format!("{:?}", Value::list([Value::Int(1), Value::Int(2)])), "[1, 2]");
         assert_eq!(format!("{:?}", Value::pair(1, 2)), "(1, 2)");
     }
 }

@@ -11,7 +11,26 @@
 
 use lintime_adt::equiv::check_reduced;
 use lintime_adt::prelude::*;
-use proptest::prelude::*;
+
+/// Minimal deterministic generator (xorshift64) so every property case is
+/// reproducible from its loop index; the workspace carries no external
+/// property-testing dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
 
 /// Deterministically build an invocation sequence for a type from index
 /// seeds.
@@ -27,14 +46,12 @@ fn invocations_for(spec: &std::sync::Arc<dyn ObjectSpec>, seeds: &[usize]) -> Ve
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
-
-    #[test]
-    fn prefix_closure_and_determinism(
-        seeds in proptest::collection::vec(0usize..1000, 0..12),
-        type_idx in 0usize..9,
-    ) {
+#[test]
+fn prefix_closure_and_determinism() {
+    for case in 0u64..40 {
+        let mut rng = XorShift::new(case + 1);
+        let type_idx = rng.below(9);
+        let seeds: Vec<usize> = (0..rng.below(12)).map(|_| rng.below(1000)).collect();
         let spec = all_types().swap_remove(type_idx);
         let invs = invocations_for(&spec, &seeds);
         let rets = spec.run_history(&invs);
@@ -45,9 +62,9 @@ proptest! {
             .map(|(inv, ret)| OpInstance { op: inv.op, arg: inv.arg.clone(), ret: ret.clone() })
             .collect();
         for cut in 0..=instances.len() {
-            prop_assert!(
+            assert!(
                 spec.is_legal(&instances[..cut]),
-                "{}: prefix of length {cut} illegal",
+                "{}: prefix of length {cut} illegal (case {case})",
                 spec.name()
             );
         }
@@ -59,19 +76,21 @@ proptest! {
                 other => Value::Int(if other.is_unit() { -1 } else { -2 }),
             };
             // Only *meaningful* tampering: the new value differs.
-            prop_assert!(
+            assert!(
                 !spec.is_legal(&tampered),
-                "{}: tampered return at {k} accepted",
+                "{}: tampered return at {k} accepted (case {case})",
                 spec.name()
             );
         }
     }
+}
 
-    #[test]
-    fn completeness_apply_is_total(
-        seeds in proptest::collection::vec(0usize..1000, 0..8),
-        type_idx in 0usize..9,
-    ) {
+#[test]
+fn completeness_apply_is_total() {
+    for case in 0u64..40 {
+        let mut rng = XorShift::new(1000 + case);
+        let type_idx = rng.below(9);
+        let seeds: Vec<usize> = (0..rng.below(8)).map(|_| rng.below(1000)).collect();
         // Any operation may be invoked in any reachable state.
         let spec = all_types().swap_remove(type_idx);
         let invs = invocations_for(&spec, &seeds);
@@ -109,11 +128,8 @@ fn all_types_are_reduced_within_bounds() {
             ($t:expr, $depth:expr) => {{
                 let t = $t;
                 let u = Universe::for_type(&t);
-                let states = reachable_states(
-                    &t,
-                    &u,
-                    ExploreLimits { max_depth: 2, max_states: 25 },
-                );
+                let states =
+                    reachable_states(&t, &u, ExploreLimits { max_depth: 2, max_states: 25 });
                 assert!(
                     check_reduced(&t, &states, &u, $depth).is_none(),
                     "{} is not reduced within depth {}",
@@ -204,10 +220,7 @@ fn tree_structural_invariants_under_random_ops() {
                 parent == ROOT || state.contains_key(&parent),
                 "dangling parent {parent} of {node}"
             );
-            assert!(
-                RootedTree::depth_of(&state, node).is_some(),
-                "cycle reachable from {node}"
-            );
+            assert!(RootedTree::depth_of(&state, node).is_some(), "cycle reachable from {node}");
         }
         // depth must be consistent: parent depth + 1.
         for (&node, &parent) in &state {

@@ -1,11 +1,11 @@
 //! Linearizability-checker cost: verification time vs history size and
 //! contention level (concurrent-window width).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lintime_adt::prelude::*;
+use lintime_adt::spec::OpInstance;
+use lintime_bench::microbench::Group;
 use lintime_check::history::History;
 use lintime_check::wing_gong::check;
-use lintime_adt::spec::OpInstance;
 
 /// A linearizable queue history: `n_ops` enqueues in `window`-wide concurrent
 /// batches followed by matching sequential dequeues.
@@ -29,29 +29,20 @@ fn queue_history(n_ops: usize, window: usize) -> History {
 /// A product history interleaving k objects, each with `per` concurrent
 /// enqueues then dequeues — monolithic checking must consider the
 /// interleavings, compositional checking does not.
-fn product_history(
-    product: &lintime_adt::product::ProductSpec,
-    per: usize,
-) -> History {
+fn product_history(product: &lintime_adt::product::ProductSpec, per: usize) -> History {
     use lintime_adt::spec::ObjectSpec as _;
     let mut tuples: Vec<(usize, OpInstance, i64, i64)> = Vec::new();
     let mut t = 0i64;
     for (k, prefix) in product.prefixes().enumerate() {
         for v in 0..per as i64 {
-            let name = product
-                .op_meta(&format!("{prefix}/enqueue"))
-                .unwrap()
-                .name;
+            let name = product.op_meta(&format!("{prefix}/enqueue")).unwrap().name;
             tuples.push((k, OpInstance::new(name, v, ()), t, t + 100));
         }
     }
     t += 200;
     for prefix in product.prefixes() {
         for v in 0..per as i64 {
-            let name = product
-                .op_meta(&format!("{prefix}/dequeue"))
-                .unwrap()
-                .name;
+            let name = product.op_meta(&format!("{prefix}/dequeue")).unwrap().name;
             tuples.push((0, OpInstance::new(name, (), v), t, t + 5));
             t += 10;
         }
@@ -59,7 +50,20 @@ fn product_history(
     History::from_tuples(tuples)
 }
 
-fn bench_compositional(c: &mut Criterion) {
+fn bench_checker() {
+    let group = Group::new("checker").sample_size(20);
+    for (n_ops, window) in [(16usize, 2usize), (32, 4), (64, 4), (64, 8)] {
+        let spec = erase(FifoQueue::new());
+        let h = queue_history(n_ops, window);
+        group.bench_throughput(&format!("queue/{n_ops}ops_w{window}"), h.len() as u64, || {
+            let v = check(&spec, &h);
+            assert!(v.is_linearizable());
+            v
+        });
+    }
+}
+
+fn bench_compositional() {
     use lintime_adt::product::ProductSpec;
     use lintime_check::compositional::check_components;
     use lintime_check::wing_gong::CheckConfig;
@@ -72,8 +76,7 @@ fn bench_compositional(c: &mut Criterion) {
         ],
     );
     let h = product_history(&product, 5);
-    let mut group = c.benchmark_group("compositional");
-    group.sample_size(20);
+    let group = Group::new("compositional").sample_size(20);
     let spec: std::sync::Arc<dyn ObjectSpec> = std::sync::Arc::new(ProductSpec::new(
         "3queues",
         vec![
@@ -82,44 +85,19 @@ fn bench_compositional(c: &mut Criterion) {
             ("c", erase(FifoQueue::new())),
         ],
     ));
-    group.bench_function("monolithic_3x5", |b| {
-        b.iter(|| {
-            let v = check(&spec, &h);
-            assert!(v.is_linearizable());
-            v
-        })
+    group.bench("monolithic_3x5", || {
+        let v = check(&spec, &h);
+        assert!(v.is_linearizable());
+        v
     });
-    group.bench_function("per_object_3x5", |b| {
-        b.iter(|| {
-            let v = check_components(&product, &h, CheckConfig::default()).unwrap();
-            assert!(v.is_linearizable());
-            v
-        })
+    group.bench("per_object_3x5", || {
+        let v = check_components(&product, &h, CheckConfig::default()).unwrap();
+        assert!(v.is_linearizable());
+        v
     });
-    group.finish();
 }
 
-fn bench_checker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker");
-    group.sample_size(20);
-    for (n_ops, window) in [(16usize, 2usize), (32, 4), (64, 4), (64, 8)] {
-        let spec = erase(FifoQueue::new());
-        let h = queue_history(n_ops, window);
-        group.throughput(Throughput::Elements(h.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("queue", format!("{n_ops}ops_w{window}")),
-            &h,
-            |b, h| {
-                b.iter(|| {
-                    let v = check(&spec, h);
-                    assert!(v.is_linearizable());
-                    v
-                })
-            },
-        );
-    }
-    group.finish();
+fn main() {
+    bench_checker();
+    bench_compositional();
 }
-
-criterion_group!(benches, bench_checker, bench_compositional);
-criterion_main!(benches);

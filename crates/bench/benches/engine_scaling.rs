@@ -2,8 +2,8 @@
 //! (mutator broadcasts cost Θ(n) messages, each with an add + execute timer,
 //! so a W-mutator workload processes Θ(W·n) events).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lintime_adt::prelude::*;
+use lintime_bench::microbench::Group;
 use lintime_core::cluster::{run_algorithm, Algorithm};
 use lintime_sim::prelude::*;
 
@@ -22,9 +22,8 @@ fn mutator_storm(p: ModelParams, writes_per_proc: usize) -> Schedule {
     schedule
 }
 
-fn bench_engine_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_scaling");
-    group.sample_size(15);
+fn main() {
+    let group = Group::new("engine_scaling").sample_size(15);
     let writes_per_proc = 50usize;
     for n in [4usize, 8, 16, 32] {
         let u = Time(2400);
@@ -32,20 +31,13 @@ fn bench_engine_scaling(c: &mut Criterion) {
         let schedule = mutator_storm(p, writes_per_proc);
         // Each write = 1 invoke + (n−1) delivers + n adds/executes + respond.
         let approx_events = (writes_per_proc * n * (2 * n + 2)) as u64;
-        group.throughput(Throughput::Elements(approx_events));
-        group.bench_with_input(BenchmarkId::new("wtlw_write_storm", n), &p, |b, p| {
-            let spec = erase(Register::new(0));
-            b.iter(|| {
-                let cfg = SimConfig::new(*p, DelaySpec::UniformRandom { seed: 1 })
-                    .with_schedule(schedule.clone());
-                let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
-                assert!(run.complete());
-                run.events
-            })
+        let spec = erase(Register::new(0));
+        group.bench_throughput(&format!("wtlw_write_storm/{n}"), approx_events, || {
+            let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 1 })
+                .with_schedule(schedule.clone());
+            let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+            assert!(run.complete());
+            run.events
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine_scaling);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! The folklore comparison (Section 1): Algorithm 1 vs the centralized and
-//! total-order-broadcast baselines on a shared mixed workload. Criterion
+//! total-order-broadcast baselines on a shared mixed workload. The bench
 //! also exposes the simulation cost differences (the broadcast baseline
 //! processes Θ(n²) messages per operation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lintime_adt::prelude::*;
+use lintime_bench::microbench::Group;
 use lintime_core::cluster::{run_algorithm, Algorithm};
 use lintime_sim::prelude::*;
 
@@ -25,11 +25,10 @@ fn mixed_workload(p: ModelParams) -> Schedule {
     schedule
 }
 
-fn bench_folklore(c: &mut Criterion) {
+fn main() {
     let p = ModelParams::default_experiment();
     let schedule = mixed_workload(p);
-    let mut group = c.benchmark_group("folklore");
-    group.sample_size(20);
+    let group = Group::new("folklore").sample_size(20);
     for (name, algo) in [
         ("wtlw_x0", Algorithm::Wtlw { x: Time::ZERO }),
         ("wtlw_xmax", Algorithm::Wtlw { x: p.d - p.epsilon }),
@@ -37,18 +36,12 @@ fn bench_folklore(c: &mut Criterion) {
         ("broadcast", Algorithm::Broadcast),
     ] {
         let spec = erase(FifoQueue::new());
-        group.bench_with_input(BenchmarkId::new("queue_mixed", name), &algo, |b, algo| {
-            b.iter(|| {
-                let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 5 })
-                    .with_schedule(schedule.clone());
-                let run = run_algorithm(*algo, &spec, &cfg);
-                assert!(run.complete());
-                run.events
-            })
+        group.bench(&format!("queue_mixed/{name}"), || {
+            let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 5 })
+                .with_schedule(schedule.clone());
+            let run = run_algorithm(algo, &spec, &cfg);
+            assert!(run.complete());
+            run.events
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_folklore);
-criterion_main!(benches);

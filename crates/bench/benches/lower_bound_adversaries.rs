@@ -1,25 +1,24 @@
-//! Criterion benches for the Theorem 2–5 adversarial constructions
+//! Timing benches for the Theorem 2–5 adversarial constructions
 //! (Figures 1–10): wall-clock cost of building the proof's runs, executing
 //! the victim, and checking linearizability.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lintime_adt::prelude::*;
+use lintime_bench::microbench::Group;
 use lintime_bounds::adversary::{thm2_attack, thm3_attack, thm4_attack, thm5_attack};
 use lintime_core::cluster::Algorithm;
 use lintime_core::wtlw::Waits;
 use lintime_sim::prelude::*;
 
-fn bench_adversaries(c: &mut Criterion) {
+fn main() {
     let p = ModelParams::default_experiment();
-    let mut group = c.benchmark_group("adversaries");
-    group.sample_size(20);
+    let group = Group::new("adversaries").sample_size(20);
 
-    group.bench_function("thm2_pure_accessor", |b| {
+    {
         let spec = erase(FifoQueue::new());
         let x = p.d - p.epsilon;
         let mut w = Waits::standard(p, x);
         w.aop_respond = Time(500);
-        b.iter(|| {
+        group.bench("thm2_pure_accessor", || {
             let r = thm2_attack(
                 p,
                 &spec,
@@ -31,15 +30,15 @@ fn bench_adversaries(c: &mut Criterion) {
             );
             assert!(r.outcome.violated());
             r
-        })
-    });
+        });
+    }
 
-    group.bench_function("thm3_last_sensitive", |b| {
+    {
         let spec = erase(Register::new(0));
         let mut w = Waits::standard(p, Time::ZERO);
         w.mop_respond = Time(1500);
         let args: Vec<Value> = (0..p.n as i64).map(|i| Value::Int(100 + i)).collect();
-        b.iter(|| {
+        group.bench("thm3_last_sensitive", || {
             let r = thm3_attack(
                 p,
                 &spec,
@@ -50,14 +49,14 @@ fn bench_adversaries(c: &mut Criterion) {
             );
             assert!(r.outcome.violated());
             r
-        })
-    });
+        });
+    }
 
-    group.bench_function("thm4_pair_free", |b| {
+    {
         let spec = erase(RmwRegister::new(0));
         let mut w = Waits::standard(p, Time::ZERO);
         w.execute = p.u / 2;
-        b.iter(|| {
+        group.bench("thm4_pair_free", || {
             let r = thm4_attack(
                 p,
                 &spec,
@@ -67,14 +66,14 @@ fn bench_adversaries(c: &mut Criterion) {
             );
             assert!(r.outcome.violated());
             r
-        })
-    });
+        });
+    }
 
-    group.bench_function("thm5_sum", |b| {
+    {
         let spec = erase(FifoQueue::new());
         let mut w = Waits::standard(p, Time::ZERO);
         w.aop_respond -= p.m() * 2;
-        b.iter(|| {
+        group.bench("thm5_sum", || {
             let r = thm5_attack(
                 p,
                 &spec,
@@ -86,11 +85,6 @@ fn bench_adversaries(c: &mut Criterion) {
             );
             assert!(r.outcome.violated());
             r
-        })
-    });
-
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_adversaries);
-criterion_main!(benches);

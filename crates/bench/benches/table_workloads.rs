@@ -1,20 +1,19 @@
-//! Criterion benches for the Table 1–5 measurement workloads: wall-clock
+//! Timing benches for the Table 1–5 measurement workloads: wall-clock
 //! cost of reproducing each table's measured column on the simulator.
 //! (The *virtual-time* results themselves are printed by the `table1`…
 //! `table5` binaries; these benches track the harness's own speed.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lintime_adt::prelude::*;
+use lintime_bench::microbench::Group;
 use lintime_bounds::tables::measure_worst_case;
 use lintime_core::cluster::Algorithm;
 use lintime_sim::prelude::*;
 use std::sync::Arc;
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let p = ModelParams::default_experiment();
     let x = Time::ZERO;
-    let mut group = c.benchmark_group("table_workloads");
-    group.sample_size(20);
+    let group = Group::new("table_workloads").sample_size(20);
     let cases: Vec<(&str, Arc<dyn ObjectSpec>)> = vec![
         ("table1_rmw_register", erase(RmwRegister::new(0))),
         ("table2_queue", erase(FifoQueue::new())),
@@ -23,16 +22,10 @@ fn bench_tables(c: &mut Criterion) {
         ("table5_summary_queue", erase(FifoQueue::new())),
     ];
     for (name, spec) in cases {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let measured = measure_worst_case(&spec, p, x, Algorithm::Wtlw { x });
-                assert!(!measured.is_empty());
-                measured
-            })
+        group.bench(name, || {
+            let measured = measure_worst_case(&spec, p, x, Algorithm::Wtlw { x });
+            assert!(!measured.is_empty());
+            measured
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -8,7 +8,10 @@ use lintime_sim::prelude::*;
 
 fn main() {
     let p = ModelParams::default_experiment();
-    println!("Tick-exact lower-bound thresholds (n = {}, d = {}, u = {}, ε = {}):\n", p.n, p.d, p.u, p.epsilon);
+    println!(
+        "Tick-exact lower-bound thresholds (n = {}, d = {}, u = {}, ε = {}):\n",
+        p.n, p.d, p.u, p.epsilon
+    );
     println!("  {:<42} {:>10} {:>10} {:>7}", "construction", "measured", "formula", "probes");
 
     let spec_q = erase(FifoQueue::new());
@@ -19,7 +22,16 @@ fn main() {
     let c2 = find_crossover(Time(50), p.u / 2, |aop| {
         let mut w = Waits::standard(p, x);
         w.aop_respond = aop;
-        thm2_attack(p, &spec_q, Invocation::new("enqueue", 7), Invocation::nullary("peek"), aop, w.mop_respond, Algorithm::WtlwWaits(w)).outcome
+        thm2_attack(
+            p,
+            &spec_q,
+            Invocation::new("enqueue", 7),
+            Invocation::nullary("peek"),
+            aop,
+            w.mop_respond,
+            Algorithm::WtlwWaits(w),
+        )
+        .outcome
     })
     .unwrap();
     report("Thm 2: |peek| (pure accessor)", c2, formulas::thm2_pure_accessor_lb(p));
@@ -28,7 +40,15 @@ fn main() {
     let c3 = find_crossover(Time(600), p.u, |mop| {
         let mut w = Waits::standard(p, Time::ZERO);
         w.mop_respond = mop;
-        thm3_attack(p, &spec_r, "write", &args, &[Invocation::nullary("read")], Algorithm::WtlwWaits(w)).outcome
+        thm3_attack(
+            p,
+            &spec_r,
+            "write",
+            &args,
+            &[Invocation::nullary("read")],
+            Algorithm::WtlwWaits(w),
+        )
+        .outcome
     })
     .unwrap();
     report("Thm 3: |write| (last-sensitive mutator)", c3, formulas::thm3_last_sensitive_lb(p, p.n));
@@ -36,7 +56,14 @@ fn main() {
     let c4 = find_crossover(p.d, p.d + p.m() * 2, |total| {
         let mut w = Waits::standard(p, Time::ZERO);
         w.execute = total - w.add;
-        thm4_attack(p, &spec_m, Invocation::new("rmw", 1), Invocation::new("rmw", 1), Algorithm::WtlwWaits(w)).outcome
+        thm4_attack(
+            p,
+            &spec_m,
+            Invocation::new("rmw", 1),
+            Invocation::new("rmw", 1),
+            Algorithm::WtlwWaits(w),
+        )
+        .outcome
     })
     .unwrap();
     report("Thm 4: |rmw| (pair-free)", c4, formulas::thm4_pair_free_lb(p));
@@ -44,7 +71,16 @@ fn main() {
     let c5 = find_crossover(p.d - p.m(), p.d + p.m() * 2, |sum| {
         let mut w = Waits::standard(p, Time::ZERO);
         w.aop_respond = sum - w.mop_respond;
-        thm5_attack(p, &spec_q, "enqueue", Value::Int(1), Value::Int(2), Invocation::nullary("peek"), Algorithm::WtlwWaits(w)).outcome
+        thm5_attack(
+            p,
+            &spec_q,
+            "enqueue",
+            Value::Int(1),
+            Value::Int(2),
+            Invocation::nullary("peek"),
+            Algorithm::WtlwWaits(w),
+        )
+        .outcome
     })
     .unwrap();
     report("Thm 5: |enqueue| + |peek| (sum)", c5, formulas::thm5_sum_lb(p));
@@ -53,6 +89,12 @@ fn main() {
 }
 
 fn report(label: &str, c: Crossover, formula: Time) {
-    println!("  {:<42} {:>10} {:>10} {:>7}", label, c.first_safe.to_string(), formula.to_string(), c.probes);
+    println!(
+        "  {:<42} {:>10} {:>10} {:>7}",
+        label,
+        c.first_safe.to_string(),
+        formula.to_string(),
+        c.probes
+    );
     assert_eq!(c.first_safe, formula, "{label}: measured ≠ formula");
 }

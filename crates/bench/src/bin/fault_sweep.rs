@@ -1,0 +1,7 @@
+//! Fault-injection sweep: linearizability survival and latency degradation
+//! vs message drop rate, bare Algorithm 1 versus the recovery wrapper.
+fn main() {
+    let seeds =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).filter(|&s| s > 0).unwrap_or(8);
+    print!("{}", lintime_bench::experiments::fault_sweep_report(seeds));
+}

@@ -135,9 +135,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
     let int = |k: &str, default: i64| -> Result<i64, String> {
-        get(k, &default.to_string())
-            .parse()
-            .map_err(|_| format!("--{k} expects an integer"))
+        get(k, &default.to_string()).parse().map_err(|_| format!("--{k} expects an integer"))
     };
 
     let n = int("n", 4)? as usize;
@@ -168,12 +166,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "min" => DelaySpec::AllMin,
         other => return Err(format!("unknown delay model {other:?}")),
     };
-    let workload = Workload {
-        mix,
-        ops_per_process: int("ops", 6)? as usize,
-        max_gap: params.d * 2,
-        seed,
-    };
+    let workload =
+        Workload { mix, ops_per_process: int("ops", 6)? as usize, max_gap: params.d * 2, seed };
 
     println!(
         "simulating {} on {} with {} (n={}, d={}, u={}, ε={}, seed={seed})",

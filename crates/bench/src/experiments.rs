@@ -97,9 +97,7 @@ pub fn table5_report() -> String {
             "Pure accessor" => measured.get("peek").copied(),
             s if s.starts_with("Last-sensitive") => measured.get("enqueue").copied(),
             s if s.starts_with("Pair-free") => measured.get("dequeue").copied(),
-            s if s.starts_with("Transposable") => {
-                Some(measured["enqueue"] + measured["peek"])
-            }
+            s if s.starts_with("Transposable") => Some(measured["enqueue"] + measured["peek"]),
             _ => None,
         };
     }
@@ -141,7 +139,12 @@ fn outcome_label(o: &Outcome) -> &'static str {
 pub fn lower_bounds_report() -> String {
     let p = default_params();
     let mut out = String::new();
-    writeln!(out, "Lower-bound adversaries (n = {}, d = {}, u = {}, ε = {})", p.n, p.d, p.u, p.epsilon).unwrap();
+    writeln!(
+        out,
+        "Lower-bound adversaries (n = {}, d = {}, u = {}, ε = {})",
+        p.n, p.d, p.u, p.epsilon
+    )
+    .unwrap();
 
     // ---- Theorem 2: pure accessor ≥ u/4. ----
     let bound2 = formulas::thm2_pure_accessor_lb(p);
@@ -167,8 +170,14 @@ pub fn lower_bounds_report() -> String {
 
     // ---- Theorem 3: last-sensitive mutator ≥ (1 − 1/k)u. ----
     let bound3 = formulas::thm3_last_sensitive_lb(p, p.n);
-    writeln!(out, "\nTheorem 3: last-sensitive mutator (register write, k = {}); bound (1 − 1/k)u = {bound3}", p.n).unwrap();
-    let speeds: Vec<Time> = vec![Time(600), Time(1200), Time(1500), Time(1799), Time(1800), Time(2100)];
+    writeln!(
+        out,
+        "\nTheorem 3: last-sensitive mutator (register write, k = {}); bound (1 − 1/k)u = {bound3}",
+        p.n
+    )
+    .unwrap();
+    let speeds: Vec<Time> =
+        vec![Time(600), Time(1200), Time(1500), Time(1799), Time(1800), Time(2100)];
     let rows = parallel_map(speeds, 0, |mop| {
         let mut w = Waits::standard(p, Time::ZERO);
         w.mop_respond = *mop;
@@ -189,7 +198,8 @@ pub fn lower_bounds_report() -> String {
     // ---- Theorem 4: pair-free ≥ d + m. ----
     let bound4 = formulas::thm4_pair_free_lb(p);
     writeln!(out, "\nTheorem 4: pair-free (rmw); bound d + m = {bound4}").unwrap();
-    let totals: Vec<Time> = vec![Time(6000), Time(6600), Time(7200), Time(7799), Time(7800), Time(8400)];
+    let totals: Vec<Time> =
+        vec![Time(6000), Time(6600), Time(7200), Time(7799), Time(7800), Time(8400)];
     let rows = parallel_map(totals, 0, |total| {
         let mut w = Waits::standard(p, Time::ZERO);
         w.execute = *total - w.add; // mixed latency = add + execute
@@ -208,7 +218,8 @@ pub fn lower_bounds_report() -> String {
     // ---- Theorem 5: |enqueue| + |peek| ≥ d + m. ----
     let bound5 = formulas::thm5_sum_lb(p);
     writeln!(out, "\nTheorem 5: enqueue + peek sum; bound d + m = {bound5}").unwrap();
-    let sums: Vec<Time> = vec![Time(5400), Time(6000), Time(6600), Time(7200), Time(7799), Time(7800), Time(8400)];
+    let sums: Vec<Time> =
+        vec![Time(5400), Time(6000), Time(6600), Time(7200), Time(7799), Time(7800), Time(8400)];
     let rows = parallel_map(sums, 0, |sum| {
         let mut w = Waits::standard(p, Time::ZERO);
         w.aop_respond = *sum - w.mop_respond;
@@ -226,7 +237,8 @@ pub fn lower_bounds_report() -> String {
     });
     render_sweep(&mut out, "|enqueue|+|peek|", bound5, &rows);
 
-    writeln!(out, "\nControl: the standard Algorithm 1 (X = 0) survives all four constructions:").unwrap();
+    writeln!(out, "\nControl: the standard Algorithm 1 (X = 0) survives all four constructions:")
+        .unwrap();
     let spec_q = erase(FifoQueue::new());
     let spec_r = erase(Register::new(0));
     let spec_m = erase(RmwRegister::new(0));
@@ -235,19 +247,39 @@ pub fn lower_bounds_report() -> String {
     let controls: Vec<(&str, Outcome)> = vec![
         (
             "thm2",
-            thm2_attack(p, &spec_q, Invocation::new("enqueue", 7), Invocation::nullary("peek"), p.d, p.epsilon, std_algo).outcome,
+            thm2_attack(
+                p,
+                &spec_q,
+                Invocation::new("enqueue", 7),
+                Invocation::nullary("peek"),
+                p.d,
+                p.epsilon,
+                std_algo,
+            )
+            .outcome,
         ),
         (
             "thm3",
-            thm3_attack(p, &spec_r, "write", &args, &[Invocation::nullary("read")], std_algo).outcome,
+            thm3_attack(p, &spec_r, "write", &args, &[Invocation::nullary("read")], std_algo)
+                .outcome,
         ),
         (
             "thm4",
-            thm4_attack(p, &spec_m, Invocation::new("rmw", 1), Invocation::new("rmw", 1), std_algo).outcome,
+            thm4_attack(p, &spec_m, Invocation::new("rmw", 1), Invocation::new("rmw", 1), std_algo)
+                .outcome,
         ),
         (
             "thm5",
-            thm5_attack(p, &spec_q, "enqueue", Value::Int(1), Value::Int(2), Invocation::nullary("peek"), std_algo).outcome,
+            thm5_attack(
+                p,
+                &spec_q,
+                "enqueue",
+                Value::Int(1),
+                Value::Int(2),
+                Invocation::nullary("peek"),
+                std_algo,
+            )
+            .outcome,
         ),
     ];
     for (name, o) in &controls {
@@ -293,7 +325,12 @@ pub fn folklore_report() -> String {
     let p = default_params();
     let spec: Arc<dyn ObjectSpec> = erase(FifoQueue::new());
     let mut out = String::new();
-    writeln!(out, "Folklore comparison (queue; worst-case latency in ticks; folklore bound 2d = {})", formulas::folklore_ub(p)).unwrap();
+    writeln!(
+        out,
+        "Folklore comparison (queue; worst-case latency in ticks; folklore bound 2d = {})",
+        formulas::folklore_ub(p)
+    )
+    .unwrap();
     writeln!(out, "  {:<22} {:>9} {:>9} {:>9}", "algorithm", "enqueue", "peek", "dequeue").unwrap();
     let algos = vec![
         Algorithm::Wtlw { x: Time::ZERO },
@@ -319,7 +356,10 @@ pub fn folklore_report() -> String {
     }
     // Shape assertions: every WTLW configuration beats both baselines on
     // every operation.
-    let baselines: Vec<_> = rows.iter().filter(|(a, _)| matches!(a, Algorithm::Centralized | Algorithm::Broadcast)).collect();
+    let baselines: Vec<_> = rows
+        .iter()
+        .filter(|(a, _)| matches!(a, Algorithm::Centralized | Algorithm::Broadcast))
+        .collect();
     for (algo, measured) in &rows {
         if matches!(algo, Algorithm::Wtlw { .. }) {
             for op in ["enqueue", "peek", "dequeue"] {
@@ -336,7 +376,11 @@ pub fn folklore_report() -> String {
             }
         }
     }
-    writeln!(out, "\n  every Algorithm-1 configuration beats both folklore baselines on every operation ✓").unwrap();
+    writeln!(
+        out,
+        "\n  every Algorithm-1 configuration beats both folklore baselines on every operation ✓"
+    )
+    .unwrap();
     out
 }
 
@@ -356,7 +400,12 @@ pub fn x_tradeoff_report() -> String {
     });
     let mut out = String::new();
     writeln!(out, "X tradeoff (queue): |AOP| = d − X, |MOP| = X + ε, |OOP| = d + ε").unwrap();
-    writeln!(out, "  {:>6} | {:>9} {:>9} {:>9} | {:>11}", "X", "peek", "enqueue", "dequeue", "peek+enq").unwrap();
+    writeln!(
+        out,
+        "  {:>6} | {:>9} {:>9} {:>9} | {:>11}",
+        "X", "peek", "enqueue", "dequeue", "peek+enq"
+    )
+    .unwrap();
     for (x, measured) in &rows {
         let (peek, enq, deq) = (measured["peek"], measured["enqueue"], measured["dequeue"]);
         writeln!(
@@ -381,8 +430,13 @@ pub fn x_tradeoff_report() -> String {
 /// Section 5 assumption: the clock-sync substrate achieves `(1 − 1/n)u`.
 pub fn clocksync_report() -> String {
     let mut out = String::new();
-    writeln!(out, "Clock synchronization (Lundelius–Lynch averaging): achieved skew vs optimal (1 − 1/n)u").unwrap();
-    writeln!(out, "  {:>3} | {:>10} | {:>13} | {:>13}", "n", "raw skew", "achieved", "bound").unwrap();
+    writeln!(
+        out,
+        "Clock synchronization (Lundelius–Lynch averaging): achieved skew vs optimal (1 − 1/n)u"
+    )
+    .unwrap();
+    writeln!(out, "  {:>3} | {:>10} | {:>13} | {:>13}", "n", "raw skew", "achieved", "bound")
+        .unwrap();
     for n in [2usize, 3, 4, 6, 8] {
         let params = ModelParams::new(n, Time(6000), Time(2400), Time(1_000_000));
         let mut worst = Time::ZERO;
@@ -391,11 +445,8 @@ pub fn clocksync_report() -> String {
             let raw: Vec<Time> = (0..n)
                 .map(|i| Time(((seed as i64 + 1) * 7919 * i as i64) % 80_000 - 40_000))
                 .collect();
-            let outcome = lintime_clocksync::run_sync_round(
-                params,
-                raw,
-                DelaySpec::UniformRandom { seed },
-            );
+            let outcome =
+                lintime_clocksync::run_sync_round(params, raw, DelaySpec::UniformRandom { seed });
             worst = worst.max(outcome.achieved_skew);
             raw_worst = raw_worst.max(outcome.raw_skew);
         }
@@ -447,10 +498,13 @@ pub fn linearizability_sweep_report(seeds: u64) -> String {
 }
 
 /// A deterministic pseudo-random contended workload for one type.
-pub fn random_workload_run(p: ModelParams, spec: &Arc<dyn ObjectSpec>, seed: u64) -> lintime_sim::run::Run {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(seed);
+pub fn random_workload_run(
+    p: ModelParams,
+    spec: &Arc<dyn ObjectSpec>,
+    seed: u64,
+) -> lintime_sim::run::Run {
+    use lintime_sim::rng::SplitMix64;
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut schedule = Schedule::new();
     let ops = spec.ops().to_vec();
     let mut next_free = vec![Time::ZERO; p.n];
@@ -471,15 +525,166 @@ pub fn random_workload_run(p: ModelParams, spec: &Arc<dyn ObjectSpec>, seed: u64
         _ => DelaySpec::UniformRandom { seed },
     };
     // Random-but-admissible clock offsets.
-    let offsets: Vec<Time> = (0..p.n)
-        .map(|_| Time(rng.gen_range(0..=p.epsilon.as_ticks())))
-        .collect();
+    let offsets: Vec<Time> =
+        (0..p.n).map(|_| Time(rng.gen_range(0..=p.epsilon.as_ticks()))).collect();
     let x = Time(rng.gen_range(0..=(p.d - p.epsilon).as_ticks()));
     let cfg = SimConfig::new(p, delay).with_offsets(offsets).with_schedule(schedule);
     let run = run_algorithm(Algorithm::Wtlw { x }, spec, &cfg);
     assert!(run.complete(), "workload did not complete: {run}");
     assert!(run.errors.is_empty(), "{:?}", run.errors);
     run
+}
+
+/// A register workload engineered to expose lost mutator announcements: a
+/// burst of writes followed by reads at *every* process well after the last
+/// write responded. A process that silently missed the final write then
+/// returns a stale value under real-time precedence — exactly what the
+/// checker refutes. `slack` spaces same-process invocations so the recovery
+/// layer's extended waits never overlap.
+fn fault_sweep_schedule(p: ModelParams, seed: u64, slack: Time) -> Schedule {
+    use lintime_sim::rng::SplitMix64;
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFA17_5EED);
+    let mut schedule = Schedule::new();
+    let mut next_free = vec![Time::ZERO; p.n];
+    for w in 0..6 {
+        let pid = rng.gen_range(0usize..p.n);
+        let at = next_free[pid] + Time(rng.gen_range(0i64..2 * p.d.as_ticks()));
+        next_free[pid] = at + slack;
+        schedule = schedule.at(Pid(pid), at, Invocation::new("write", w + 1));
+    }
+    // Two read rounds per process, after every write has responded (writes
+    // ack in ε, so all reads causally follow all writes).
+    let mut base = *next_free.iter().max().unwrap() + slack;
+    for _ in 0..2 {
+        for (i, nf) in next_free.iter_mut().enumerate() {
+            let at = base.max(*nf) + Time(rng.gen_range(0i64..p.d.as_ticks()));
+            *nf = at + slack;
+            schedule = schedule.at(Pid(i), at, Invocation::nullary("read"));
+        }
+        base = *next_free.iter().max().unwrap();
+    }
+    schedule
+}
+
+/// Fault-injection sweep (robustness extension): linearizability survival
+/// rate and mean latency vs message drop rate, for the bare Algorithm 1
+/// versus the recovery-wrapped variant. Bare nodes stay *complete* under
+/// omission faults (responses are timer-driven) but silently lose mutator
+/// announcements, so the checker catches non-linearizable runs; the recovery
+/// wrapper retransmits and must keep every run certified.
+pub fn fault_sweep_report(seeds: u64) -> String {
+    use lintime_core::reliable::{run_reliable, RecoveryConfig};
+    use lintime_core::wtlw::WtlwNode;
+    use lintime_sim::engine::simulate;
+    use lintime_sim::faults::FaultPlan;
+
+    let p = default_params();
+    let x = Time::ZERO;
+    let recovery = RecoveryConfig { rto: p.d * 2, max_retries: 2 };
+    let slack = p.d + p.u + p.epsilon + recovery.backoff_budget() + Time(1);
+    let rates: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
+
+    let jobs: Vec<(usize, u64, bool)> = rates
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| (0..seeds).flat_map(move |s| [(ri, s, false), (ri, s, true)]))
+        .collect();
+    let results = parallel_map(jobs, 0, |&(ri, seed, recovered)| {
+        let spec = erase(Register::new(0));
+        let plan = FaultPlan::new(seed).drop_all(rates[ri]);
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
+            .with_faults(plan)
+            .with_schedule(fault_sweep_schedule(p, seed, slack));
+        let run = if recovered {
+            run_reliable(&spec, &cfg, x, recovery)
+        } else {
+            simulate(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x))
+        };
+        let lin = lintime_check::history::History::from_run(&run)
+            .map(|h| lintime_check::wing_gong::check(&spec, &h).is_linearizable())
+            .unwrap_or(false);
+        let lats: Vec<i64> =
+            run.ops.iter().filter_map(|o| o.latency()).map(|t| t.as_ticks()).collect();
+        // The "flagged, never silently wrong" guarantee: an unflagged
+        // recovered run must always be linearizable (a lost announcement
+        // implies an exhausted retransmission budget at the sender, which
+        // marks the run suspect).
+        if recovered && !run.is_suspect() {
+            assert!(lin, "recovered run not flagged yet non-linearizable (seed {seed}): {run}");
+        }
+        (ri, recovered, lin, run.is_suspect(), lats.iter().sum::<i64>(), lats.len() as u64)
+    });
+
+    #[derive(Default, Clone, Copy)]
+    struct Cell {
+        survived: u64,
+        suspect: u64,
+        lat_sum: i64,
+        lat_n: u64,
+    }
+    let mut cells = [[Cell::default(); 2]; 5];
+    for (ri, recovered, survived, suspect, lat_sum, lat_n) in results {
+        let c = &mut cells[ri][recovered as usize];
+        c.survived += survived as u64;
+        c.suspect += suspect as u64;
+        c.lat_sum += lat_sum;
+        c.lat_n += lat_n;
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "  survival = complete + checker-verified linearizable, over {seeds} seeds; \
+         'flagged' counts recovered runs the violation detector marked suspect"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  recovery: rto = 2d = {}, max_retries = {}, backoff budget = {}",
+        recovery.rto,
+        recovery.max_retries,
+        recovery.backoff_budget()
+    )
+    .unwrap();
+    writeln!(out, "  drop rate |  bare: survive  mean-lat | recovered: survive  mean-lat  flagged")
+        .unwrap();
+    let pct = |c: &Cell| 100.0 * c.survived as f64 / seeds as f64;
+    let lat = |c: &Cell| if c.lat_n == 0 { 0.0 } else { c.lat_sum as f64 / c.lat_n as f64 };
+    for (ri, rate) in rates.iter().enumerate() {
+        let bare = &cells[ri][0];
+        let rec = &cells[ri][1];
+        writeln!(
+            out,
+            "  {:>8.2}% | {:>13.0}% {:>9.0} | {:>16.0}% {:>9.0} {:>7}",
+            rate * 100.0,
+            pct(bare),
+            lat(bare),
+            pct(rec),
+            lat(rec),
+            rec.suspect
+        )
+        .unwrap();
+    }
+    // Sanity anchors: a faultless network certifies everywhere (and raises
+    // no flags), and the recovery wrapper never survives less often than
+    // the bare algorithm.
+    assert_eq!(cells[0][0].survived, seeds, "bare must be linearizable with no faults");
+    assert_eq!(cells[0][1].survived, seeds, "recovered must be linearizable with no faults");
+    assert_eq!(cells[0][1].suspect, 0, "no faults must raise no flags");
+    let bare_total: u64 = cells.iter().map(|r| r[0].survived).sum();
+    let rec_total: u64 = cells.iter().map(|r| r[1].survived).sum();
+    assert!(
+        rec_total >= bare_total,
+        "recovery must not reduce survival ({rec_total} < {bare_total})"
+    );
+    writeln!(
+        out,
+        "  recovery survival {rec_total}/{} ≥ bare {bare_total}/{} ✓",
+        5 * seeds,
+        5 * seeds
+    )
+    .unwrap();
+    out
 }
 
 /// A quick all-experiments digest (used by `--bin all_experiments`).
@@ -497,6 +702,7 @@ pub fn all_reports() -> String {
         ("X TRADEOFF", x_tradeoff_report()),
         ("CLOCK SYNC", clocksync_report()),
         ("LINEARIZABILITY SWEEP", linearizability_sweep_report(6)),
+        ("FAULT SWEEP (EXTENSION)", fault_sweep_report(4)),
         ("TABLE 6 (EXTENSION, KV STORE)", table_kv_report()),
         ("THROUGHPUT (EXTENSION)", throughput_report()),
         ("N SCALING (EXTENSION)", n_scaling_report()),
@@ -506,8 +712,6 @@ pub fn all_reports() -> String {
     }
     out
 }
-
-
 
 /// Extension "Table 6": the kv-store, a data type the paper never mentions,
 /// bounded purely by its computed operation classes. `put` is last-sensitive
@@ -586,7 +790,12 @@ pub fn throughput_report() -> String {
         p.n
     )
     .unwrap();
-    writeln!(out, "  {:<22} {:>10} {:>14} {:>16}", "algorithm", "makespan", "ops/1000 ticks", "per-op latency").unwrap();
+    writeln!(
+        out,
+        "  {:<22} {:>10} {:>14} {:>16}",
+        "algorithm", "makespan", "ops/1000 ticks", "per-op latency"
+    )
+    .unwrap();
     let algos = vec![
         Algorithm::Wtlw { x: Time::ZERO },
         Algorithm::Wtlw { x: p.d - p.epsilon },
@@ -609,12 +818,8 @@ pub fn throughput_report() -> String {
         let run = run_algorithm(*algo, &spec, &cfg);
         assert!(run.complete());
         let done = run.completed().count();
-        let last_response = run
-            .ops
-            .iter()
-            .filter_map(|o| o.t_respond)
-            .max()
-            .expect("ops completed");
+        let last_response =
+            run.ops.iter().filter_map(|o| o.t_respond).max().expect("ops completed");
         let mean_latency = {
             let lats = run.latencies(Some("enqueue"));
             Time(lats.iter().map(|t| t.as_ticks()).sum::<i64>() / lats.len() as i64)
@@ -643,11 +848,8 @@ pub fn throughput_report() -> String {
         .filter(|(l, _)| l.starts_with("wtlw"))
         .map(|(_, r)| *r)
         .fold(f64::INFINITY, f64::min);
-    let folklore_max = rates
-        .iter()
-        .filter(|(l, _)| !l.starts_with("wtlw"))
-        .map(|(_, r)| *r)
-        .fold(0.0, f64::max);
+    let folklore_max =
+        rates.iter().filter(|(l, _)| !l.starts_with("wtlw")).map(|(_, r)| *r).fold(0.0, f64::max);
     assert!(
         wtlw_min > folklore_max,
         "every Algorithm 1 configuration must out-sustain the baselines"
@@ -708,7 +910,11 @@ pub fn workload_mix_report() -> String {
     use lintime_sim::workload::{Mix, Workload};
     let p = default_params();
     let spec: Arc<dyn ObjectSpec> = erase(FifoQueue::new());
-    let mixes = [("read-heavy", Mix::READ_HEAVY), ("balanced", Mix::BALANCED), ("write-heavy", Mix::WRITE_HEAVY)];
+    let mixes = [
+        ("read-heavy", Mix::READ_HEAVY),
+        ("balanced", Mix::BALANCED),
+        ("write-heavy", Mix::WRITE_HEAVY),
+    ];
     let algos = [
         ("wtlw X=0", Algorithm::Wtlw { x: Time::ZERO }),
         ("wtlw X=(d-ε)/2", Algorithm::Wtlw { x: (p.d - p.epsilon) / 2 }),
@@ -716,8 +922,14 @@ pub fn workload_mix_report() -> String {
         ("centralized", Algorithm::Centralized),
     ];
     let mut out = String::new();
-    writeln!(out, "Mean latency by workload mix (queue; 10 ops/process × 3 seeds; ticks):").unwrap();
-    writeln!(out, "  {:<16} {:>12} {:>12} {:>12} {:>12}", "mix", algos[0].0, algos[1].0, algos[2].0, algos[3].0).unwrap();
+    writeln!(out, "Mean latency by workload mix (queue; 10 ops/process × 3 seeds; ticks):")
+        .unwrap();
+    writeln!(
+        out,
+        "  {:<16} {:>12} {:>12} {:>12} {:>12}",
+        "mix", algos[0].0, algos[1].0, algos[2].0, algos[3].0
+    )
+    .unwrap();
     let cells: Vec<((usize, usize), i64)> = parallel_map(
         (0..mixes.len()).flat_map(|m| (0..algos.len()).map(move |a| (m, a))).collect(),
         0,

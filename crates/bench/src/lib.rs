@@ -2,13 +2,16 @@
 //!
 //! The benchmark and reproduction harness: every table and figure of the
 //! paper has a generator here (see [`experiments`]) plus a binary under
-//! `src/bin` that prints it, and a Criterion bench under `benches` that
+//! `src/bin` that prints it, and a timing bench under `benches` that
 //! measures the corresponding simulator workload. The workspace-level
-//! `examples/` and `tests/` directories are wired into this crate.
+//! `examples/` and `tests/` directories are wired into this crate. The
+//! robustness extension adds a fault-injection sweep
+//! ([`experiments::fault_sweep_report`], `--bin fault_sweep`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
-pub mod timeline;
+pub mod microbench;
 pub mod sweep;
+pub mod timeline;

@@ -1,0 +1,140 @@
+//! A dependency-free micro-benchmark harness for the `benches/` targets.
+//!
+//! The timing benches are plain `harness = false` binaries; this module
+//! gives them a shared measurement loop (warm-up, N samples, min/mean/max
+//! reporting and optional element throughput) built on [`std::time::Instant`]
+//! so the workspace needs no external bench framework.
+//!
+//! `LINTIME_BENCH_SAMPLES=1` in the environment overrides every group's
+//! sample count — useful to smoke-test the bench binaries in CI without
+//! paying for full measurement runs.
+
+use std::time::{Duration, Instant};
+
+/// A named group of measurements, printed as one block.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Start a group; measurements default to 20 samples each.
+    pub fn new(name: &str) -> Group {
+        println!("{name}");
+        Group { name: name.to_string(), samples: sample_override().unwrap_or(20) }
+    }
+
+    /// Set the per-measurement sample count (ignored when the
+    /// `LINTIME_BENCH_SAMPLES` override is present).
+    pub fn sample_size(mut self, n: usize) -> Group {
+        assert!(n > 0, "sample size must be positive");
+        if sample_override().is_none() {
+            self.samples = n;
+        }
+        self
+    }
+
+    /// Measure `f`, reporting min/mean/max over the group's sample count.
+    pub fn bench<R>(&self, id: &str, f: impl FnMut() -> R) {
+        self.run(id, None, f);
+    }
+
+    /// Measure `f`, additionally reporting throughput for `elements`
+    /// processed per call.
+    pub fn bench_throughput<R>(&self, id: &str, elements: u64, f: impl FnMut() -> R) {
+        self.run(id, Some(elements), f);
+    }
+
+    fn run<R>(&self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        let min = *times.iter().min().unwrap();
+        let max = *times.iter().max().unwrap();
+        let mean = times.iter().sum::<Duration>() / self.samples as u32;
+        let mut line = format!(
+            "  {:<40} mean {:>9}  min {:>9}  max {:>9}",
+            format!("{}/{id}", self.name),
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+        );
+        if let Some(e) = elements {
+            if !mean.is_zero() {
+                let per_sec = e as f64 / mean.as_secs_f64();
+                line.push_str(&format!("  {:>10}/s", fmt_count(per_sec)));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn sample_override() -> Option<usize> {
+    std::env::var("LINTIME_BENCH_SAMPLES").ok()?.parse().ok().filter(|n| *n > 0)
+}
+
+/// Render a duration with a unit chosen to keep 3–4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Render an element rate: `12.3k`, `4.56M`, …
+pub fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(250)), "250 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(42)), "42.0 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(17)), "17.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn counts_pick_sane_units() {
+        assert_eq!(fmt_count(900.0), "900");
+        assert_eq!(fmt_count(12_300.0), "12.3k");
+        assert_eq!(fmt_count(4_560_000.0), "4.56M");
+        assert_eq!(fmt_count(2_000_000_000.0), "2.00G");
+    }
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let mut calls = 0u32;
+        let g = Group::new("test_group").sample_size(5);
+        g.bench("counter", || {
+            calls += 1;
+            calls
+        });
+        // One warm-up + `samples` timed runs (unless the env override is
+        // set, in which case the count still is override + 1).
+        let expected = sample_override().unwrap_or(5) as u32 + 1;
+        assert_eq!(calls, expected);
+    }
+}

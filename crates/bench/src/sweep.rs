@@ -1,5 +1,5 @@
 //! Parallel parameter sweeps: run independent simulations across OS threads
-//! with crossbeam scoped threads. Simulations are single-threaded and
+//! with std scoped threads. Simulations are single-threaded and
 //! deterministic, so sweeping the parameter axis is embarrassingly parallel.
 
 /// Map `f` over `items` in parallel, preserving order. Spawns at most
@@ -24,28 +24,32 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let items_ref = &items;
     let f_ref = &f;
-    // Hand out disjoint &mut slots via a mutex-free index queue + unsafe-free
-    // channel collection.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    crossbeam::scope(|scope| {
+    // Hand out work via an atomic index queue; collect over a channel so no
+    // worker ever needs a &mut into the results vector.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    let panicked = std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
-            scope.spawn(move |_| loop {
+            workers.push(scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f_ref(&items_ref[i]);
                 tx.send((i, r)).expect("collector alive");
-            });
+            }));
         }
         drop(tx);
         for (i, r) in rx {
             results[i] = Some(r);
         }
-    })
-    .expect("sweep worker panicked");
+        workers.into_iter().any(|w| w.join().is_err())
+    });
+    if panicked {
+        panic!("sweep worker panicked");
+    }
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 

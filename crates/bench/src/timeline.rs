@@ -112,6 +112,9 @@ mod tests {
             events: 0,
             errors: vec![],
             delay_violations: 0,
+            truncated: false,
+            faults: vec![],
+            suspect: vec![],
         }
     }
 

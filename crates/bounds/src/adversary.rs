@@ -142,7 +142,12 @@ pub fn thm2_attack(
     }
     match verdict_of(spec, &base) {
         Ok(Verdict::NotLinearizable) => {
-            return AttackReport { theorem, outcome: Outcome::ViolationInBase, base: Some(base), shifted: None }
+            return AttackReport {
+                theorem,
+                outcome: Outcome::ViolationInBase,
+                base: Some(base),
+                shifted: None,
+            }
         }
         Ok(Verdict::Unknown) | Err(_) => {
             return AttackReport {
@@ -158,14 +163,9 @@ pub fn thm2_attack(
     // Find the transition: the last accessor instance returning the
     // "old" value (the value the accessor returns in the initial state).
     let old_ret = spec.run_history(std::slice::from_ref(&accessor)).pop().expect("one ret");
-    let accessor_records: Vec<&lintime_sim::run::OpRecord> = base
-        .ops
-        .iter()
-        .filter(|o| o.invocation == accessor)
-        .collect();
-    let j = accessor_records
-        .iter()
-        .rposition(|o| o.ret.as_ref() == Some(&old_ret));
+    let accessor_records: Vec<&lintime_sim::run::OpRecord> =
+        base.ops.iter().filter(|o| o.invocation == accessor).collect();
+    let j = accessor_records.iter().rposition(|o| o.ret.as_ref() == Some(&old_ret));
     let Some(j) = j else {
         return AttackReport {
             theorem,
@@ -231,11 +231,7 @@ pub fn thm3_attack(
     let k = args.len();
     assert!(k >= 2 && k <= p.n, "need 2 ≤ k ≤ n instances");
     let ki = k as i64;
-    assert_eq!(
-        p.u.as_ticks() % (2 * ki),
-        0,
-        "u must be divisible by 2k for an exact construction"
-    );
+    assert_eq!(p.u.as_ticks() % (2 * ki), 0, "u must be divisible by 2k for an exact construction");
     let t0 = Time(10_000);
     let t_probe = t0 + p.d * 4;
 
@@ -275,7 +271,12 @@ pub fn thm3_attack(
     let witness = match verdict_of(spec, &base) {
         Ok(Verdict::Linearizable(w)) => w,
         Ok(Verdict::NotLinearizable) => {
-            return AttackReport { theorem, outcome: Outcome::ViolationInBase, base: Some(base), shifted: None }
+            return AttackReport {
+                theorem,
+                outcome: Outcome::ViolationInBase,
+                base: Some(base),
+                shifted: None,
+            }
         }
         Ok(Verdict::Unknown) | Err(_) => {
             return AttackReport {
@@ -368,11 +369,7 @@ pub fn thm4_attack_seeded(
     }
     let cfg = SimConfig::new(p, DelaySpec::AllMax)
         .with_offsets(offsets)
-        .with_schedule(
-            schedule
-                .at(Pid(1), t0, op1)
-                .at(Pid(0), t0 + m, op0),
-        );
+        .with_schedule(schedule.at(Pid(1), t0, op1).at(Pid(0), t0 + m, op0));
     debug_assert!(cfg.admissible().is_ok());
     let run = run_algorithm(victim, spec, &cfg);
     let outcome = match verdict_of(spec, &run) {
@@ -424,13 +421,13 @@ pub fn thm5_attack(
     });
 
     // Phase A: mutators only, to measure their response times.
-    let cfg_a = SimConfig::new(p, delay.clone())
-        .with_offsets(offsets.clone())
-        .with_schedule(
-            Schedule::new()
-                .at(Pid(1), t0, Invocation::new(mop, a1.clone()))
-                .at(Pid(0), t0 + m, Invocation::new(mop, a0.clone())),
-        );
+    let cfg_a = SimConfig::new(p, delay.clone()).with_offsets(offsets.clone()).with_schedule(
+        Schedule::new().at(Pid(1), t0, Invocation::new(mop, a1.clone())).at(
+            Pid(0),
+            t0 + m,
+            Invocation::new(mop, a0.clone()),
+        ),
+    );
     debug_assert!(cfg_a.admissible().is_ok());
     let phase_a = run_algorithm(victim, spec, &cfg_a);
     if !phase_a.complete() {
@@ -445,25 +442,18 @@ pub fn thm5_attack(
     // t + max(|op0|, |op1|). In the shifted coordinates of R2, p0's mutator
     // (and its accessor) sit m later, while p1's accessor stays at t_max —
     // possibly *overlapping* p0's mutator, exactly as in the proof.
-    let max_latency = phase_a
-        .ops
-        .iter()
-        .filter_map(|o| o.latency())
-        .max()
-        .expect("two ops");
+    let max_latency = phase_a.ops.iter().filter_map(|o| o.latency()).max().expect("two ops");
     let t_max = t0 + max_latency;
 
     // Phase B: the full R2 with the three accessors.
-    let cfg_b = SimConfig::new(p, delay)
-        .with_offsets(offsets)
-        .with_schedule(
-            Schedule::new()
-                .at(Pid(1), t0, Invocation::new(mop, a1))
-                .at(Pid(0), t0 + m, Invocation::new(mop, a0))
-                .at(Pid(0), t_max + m, aop.clone())
-                .at(Pid(1), t_max, aop.clone())
-                .at(Pid(2), t_max + m, aop),
-        );
+    let cfg_b = SimConfig::new(p, delay).with_offsets(offsets).with_schedule(
+        Schedule::new()
+            .at(Pid(1), t0, Invocation::new(mop, a1))
+            .at(Pid(0), t0 + m, Invocation::new(mop, a0))
+            .at(Pid(0), t_max + m, aop.clone())
+            .at(Pid(1), t_max, aop.clone())
+            .at(Pid(2), t_max + m, aop),
+    );
     let run = run_algorithm(victim, spec, &cfg_b);
     if !run.errors.is_empty() {
         return AttackReport {
@@ -481,8 +471,6 @@ pub fn thm5_attack(
     };
     AttackReport { theorem, outcome, base: Some(run), shifted: None }
 }
-
-
 
 /// The generalized Lipton–Sandberg interference bound (Section 6.1):
 /// if `op1` is a mutator whose effect the accessor `op2` can observe
@@ -503,8 +491,11 @@ pub fn interference_attack(
     let theorem = "Lipton–Sandberg (interfering pair sum ≥ d)";
     let t0 = Time(10_000);
     // Phase A: measure the victim's mutator latency.
-    let cfg_a = SimConfig::new(p, DelaySpec::AllMax)
-        .with_schedule(Schedule::new().at(Pid(0), t0, mutator.clone()));
+    let cfg_a = SimConfig::new(p, DelaySpec::AllMax).with_schedule(Schedule::new().at(
+        Pid(0),
+        t0,
+        mutator.clone(),
+    ));
     let phase_a = run_algorithm(victim, spec, &cfg_a);
     let Some(resp) = phase_a.ops.first().and_then(|o| o.t_respond) else {
         return AttackReport {
@@ -517,9 +508,7 @@ pub fn interference_attack(
     // Phase B: accessor invoked one tick after the mutator's response, so
     // the real-time precedence is strict and the accessor must observe it.
     let cfg_b = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-        Schedule::new()
-            .at(Pid(0), t0, mutator)
-            .at(Pid(1), resp + Time(1), accessor),
+        Schedule::new().at(Pid(0), t0, mutator).at(Pid(1), resp + Time(1), accessor),
     );
     let run = run_algorithm(victim, spec, &cfg_b);
     let outcome = match verdict_of(spec, &run) {
@@ -572,11 +561,7 @@ mod tests {
             claimed_op,
             victim,
         );
-        assert!(
-            report.outcome.violated(),
-            "expected a violation, got {:?}",
-            report.outcome
-        );
+        assert!(report.outcome.violated(), "expected a violation, got {:?}", report.outcome);
     }
 
     #[test]
@@ -615,11 +600,7 @@ mod tests {
             &[Invocation::nullary("read")],
             Algorithm::WtlwWaits(w),
         );
-        assert!(
-            report.outcome.violated(),
-            "expected a violation, got {:?}",
-            report.outcome
-        );
+        assert!(report.outcome.violated(), "expected a violation, got {:?}", report.outcome);
     }
 
     #[test]
@@ -627,14 +608,8 @@ mod tests {
         let params = p();
         let spec = erase(Register::new(0));
         let args: Vec<Value> = (0..4).map(|i| Value::Int(100 + i)).collect();
-        let report = thm3_attack(
-            params,
-            &spec,
-            "write",
-            &args,
-            &[Invocation::nullary("read")],
-            standard(),
-        );
+        let report =
+            thm3_attack(params, &spec, "write", &args, &[Invocation::nullary("read")], standard());
         assert_eq!(report.outcome, Outcome::NoViolation);
     }
 
@@ -654,11 +629,7 @@ mod tests {
             Invocation::new("rmw", 1),
             Algorithm::WtlwWaits(w),
         );
-        assert!(
-            report.outcome.violated(),
-            "expected a violation, got {:?}",
-            report.outcome
-        );
+        assert!(report.outcome.violated(), "expected a violation, got {:?}", report.outcome);
     }
 
     #[test]
@@ -695,10 +666,9 @@ mod tests {
         let params = p();
         let mut w = Waits::standard(params, Time::ZERO);
         w.execute = params.u / 2;
-        for (spec, op) in [
-            (erase(FifoQueue::new()), "dequeue"),
-            (erase(lintime_adt::types::Stack::new()), "pop"),
-        ] {
+        for (spec, op) in
+            [(erase(FifoQueue::new()), "dequeue"), (erase(lintime_adt::types::Stack::new()), "pop")]
+        {
             // Both dequeue empty: both would return the single element...
             // seed one element first via the initial schedule? Instead use
             // empty-queue pair-freedom: dequeue on empty returns Unit; two
@@ -708,14 +678,14 @@ mod tests {
             let t0 = Time(50_000);
             let mut offsets = vec![Time::ZERO; params.n];
             offsets[0] = -m;
-            let cfg = SimConfig::new(params, DelaySpec::AllMax)
-                .with_offsets(offsets)
-                .with_schedule(
+            let cfg =
+                SimConfig::new(params, DelaySpec::AllMax).with_offsets(offsets).with_schedule(
                     Schedule::new()
-                        .at(Pid(2), Time(0), Invocation::new(
-                            if op == "dequeue" { "enqueue" } else { "push" },
-                            7,
-                        ))
+                        .at(
+                            Pid(2),
+                            Time(0),
+                            Invocation::new(if op == "dequeue" { "enqueue" } else { "push" }, 7),
+                        )
                         .at(Pid(1), t0, Invocation::nullary(op))
                         .at(Pid(0), t0 + m, Invocation::nullary(op)),
                 );
@@ -746,11 +716,7 @@ mod tests {
             Invocation::nullary("peek"),
             Algorithm::WtlwWaits(w),
         );
-        assert!(
-            report.outcome.violated(),
-            "expected a violation, got {:?}",
-            report.outcome
-        );
+        assert!(report.outcome.violated(), "expected a violation, got {:?}", report.outcome);
     }
 
     #[test]

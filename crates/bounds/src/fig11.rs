@@ -56,10 +56,8 @@ pub fn check_relationships(reports: &[TypeReport]) -> Vec<String> {
             let name = format!("{}::{}", tr.type_name, op.op);
             match op.computed {
                 Some(c) if c == op.declared => {}
-                other => violations.push(format!(
-                    "{name}: declared {:?} but computed {:?}",
-                    op.declared, other
-                )),
+                other => violations
+                    .push(format!("{name}: declared {:?} but computed {:?}", op.declared, other)),
             }
             if op.pair_free && op.computed != Some(OpClass::Mixed) {
                 violations.push(format!("{name}: pair-free but not mixed (Lemma 3 violated)"));
@@ -80,11 +78,8 @@ pub fn check_relationships(reports: &[TypeReport]) -> Vec<String> {
 /// Render the Figure-11 report as text.
 pub fn render(reports: &[TypeReport]) -> String {
     let mut out = String::new();
-    writeln!(
-        out,
-        "Figure 11: operation classes (computed from the executable definitions)"
-    )
-    .unwrap();
+    writeln!(out, "Figure 11: operation classes (computed from the executable definitions)")
+        .unwrap();
     writeln!(
         out,
         "  {:<24} {:<15} {:>5} {:>6} {:>7} {:>5}",

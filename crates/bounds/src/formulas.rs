@@ -123,10 +123,7 @@ mod tests {
         let p = p();
         // Pure mutators: UB at X = 0 is ε = (1 − 1/n)u which equals the
         // Theorem 3 LB with k = n — the tightness claim of Section 6.1.
-        assert_eq!(
-            alg1_ub(p, Time::ZERO, OpClass::PureMutator),
-            thm3_last_sensitive_lb(p, p.n)
-        );
+        assert_eq!(alg1_ub(p, Time::ZERO, OpClass::PureMutator), thm3_last_sensitive_lb(p, p.n));
         // Mixed ops: UB d + ε is tight against d + m when ε ≤ min{u, d/3}.
         assert_eq!(alg1_ub(p, Time::ZERO, OpClass::Mixed), thm4_pair_free_lb(p));
     }

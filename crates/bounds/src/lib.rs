@@ -26,8 +26,7 @@ pub mod tables;
 pub mod prelude {
     pub use crate::adversary::{
         interference_attack, thm2_attack, thm3_attack, thm4_attack, thm4_attack_seeded,
-        thm5_attack, AttackReport,
-        Outcome,
+        thm5_attack, AttackReport, Outcome,
     };
     pub use crate::crossover::{find_crossover, Crossover};
     pub use crate::fig11::{check_relationships, classify_all, render as render_fig11};

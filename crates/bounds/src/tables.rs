@@ -63,12 +63,8 @@ impl Table {
             .map(|r| {
                 [
                     r.operation.clone(),
-                    r.previous_lb
-                        .as_ref()
-                        .map_or("—".into(), |(t, c)| format!("{t} {c}")),
-                    r.new_lb
-                        .as_ref()
-                        .map_or("—".into(), |(t, c)| format!("{t} ({c})")),
+                    r.previous_lb.as_ref().map_or("—".into(), |(t, c)| format!("{t} {c}")),
+                    r.new_lb.as_ref().map_or("—".into(), |(t, c)| format!("{t} ({c})")),
                     r.new_ub.to_string(),
                     r.measured.map_or("—".into(), |t| t.to_string()),
                 ]
@@ -234,7 +230,12 @@ pub fn table3(p: ModelParams, x: Time) -> Table {
 /// parameters certified by the classifier for our tree semantics (the paper
 /// asserts `k = n` without fixing semantics; see `rooted_tree`'s module
 /// docs). Pass `p.n` to reproduce the paper's claimed column.
-pub fn table4(p: ModelParams, x: Time, certified_k_insert: usize, certified_k_delete: usize) -> Table {
+pub fn table4(
+    p: ModelParams,
+    x: Time,
+    certified_k_insert: usize,
+    certified_k_delete: usize,
+) -> Table {
     Table {
         title: "Table 4: Operation Bounds for Simple Rooted Trees".into(),
         params: p,
@@ -243,20 +244,14 @@ pub fn table4(p: ModelParams, x: Time, certified_k_insert: usize, certified_k_de
             TableRow {
                 operation: "Insert".into(),
                 previous_lb: Some((formulas::previous::half_u(p), "[13]")),
-                new_lb: Some((
-                    formulas::thm3_last_sensitive_lb(p, certified_k_insert),
-                    "Thm 3",
-                )),
+                new_lb: Some((formulas::thm3_last_sensitive_lb(p, certified_k_insert), "Thm 3")),
                 new_ub: formulas::alg1_ub(p, x, OpClass::PureMutator),
                 measured: None,
             },
             TableRow {
                 operation: "Delete".into(),
                 previous_lb: Some((formulas::previous::half_u(p), "[13]")),
-                new_lb: Some((
-                    formulas::thm3_last_sensitive_lb(p, certified_k_delete),
-                    "Thm 3",
-                )),
+                new_lb: Some((formulas::thm3_last_sensitive_lb(p, certified_k_delete), "Thm 3")),
                 new_ub: formulas::alg1_ub(p, x, OpClass::PureMutator),
                 measured: None,
             },
@@ -338,11 +333,8 @@ pub fn measure_worst_case(
 ) -> BTreeMap<&'static str, Time> {
     let _ = x; // X is carried inside `algo` for Wtlw; kept for signature clarity.
     let mut worst: BTreeMap<&'static str, Time> = BTreeMap::new();
-    let delays = [
-        DelaySpec::AllMax,
-        DelaySpec::AllMin,
-        DelaySpec::UniformRandom { seed: 0xC0FFEE },
-    ];
+    let delays =
+        [DelaySpec::AllMax, DelaySpec::AllMin, DelaySpec::UniformRandom { seed: 0xC0FFEE }];
     for delay in delays {
         let mut schedule = Schedule::new();
         let mut t = Time(0);
@@ -460,10 +452,7 @@ mod tests {
             assert!(row.measured.unwrap() <= row.new_ub, "row {}", row.operation);
         }
         let sum_row = t.rows.iter().find(|r| r.operation == "Write + Read").unwrap();
-        assert_eq!(
-            sum_row.measured.unwrap(),
-            measured["write"] + measured["read"]
-        );
+        assert_eq!(sum_row.measured.unwrap(), measured["write"] + measured["read"]);
     }
 
     #[test]

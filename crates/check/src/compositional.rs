@@ -48,19 +48,15 @@ pub fn check_components(
     for op in &history.ops {
         let (prefix, inner) = ProductSpec::split(op.instance.op)
             .ok_or_else(|| format!("operation {:?} is not namespaced", op.instance.op))?;
-        let component = product
-            .component(prefix)
-            .ok_or_else(|| format!("unknown component {prefix:?}"))?;
+        let component =
+            product.component(prefix).ok_or_else(|| format!("unknown component {prefix:?}"))?;
         let meta = component
             .op_meta(inner)
             .ok_or_else(|| format!("component {prefix:?} has no operation {inner:?}"))?;
         let mut projected = op.clone();
         projected.instance.op = meta.name;
         // Keys must be 'static; reuse the prefix stored in the product.
-        let key = product
-            .prefixes()
-            .find(|p| *p == prefix)
-            .expect("component exists");
+        let key = product.prefixes().find(|p| *p == prefix).expect("component exists");
         buckets.entry(key).or_default().ops.push(projected);
     }
     let components = buckets
@@ -96,9 +92,24 @@ mod tests {
     fn consistent_components_pass() {
         let p = product();
         let h = History::from_tuples(vec![
-            (0, OpInstance { op: ns(&p, "reg/write"), arg: Value::Int(5), ret: Value::Unit }, 0, 10),
-            (1, OpInstance { op: ns(&p, "q/enqueue"), arg: Value::Int(9), ret: Value::Unit }, 0, 10),
-            (2, OpInstance { op: ns(&p, "reg/read"), arg: Value::Unit, ret: Value::Int(5) }, 20, 30),
+            (
+                0,
+                OpInstance { op: ns(&p, "reg/write"), arg: Value::Int(5), ret: Value::Unit },
+                0,
+                10,
+            ),
+            (
+                1,
+                OpInstance { op: ns(&p, "q/enqueue"), arg: Value::Int(9), ret: Value::Unit },
+                0,
+                10,
+            ),
+            (
+                2,
+                OpInstance { op: ns(&p, "reg/read"), arg: Value::Unit, ret: Value::Int(5) },
+                20,
+                30,
+            ),
             (3, OpInstance { op: ns(&p, "q/peek"), arg: Value::Unit, ret: Value::Int(9) }, 20, 30),
         ]);
         let v = check_components(&p, &h, CheckConfig::default()).unwrap();
@@ -111,8 +122,18 @@ mod tests {
         let p = product();
         let h = History::from_tuples(vec![
             // Register fine.
-            (0, OpInstance { op: ns(&p, "reg/write"), arg: Value::Int(5), ret: Value::Unit }, 0, 10),
-            (1, OpInstance { op: ns(&p, "reg/read"), arg: Value::Unit, ret: Value::Int(5) }, 20, 30),
+            (
+                0,
+                OpInstance { op: ns(&p, "reg/write"), arg: Value::Int(5), ret: Value::Unit },
+                0,
+                10,
+            ),
+            (
+                1,
+                OpInstance { op: ns(&p, "reg/read"), arg: Value::Unit, ret: Value::Int(5) },
+                20,
+                30,
+            ),
             // Queue broken: peek of a value never enqueued.
             (2, OpInstance { op: ns(&p, "q/peek"), arg: Value::Unit, ret: Value::Int(42) }, 20, 30),
         ]);
@@ -126,12 +147,7 @@ mod tests {
     #[test]
     fn non_namespaced_ops_are_rejected() {
         let p = product();
-        let h = History::from_tuples(vec![(
-            0,
-            OpInstance::new("write", 5, ()),
-            0,
-            10,
-        )]);
+        let h = History::from_tuples(vec![(0, OpInstance::new("write", 5, ()), 0, 10)]);
         assert!(check_components(&p, &h, CheckConfig::default()).is_err());
     }
 

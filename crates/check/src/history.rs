@@ -36,8 +36,20 @@ pub struct History {
 impl History {
     /// Extract a history from a run. Fails if any operation is missing its
     /// response (linearizability is defined over complete runs; see
-    /// Section 2.3).
+    /// Section 2.3) or if the run was truncated (event cap, crash, or
+    /// invalid configuration) — a verdict on a partial run would be
+    /// meaningless and must never be certified.
     pub fn from_run(run: &Run) -> Result<History, String> {
+        if run.truncated {
+            return Err(format!(
+                "run is truncated and cannot be checked: {}",
+                if run.errors.is_empty() {
+                    "no diagnostic recorded".to_string()
+                } else {
+                    run.errors.join("; ")
+                }
+            ));
+        }
         if !run.complete() {
             let pending = run.ops.iter().filter(|o| o.ret.is_none()).count();
             return Err(format!("run is not complete: {pending} pending operations"));

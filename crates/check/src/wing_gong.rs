@@ -68,17 +68,8 @@ pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfi
     let mut memo: HashSet<(BitSet, Value)> = HashSet::new();
     let mut nodes: u64 = 0;
     let obj = spec.new_object();
-    let found = dfs(
-        spec,
-        history,
-        &prec,
-        &mut done,
-        &mut order,
-        obj,
-        &mut memo,
-        &mut nodes,
-        cfg.max_nodes,
-    );
+    let found =
+        dfs(spec, history, &prec, &mut done, &mut order, obj, &mut memo, &mut nodes, cfg.max_nodes);
     match found {
         Some(true) => Verdict::Linearizable(order),
         Some(false) => Verdict::NotLinearizable,
@@ -282,9 +273,7 @@ mod tests {
     fn budget_exhaustion_returns_unknown() {
         let spec = erase(FifoQueue::new());
         // Many concurrent enqueues with no observers: hugely permutable.
-        let ops: Vec<_> = (0..12)
-            .map(|i| (i as usize, inst("enqueue", i, ()), 0, 1000))
-            .collect();
+        let ops: Vec<_> = (0..12).map(|i| (i as usize, inst("enqueue", i, ()), 0, 1000)).collect();
         let h = History::from_tuples(ops);
         let v = check_with(&spec, &h, CheckConfig { max_nodes: 3 });
         assert_eq!(v, Verdict::Unknown);
@@ -295,9 +284,8 @@ mod tests {
         // 10 concurrent enqueues then sequential dequeues — naive search is
         // 10! but memoization keeps it tractable.
         let spec = erase(FifoQueue::new());
-        let mut tuples: Vec<(usize, OpInstance, i64, i64)> = (0..10i64)
-            .map(|i| (0usize, inst("enqueue", i, ()), 0, 1000))
-            .collect();
+        let mut tuples: Vec<(usize, OpInstance, i64, i64)> =
+            (0..10i64).map(|i| (0usize, inst("enqueue", i, ()), 0, 1000)).collect();
         for (k, i) in (0..10i64).enumerate() {
             tuples.push((1, inst("dequeue", (), i), 2000 + 10 * k as i64, 2005 + 10 * k as i64));
         }

@@ -4,7 +4,7 @@
 
 use lintime_adt::prelude::*;
 use lintime_check::prelude::*;
-use proptest::prelude::*;
+use lintime_sim::rng::SplitMix64;
 use std::sync::Arc;
 
 /// Brute force: try every permutation of the ops; linearizable iff some
@@ -44,41 +44,35 @@ fn permute(idx: &mut Vec<usize>, k: usize, found: &mut impl FnMut(&[usize]) -> b
 
 /// Generate a small queue history: random instances with random intervals,
 /// values drawn from a tiny domain so collisions (and illegal histories) are
-/// common.
-fn arb_history() -> impl Strategy<Value = History> {
-    proptest::collection::vec(
-        (
-            0usize..3,               // pid
-            0usize..3,               // op selector
-            0i64..3,                 // arg/ret value
-            0i64..40,                // invoke time
-            1i64..40,                // duration
-        ),
-        1..6,
-    )
-    .prop_map(|items| {
-        let mut tuples = Vec::new();
-        for (pid, op_sel, v, ti, dur) in items {
-            let instance = match op_sel {
-                0 => OpInstance::new("enqueue", v, ()),
-                1 => OpInstance::new("dequeue", (), if v == 0 { Value::Unit } else { Value::Int(v) }),
-                _ => OpInstance::new("peek", (), if v == 0 { Value::Unit } else { Value::Int(v) }),
-            };
-            tuples.push((pid, instance, ti, ti + dur));
-        }
-        History::from_tuples(tuples)
-    })
+/// common. Deterministic in `seed`, so every case is reproducible.
+fn arb_history(seed: u64) -> History {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let len = rng.gen_range(1usize..6);
+    let mut tuples = Vec::new();
+    for _ in 0..len {
+        let pid = rng.gen_range(0usize..3);
+        let op_sel = rng.gen_range(0usize..3);
+        let v = rng.gen_range(0i64..3);
+        let ti = rng.gen_range(0i64..40);
+        let dur = rng.gen_range(1i64..40);
+        let instance = match op_sel {
+            0 => OpInstance::new("enqueue", v, ()),
+            1 => OpInstance::new("dequeue", (), if v == 0 { Value::Unit } else { Value::Int(v) }),
+            _ => OpInstance::new("peek", (), if v == 0 { Value::Unit } else { Value::Int(v) }),
+        };
+        tuples.push((pid, instance, ti, ti + dur));
+    }
+    History::from_tuples(tuples)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
-
-    #[test]
-    fn checker_agrees_with_brute_force(h in arb_history()) {
-        let spec = erase(FifoQueue::new());
+#[test]
+fn checker_agrees_with_brute_force() {
+    let spec = erase(FifoQueue::new());
+    for seed in 0u64..300 {
+        let h = arb_history(seed);
         let fast = check(&spec, &h).is_linearizable();
         let slow = brute_force(&spec, &h);
-        prop_assert_eq!(fast, slow, "history: {:?}", h);
+        assert_eq!(fast, slow, "seed {seed}, history: {h:?}");
     }
 }
 
@@ -106,10 +100,6 @@ fn hand_picked_disagreement_candidates() {
         ]),
     ];
     for h in cases {
-        assert_eq!(
-            check(&spec, &h).is_linearizable(),
-            brute_force(&spec, &h),
-            "{h:?}"
-        );
+        assert_eq!(check(&spec, &h).is_linearizable(), brute_force(&spec, &h), "{h:?}");
     }
 }

@@ -74,11 +74,7 @@ impl ClockSyncNode {
             return;
         }
         let n = self.params.n as i64;
-        let sum: i64 = self
-            .estimates
-            .iter()
-            .map(|e| e.expect("all present").as_ticks())
-            .sum();
+        let sum: i64 = self.estimates.iter().map(|e| e.expect("all present").as_ticks()).sum();
         let corr = Time(sum.div_euclid(n));
         self.correction = Some(corr);
         if self.pending {
@@ -139,22 +135,16 @@ pub fn run_sync_round(
     for i in 0..params.n {
         schedule = schedule.at(Pid(i), Time::ZERO, Invocation::nullary("sync"));
     }
-    let cfg = SimConfig::new(params, delay)
-        .with_offsets(raw_offsets.clone())
-        .with_schedule(schedule);
+    let cfg =
+        SimConfig::new(params, delay).with_offsets(raw_offsets.clone()).with_schedule(schedule);
     let (run, nodes) = simulate_full(&cfg, |pid| ClockSyncNode::new(pid, params));
     assert!(run.complete(), "sync round did not complete: {run}");
-    let corrections: Vec<Time> = nodes
-        .iter()
-        .map(|n| n.correction().expect("round finished"))
-        .collect();
-    let adjusted: Vec<Time> = raw_offsets
-        .iter()
-        .zip(&corrections)
-        .map(|(r, c)| *r + *c)
-        .collect();
+    let corrections: Vec<Time> =
+        nodes.iter().map(|n| n.correction().expect("round finished")).collect();
+    let adjusted: Vec<Time> = raw_offsets.iter().zip(&corrections).map(|(r, c)| *r + *c).collect();
     let spread = |v: &[Time]| {
-        v.iter().copied().max().unwrap_or(Time::ZERO) - v.iter().copied().min().unwrap_or(Time::ZERO)
+        v.iter().copied().max().unwrap_or(Time::ZERO)
+            - v.iter().copied().min().unwrap_or(Time::ZERO)
     };
     SyncOutcome {
         raw_skew: spread(&raw_offsets),
@@ -207,13 +197,8 @@ mod tests {
         // The worst case for estimation: some channels fastest, others
         // slowest.
         let p = params(4);
-        let delay = DelaySpec::matrix_from_fn(4, |i, j| {
-            if (i + j) % 2 == 0 {
-                p.d
-            } else {
-                p.min_delay()
-            }
-        });
+        let delay =
+            DelaySpec::matrix_from_fn(4, |i, j| if (i + j) % 2 == 0 { p.d } else { p.min_delay() });
         let raw = vec![Time(0), Time(100_000), Time(200_000), Time(300_000)];
         let out = run_sync_round(p, raw, delay);
         assert!(

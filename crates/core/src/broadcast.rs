@@ -135,11 +135,7 @@ impl BroadcastNode {
             // Deliverable once every process has been heard from with a
             // strictly larger Lamport time (no smaller-keyed request can
             // still arrive: FIFO layer + Lamport monotonicity).
-            let ready = self
-                .heard
-                .iter()
-                .enumerate()
-                .all(|(j, &h)| j == origin || h > lc);
+            let ready = self.heard.iter().enumerate().all(|(j, &h)| j == origin || h > lc);
             if !ready {
                 break;
             }
@@ -231,9 +227,11 @@ mod tests {
         let run = run_bcast(
             spec,
             DelaySpec::AllMax,
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("write", 1))
-                .at(Pid(1), Time(20_000), Invocation::nullary("read")),
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 1)).at(
+                Pid(1),
+                Time(20_000),
+                Invocation::nullary("read"),
+            ),
         );
         assert!(run.complete());
         assert_eq!(run.ops[0].latency(), run.ops[1].latency());
@@ -255,10 +253,8 @@ mod tests {
                 .at(Pid(1), Time(100_000), Invocation::nullary("dequeue")),
         );
         assert!(run.complete(), "{run}");
-        let mut dequeued: Vec<i64> = run.ops[3..]
-            .iter()
-            .filter_map(|o| o.ret.as_ref().and_then(|v| v.as_int()))
-            .collect();
+        let mut dequeued: Vec<i64> =
+            run.ops[3..].iter().filter_map(|o| o.ret.as_ref().and_then(|v| v.as_int())).collect();
         assert_eq!(dequeued.len(), 3);
         // All three enqueued values come out, each exactly once.
         dequeued.sort_unstable();

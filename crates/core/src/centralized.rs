@@ -60,10 +60,7 @@ impl Node for CentralizedNode {
     fn on_deliver(&mut self, from: Pid, msg: CentralMsg, fx: &mut Effects<CentralMsg, NoTimer>) {
         match msg {
             CentralMsg::Request(inv) => {
-                let obj = self
-                    .object
-                    .as_mut()
-                    .expect("only the coordinator receives requests");
+                let obj = self.object.as_mut().expect("only the coordinator receives requests");
                 let ret = obj.apply(inv.op, &inv.arg);
                 fx.send(from, CentralMsg::Reply(ret));
             }
@@ -91,9 +88,11 @@ mod tests {
         let p = ModelParams::default_experiment();
         let spec = erase(Register::new(0));
         let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new()
-                .at(Pid(1), Time(0), Invocation::new("write", 5))
-                .at(Pid(2), Time(20_000), Invocation::nullary("read")),
+            Schedule::new().at(Pid(1), Time(0), Invocation::new("write", 5)).at(
+                Pid(2),
+                Time(20_000),
+                Invocation::nullary("read"),
+            ),
         );
         let run = simulate(&cfg, |pid| CentralizedNode::new(pid, Arc::clone(&spec)));
         assert!(run.complete());
@@ -106,9 +105,11 @@ mod tests {
     fn coordinator_ops_are_instant() {
         let p = ModelParams::default_experiment();
         let spec = erase(Register::new(7));
-        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new().at(COORDINATOR, Time(0), Invocation::nullary("read")),
-        );
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(Schedule::new().at(
+            COORDINATOR,
+            Time(0),
+            Invocation::nullary("read"),
+        ));
         let run = simulate(&cfg, |pid| CentralizedNode::new(pid, Arc::clone(&spec)));
         assert_eq!(run.ops[0].latency(), Some(Time::ZERO));
         assert_eq!(run.ops[0].ret, Some(Value::Int(7)));
@@ -119,17 +120,13 @@ mod tests {
         let p = ModelParams::default_experiment();
         let spec = erase(Register::new(0));
         // p1 writes (closer in delay), p2 reads; both requests race to p0.
-        let delay = DelaySpec::matrix_from_fn(4, |i, _| {
-            if i == 1 {
-                p.min_delay()
-            } else {
-                p.d
-            }
-        });
+        let delay = DelaySpec::matrix_from_fn(4, |i, _| if i == 1 { p.min_delay() } else { p.d });
         let cfg = SimConfig::new(p, delay).with_schedule(
-            Schedule::new()
-                .at(Pid(1), Time(0), Invocation::new("write", 3))
-                .at(Pid(2), Time(0), Invocation::nullary("read")),
+            Schedule::new().at(Pid(1), Time(0), Invocation::new("write", 3)).at(
+                Pid(2),
+                Time(0),
+                Invocation::nullary("read"),
+            ),
         );
         let run = simulate(&cfg, |pid| CentralizedNode::new(pid, Arc::clone(&spec)));
         assert!(run.complete());

@@ -216,14 +216,7 @@ pub fn op_stats(run: &Run, spec: &Arc<dyn ObjectSpec>) -> Vec<OpStats> {
             let min = lats.iter().copied().min().expect("non-empty");
             let max = lats.iter().copied().max().expect("non-empty");
             let sum: i64 = lats.iter().map(|t| t.as_ticks()).sum();
-            OpStats {
-                op,
-                class,
-                count: lats.len(),
-                min,
-                max,
-                mean: Time(sum / lats.len() as i64),
-            }
+            OpStats { op, class, count: lats.len(), min, max, mean: Time(sum / lats.len() as i64) }
         })
         .collect()
 }
@@ -267,8 +260,7 @@ mod tests {
     fn wtlw_beats_folklore_on_every_class() {
         let p = ModelParams::default_experiment();
         let spec = erase(FifoQueue::new());
-        let mk_cfg =
-            || SimConfig::new(p, DelaySpec::AllMax).with_schedule(queue_workload());
+        let mk_cfg = || SimConfig::new(p, DelaySpec::AllMax).with_schedule(queue_workload());
         let wtlw = run_algorithm(Algorithm::Wtlw { x: Time(1200) }, &spec, &mk_cfg());
         let central = run_algorithm(Algorithm::Centralized, &spec, &mk_cfg());
         let bcast = run_algorithm(Algorithm::Broadcast, &spec, &mk_cfg());

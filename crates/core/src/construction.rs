@@ -105,8 +105,7 @@ pub fn verify(
     let pi = construct(nodes)?;
 
     // Same multiset of instances as the run.
-    let mut from_run: Vec<OpInstance> =
-        run.ops.iter().filter_map(|o| o.instance()).collect();
+    let mut from_run: Vec<OpInstance> = run.ops.iter().filter_map(|o| o.instance()).collect();
     let mut from_pi: Vec<OpInstance> = pi.iter().map(|p| p.instance.clone()).collect();
     let key = |i: &OpInstance| format!("{i:?}");
     from_run.sort_by_key(key);
@@ -192,8 +191,7 @@ mod tests {
     ) -> Result<Vec<Placed>, String> {
         let p = ModelParams::default_experiment();
         let cfg = SimConfig::new(p, delay).with_schedule(schedule);
-        let (run, nodes) =
-            simulate_full(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x));
+        let (run, nodes) = simulate_full(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x));
         assert!(run.complete(), "{run}");
         verify(&run, &nodes, &spec)
     }

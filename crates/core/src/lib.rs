@@ -13,6 +13,9 @@
 //! * [`broadcast`] — folklore baseline 2 (`≈ 2d` via Lamport total-order
 //!   broadcast over point-to-point links);
 //! * [`naive`] — incorrect optimistic replication (lower-bound victim);
+//! * [`reliable`] — recovery layer: acks + retransmission + duplicate
+//!   suppression keep Algorithm 1 linearizable on a lossy network, and a
+//!   violation detector flags runs the recovery budget could not save;
 //! * [`timestamp`] — `(local time, pid)` lexicographic timestamps;
 //! * [`cluster`] — uniform driver + latency statistics over all of the above.
 //!
@@ -42,10 +45,11 @@
 #![forbid(unsafe_code)]
 
 pub mod broadcast;
-pub mod construction;
 pub mod centralized;
 pub mod cluster;
+pub mod construction;
 pub mod naive;
+pub mod reliable;
 pub mod timestamp;
 pub mod wtlw;
 
@@ -53,8 +57,11 @@ pub mod wtlw;
 pub mod prelude {
     pub use crate::broadcast::BroadcastNode;
     pub use crate::centralized::CentralizedNode;
-    pub use crate::cluster::{op_stats, run_algorithm, Algorithm, AnyMsg, AnyNode, AnyTimer, OpStats};
+    pub use crate::cluster::{
+        op_stats, run_algorithm, Algorithm, AnyMsg, AnyNode, AnyTimer, OpStats,
+    };
     pub use crate::naive::NaiveLocalNode;
+    pub use crate::reliable::{run_reliable, RecoveryConfig, RelMsg, RelTimer, ReliableWtlwNode};
     pub use crate::timestamp::Timestamp;
     pub use crate::wtlw::{predicted_latency, Waits, WtlwNode};
 }

@@ -58,11 +58,7 @@ impl Node for NaiveLocalNode {
     type Timer = NaiveTimer;
 
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<NaiveMsg, NaiveTimer>) {
-        let class = self
-            .spec
-            .op_meta(inv.op)
-            .expect("unknown operation")
-            .class;
+        let class = self.spec.op_meta(inv.op).expect("unknown operation").class;
         let ret = self.object.apply(inv.op, &inv.arg);
         if class.is_mutator() {
             fx.broadcast(NaiveMsg { inv });
@@ -103,9 +99,11 @@ mod tests {
         let p = ModelParams::default_experiment();
         let spec = erase(RmwRegister::new(0));
         let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
-                .at(Pid(1), Time(0), Invocation::new("rmw", 1)),
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("rmw", 1)).at(
+                Pid(1),
+                Time(0),
+                Invocation::new("rmw", 1),
+            ),
         );
         let run = simulate(&cfg, |_| NaiveLocalNode::new(Arc::clone(&spec), Time::ZERO));
         assert!(run.complete());
@@ -119,9 +117,11 @@ mod tests {
         let p = ModelParams::default_experiment();
         let spec = erase(RmwRegister::new(0));
         let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
-                .at(Pid(1), Time(0), Invocation::new("rmw", 1)),
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("rmw", 1)).at(
+                Pid(1),
+                Time(0),
+                Invocation::new("rmw", 1),
+            ),
         );
         let run = simulate(&cfg, |_| NaiveLocalNode::new(Arc::clone(&spec), p.d));
         assert!(run.complete());

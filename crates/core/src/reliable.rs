@@ -1,0 +1,440 @@
+//! Recovery layer for Algorithm 1 under message-omission faults.
+//!
+//! The paper's model assumes every message arrives within `[d − u, d]`.
+//! [`ReliableWtlwNode`] keeps Algorithm 1 linearizable when that assumption
+//! is violated by a lossy network, by wrapping every [`WtlwNode`] broadcast
+//! in a reliable-delivery protocol:
+//!
+//! * **Acks** — every `Data` message is acknowledged by the receiver
+//!   (including duplicates, since the sender may have missed an earlier ack);
+//! * **Retransmission** — unacked broadcasts are retransmitted with bounded
+//!   exponential backoff: retry `k` fires `rto · 2^(k−1)` after retry `k − 1`,
+//!   up to [`RecoveryConfig::max_retries`] retries;
+//! * **Duplicate suppression** — retransmitted copies are deduplicated by
+//!   timestamp (which is `(local time, pid)`, so globally unique).
+//!
+//! Retransmission stretches the worst-case delivery time of a mutator
+//! announcement from `d` to `d + B`, where the *backoff budget*
+//! `B = rto · (2^max_retries − 1)` is the latest possible retransmission
+//! offset. The wrapped inner node therefore runs with two waits extended by
+//! `B` — `execute = u + ε + B` and `aop_respond = (d − X) + B` — so that
+//! omission faults degrade latency instead of linearizability. Timestamp
+//! backdating and the pure-mutator ack delay are unchanged (neither depends
+//! on message arrival).
+//!
+//! A **violation detector** rides along: whenever a mutator announcement
+//! arrives with a timestamp older than the local execution frontier (a
+//! mutator or locally-invoked accessor with a larger timestamp has already
+//! executed), the detector records it. [`run_reliable`] folds these records
+//! into [`Run::suspect`], so a run whose recovery budget was overwhelmed is
+//! *flagged*, never silently certified.
+
+use crate::timestamp::Timestamp;
+use crate::wtlw::{Waits, WtlwMsg, WtlwNode, WtlwTimer};
+use lintime_adt::spec::{Invocation, ObjectSpec};
+use lintime_sim::engine::{simulate_full, SimConfig};
+use lintime_sim::node::{Effects, Node};
+use lintime_sim::run::Run;
+use lintime_sim::time::{ModelParams, Pid, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Retransmission policy of the recovery layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Retransmission timeout: how long to wait for an ack before the first
+    /// retry. Subsequent retries double it (bounded exponential backoff).
+    pub rto: Time,
+    /// Maximum number of retransmissions per broadcast. `0` disables
+    /// retransmission entirely (detection-only mode: acks, duplicate
+    /// suppression, and the violation detector stay active).
+    pub max_retries: u32,
+}
+
+impl RecoveryConfig {
+    /// The default policy: `rto = 2d` (an ack round trip takes at most `2d`,
+    /// so an earlier retry could only produce duplicates) and two retries.
+    pub fn standard(params: ModelParams) -> Self {
+        RecoveryConfig { rto: params.d * 2, max_retries: 2 }
+    }
+
+    /// Detection-only mode: no retransmission, but duplicate suppression and
+    /// the frontier violation detector stay active. The wrapped node runs
+    /// with the paper's unmodified waits.
+    pub fn detection_only(params: ModelParams) -> Self {
+        RecoveryConfig { rto: params.d * 2, max_retries: 0 }
+    }
+
+    /// The backoff budget `B = rto · (2^max_retries − 1)`: the worst-case
+    /// extra delay a successfully recovered message can accumulate (the last
+    /// retry is sent `B` after the original transmission).
+    pub fn backoff_budget(&self) -> Time {
+        assert!(self.max_retries <= 20, "backoff budget would overflow");
+        self.rto * ((1i64 << self.max_retries) - 1)
+    }
+
+    /// The paper's standard waits for tradeoff parameter `x`, with
+    /// `execute` and `aop_respond` extended by the backoff budget so the
+    /// inner algorithm tolerates recovered (late) messages.
+    pub fn extended_waits(&self, params: ModelParams, x: Time) -> Waits {
+        let b = self.backoff_budget();
+        let mut w = Waits::standard(params, x);
+        w.execute += b;
+        w.aop_respond += b;
+        w
+    }
+}
+
+/// Messages of the recovery layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelMsg {
+    /// A (possibly retransmitted) mutator announcement.
+    Data(WtlwMsg),
+    /// Acknowledgement of the `Data` message with this timestamp.
+    Ack {
+        /// Timestamp of the acknowledged announcement.
+        ts: Timestamp,
+    },
+}
+
+/// Timer tags of the recovery layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelTimer {
+    /// A timer of the wrapped algorithm.
+    Inner(WtlwTimer),
+    /// Retry broadcast `ts`; `attempt` retransmissions have happened so far.
+    Retransmit {
+        /// Timestamp of the broadcast being retried.
+        ts: Timestamp,
+        /// Retransmissions already performed when this timer was set.
+        attempt: u32,
+    },
+}
+
+/// A broadcast awaiting acknowledgement from some peers.
+struct PendingBroadcast {
+    msg: WtlwMsg,
+    unacked: BTreeSet<Pid>,
+    attempt: u32,
+}
+
+/// [`WtlwNode`] wrapped in the reliable-delivery recovery layer.
+pub struct ReliableWtlwNode {
+    pid: Pid,
+    recovery: RecoveryConfig,
+    inner: WtlwNode,
+    outstanding: BTreeMap<Timestamp, PendingBroadcast>,
+    /// Timestamps of announcements already delivered to the inner node.
+    seen: BTreeSet<Timestamp>,
+    retransmissions: u64,
+    duplicates_suppressed: u64,
+    violations: Vec<String>,
+}
+
+impl ReliableWtlwNode {
+    /// A recovery-wrapped node for tradeoff parameter `x`. The inner node
+    /// runs with [`RecoveryConfig::extended_waits`].
+    pub fn new(
+        pid: Pid,
+        spec: Arc<dyn ObjectSpec>,
+        params: ModelParams,
+        x: Time,
+        recovery: RecoveryConfig,
+    ) -> Self {
+        let inner = WtlwNode::with_waits(pid, spec, recovery.extended_waits(params, x));
+        ReliableWtlwNode {
+            pid,
+            recovery,
+            inner,
+            outstanding: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            retransmissions: 0,
+            duplicates_suppressed: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Number of `Data` retransmissions this node performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Number of duplicate announcements suppressed.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
+    /// Frontier violations and exhausted-budget reports detected so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// The wrapped Algorithm-1 node.
+    pub fn inner(&self) -> &WtlwNode {
+        &self.inner
+    }
+
+    /// The local execution frontier: the largest timestamp that has already
+    /// taken effect at this process (executed mutator or locally-invoked
+    /// accessor read). A mutator arriving below it is too late to be ordered
+    /// correctly.
+    fn frontier(&self) -> Option<Timestamp> {
+        let m = self.inner.mutator_log.last().map(|e| e.ts);
+        let a = self.inner.accessor_log.last().map(|e| e.ts);
+        m.max(a)
+    }
+
+    /// Run an inner-node handler, track any broadcasts it produces for
+    /// retransmission, and translate its effects into the wrapper's types.
+    fn dispatch(
+        &mut self,
+        fx: &mut Effects<RelMsg, RelTimer>,
+        f: impl FnOnce(&mut WtlwNode, &mut Effects<WtlwMsg, WtlwTimer>),
+    ) {
+        let mut inner_fx: Effects<WtlwMsg, WtlwTimer> =
+            Effects::new(fx.pid(), fx.n(), fx.local_time());
+        f(&mut self.inner, &mut inner_fx);
+        let parts = inner_fx.into_parts();
+        if self.recovery.max_retries > 0 {
+            for (to, m) in &parts.sends {
+                let pending = self.outstanding.entry(m.ts).or_insert_with(|| {
+                    fx.set_timer(self.recovery.rto, RelTimer::Retransmit { ts: m.ts, attempt: 0 });
+                    PendingBroadcast { msg: m.clone(), unacked: BTreeSet::new(), attempt: 0 }
+                });
+                pending.unacked.insert(*to);
+            }
+        }
+        fx.absorb(parts, RelMsg::Data, RelTimer::Inner);
+    }
+}
+
+impl Node for ReliableWtlwNode {
+    type Msg = RelMsg;
+    type Timer = RelTimer;
+
+    fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<RelMsg, RelTimer>) {
+        self.dispatch(fx, |inner, ifx| inner.on_invoke(inv, ifx));
+    }
+
+    fn on_deliver(&mut self, from: Pid, msg: RelMsg, fx: &mut Effects<RelMsg, RelTimer>) {
+        match msg {
+            RelMsg::Data(m) => {
+                // Always ack, even a duplicate: the sender retransmitted
+                // because it never saw our previous ack.
+                fx.send(from, RelMsg::Ack { ts: m.ts });
+                if !self.seen.insert(m.ts) {
+                    self.duplicates_suppressed += 1;
+                    return;
+                }
+                if let Some(frontier) = self.frontier() {
+                    if m.ts < frontier {
+                        self.violations.push(format!(
+                            "process {}: mutator {:?} arrived with timestamp {:?}, older than \
+                             the execution frontier {:?} — linearization order may be broken",
+                            self.pid, m.inv.op, m.ts, frontier
+                        ));
+                    }
+                }
+                self.dispatch(fx, |inner, ifx| inner.on_deliver(from, m, ifx));
+            }
+            RelMsg::Ack { ts } => {
+                if let Some(e) = self.outstanding.get_mut(&ts) {
+                    e.unacked.remove(&from);
+                    if e.unacked.is_empty() {
+                        let attempt = e.attempt;
+                        self.outstanding.remove(&ts);
+                        fx.cancel_timer(RelTimer::Retransmit { ts, attempt });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: RelTimer, fx: &mut Effects<RelMsg, RelTimer>) {
+        match timer {
+            RelTimer::Inner(t) => self.dispatch(fx, |inner, ifx| inner.on_timer(t, ifx)),
+            RelTimer::Retransmit { ts, attempt } => {
+                let Some(e) = self.outstanding.get_mut(&ts) else { return };
+                if attempt != e.attempt {
+                    return; // stale timer from a superseded attempt
+                }
+                if attempt >= self.recovery.max_retries {
+                    // Budget exhausted with peers still unconfirmed: give up
+                    // loudly. run_reliable folds this into Run::suspect.
+                    let peers: Vec<usize> = e.unacked.iter().map(|p| p.0).collect();
+                    self.violations.push(format!(
+                        "process {}: retransmission budget exhausted for {:?}; delivery to \
+                         processes {:?} unconfirmed",
+                        self.pid, ts, peers
+                    ));
+                    self.outstanding.remove(&ts);
+                    return;
+                }
+                for to in e.unacked.iter() {
+                    fx.send(*to, RelMsg::Data(e.msg.clone()));
+                }
+                self.retransmissions += e.unacked.len() as u64;
+                e.attempt = attempt + 1;
+                // Next retry after rto · 2^attempt; the timer that fires at
+                // attempt == max_retries is the final give-up check.
+                fx.set_timer(
+                    self.recovery.rto * (1i64 << e.attempt),
+                    RelTimer::Retransmit { ts, attempt: e.attempt },
+                );
+            }
+        }
+    }
+}
+
+/// Simulate a cluster of [`ReliableWtlwNode`]s and fold every node's
+/// detected violations into [`Run::suspect`], so downstream certification
+/// ([`Run::certifiable`]) refuses runs whose recovery layer saw trouble.
+pub fn run_reliable(
+    spec: &Arc<dyn ObjectSpec>,
+    cfg: &SimConfig,
+    x: Time,
+    recovery: RecoveryConfig,
+) -> Run {
+    let params = cfg.params;
+    let (mut run, nodes) =
+        simulate_full(cfg, |pid| ReliableWtlwNode::new(pid, Arc::clone(spec), params, x, recovery));
+    for node in &nodes {
+        run.suspect.extend(node.violations().iter().cloned());
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::erase;
+    use lintime_adt::types::Register;
+    use lintime_adt::value::Value;
+    use lintime_sim::delay::DelaySpec;
+    use lintime_sim::faults::FaultPlan;
+    use lintime_sim::schedule::Schedule;
+
+    fn params() -> ModelParams {
+        ModelParams::default_experiment()
+    }
+
+    #[test]
+    fn backoff_budget_matches_geometric_sum() {
+        let p = params();
+        let rc = RecoveryConfig { rto: p.d * 2, max_retries: 3 };
+        // rto + 2·rto + 4·rto = 7·rto
+        assert_eq!(rc.backoff_budget(), p.d * 14);
+        assert_eq!(RecoveryConfig::detection_only(p).backoff_budget(), Time::ZERO);
+    }
+
+    #[test]
+    fn extended_waits_stretch_execute_and_aop_only() {
+        let p = params();
+        let rc = RecoveryConfig { rto: p.d * 2, max_retries: 1 };
+        let x = Time(1200);
+        let w = rc.extended_waits(p, x);
+        let base = Waits::standard(p, x);
+        assert_eq!(w.execute, base.execute + p.d * 2);
+        assert_eq!(w.aop_respond, base.aop_respond + p.d * 2);
+        assert_eq!(w.aop_backdate, base.aop_backdate);
+        assert_eq!(w.mop_respond, base.mop_respond);
+        assert_eq!(w.add, base.add);
+    }
+
+    #[test]
+    fn faultless_run_is_clean_and_complete() {
+        let p = params();
+        let rc = RecoveryConfig::standard(p);
+        let spec = erase(Register::new(0));
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 42)).at(
+                Pid(1),
+                Time(100_000),
+                Invocation::nullary("read"),
+            ),
+        );
+        let (run, nodes) = simulate_full(&cfg, |pid| {
+            ReliableWtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO, rc)
+        });
+        assert!(run.complete(), "{run}");
+        assert!(run.errors.is_empty(), "{:?}", run.errors);
+        assert!(run.certifiable());
+        // Write still acks in X + ε; the read waits the extended d − X + B.
+        assert_eq!(run.ops[0].latency(), Some(p.epsilon));
+        assert_eq!(run.ops[1].latency(), Some(p.d + rc.backoff_budget()));
+        assert_eq!(run.ops[1].ret, Some(Value::Int(42)));
+        for node in &nodes {
+            assert_eq!(node.retransmissions(), 0);
+            assert!(node.violations().is_empty());
+        }
+    }
+
+    #[test]
+    fn dropped_broadcast_is_retransmitted_and_recovered() {
+        let p = params();
+        let rc = RecoveryConfig { rto: p.d * 2, max_retries: 1 };
+        let spec = erase(Register::new(0));
+        // Drop the very first message on link 0→1: the write announcement.
+        // The retransmission must get it through, and p1's read must see it.
+        let cfg = SimConfig::new(p, DelaySpec::AllMax)
+            .with_faults(FaultPlan::new(7).drop_exact(Pid(0), Pid(1), 0))
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 9)).at(
+                Pid(1),
+                Time(200_000),
+                Invocation::nullary("read"),
+            ));
+        let (run, nodes) = simulate_full(&cfg, |pid| {
+            ReliableWtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO, rc)
+        });
+        assert!(run.complete(), "{run}");
+        assert_eq!(run.faults.len(), 1);
+        assert_eq!(run.ops[1].ret, Some(Value::Int(9)), "{run}");
+        assert!(nodes[0].retransmissions() >= 1);
+        assert!(nodes.iter().all(|n| n.violations().is_empty()));
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let p = params();
+        let rc = RecoveryConfig::standard(p);
+        let spec = erase(Register::new(0));
+        let cfg = SimConfig::new(p, DelaySpec::AllMax)
+            .with_faults(FaultPlan::new(3).duplicate_all(1.0))
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 5)).at(
+                Pid(1),
+                Time(200_000),
+                Invocation::nullary("read"),
+            ));
+        let (run, nodes) = simulate_full(&cfg, |pid| {
+            ReliableWtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO, rc)
+        });
+        assert!(run.complete(), "{run}");
+        assert_eq!(run.ops[1].ret, Some(Value::Int(5)));
+        let suppressed: u64 = nodes.iter().map(|n| n.duplicates_suppressed()).sum();
+        assert!(suppressed > 0, "duplicated network must exercise suppression");
+    }
+
+    #[test]
+    fn detector_flags_mutator_behind_the_frontier() {
+        let p = params();
+        let rc = RecoveryConfig::detection_only(p);
+        let spec = erase(Register::new(0));
+        // p0's write announcement to p1 is delayed far beyond d (a model
+        // violation no retransmission will fix, since nothing was dropped).
+        // p1 executes its own later write first, so the stale arrival lands
+        // behind p1's frontier and must be flagged.
+        let late = Time(100) + p.d + p.epsilon + Time(1000);
+        let cfg = SimConfig::new(p, DelaySpec::AllMax)
+            .with_faults(FaultPlan::new(1).override_delay(Pid(0), Pid(1), 0, late))
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 1)).at(
+                Pid(1),
+                Time(100),
+                Invocation::new("write", 2),
+            ));
+        let run = run_reliable(&spec, &cfg, Time::ZERO, rc);
+        assert!(run.complete(), "{run}");
+        assert!(run.is_suspect(), "stale arrival must mark the run suspect");
+        assert!(!run.certifiable());
+        assert!(run.suspect.iter().any(|v| v.contains("execution frontier")), "{:?}", run.suspect);
+    }
+}

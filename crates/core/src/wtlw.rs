@@ -204,7 +204,12 @@ impl WtlwNode {
         self.object.canonical()
     }
 
-    fn add_to_queue(&mut self, inv: Invocation, ts: Timestamp, fx: &mut Effects<WtlwMsg, WtlwTimer>) {
+    fn add_to_queue(
+        &mut self,
+        inv: Invocation,
+        ts: Timestamp,
+        fx: &mut Effects<WtlwMsg, WtlwTimer>,
+    ) {
         self.to_execute.push(Reverse((ts, inv)));
         fx.set_timer(self.waits.execute, WtlwTimer::Execute { ts });
     }
@@ -249,7 +254,9 @@ impl Node for WtlwNode {
         let class = self
             .spec
             .op_meta(inv.op)
-            .unwrap_or_else(|| panic!("unknown operation {:?} for type {}", inv.op, self.spec.name()))
+            .unwrap_or_else(|| {
+                panic!("unknown operation {:?} for type {}", inv.op, self.spec.name())
+            })
             .class;
         match class {
             OpClass::PureAccessor => {
@@ -321,11 +328,7 @@ mod tests {
         ModelParams::default_experiment()
     }
 
-    fn wtlw_cluster(
-        spec: Arc<dyn ObjectSpec>,
-        x: Time,
-        cfg: SimConfig,
-    ) -> lintime_sim::run::Run {
+    fn wtlw_cluster(spec: Arc<dyn ObjectSpec>, x: Time, cfg: SimConfig) -> lintime_sim::run::Run {
         let p = cfg.params;
         simulate(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x))
     }
@@ -354,9 +357,11 @@ mod tests {
         let x = Time::ZERO;
         let spec = erase(Register::new(0));
         let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("write", 42))
-                .at(Pid(1), Time(20_000), Invocation::nullary("read")),
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 42)).at(
+                Pid(1),
+                Time(20_000),
+                Invocation::nullary("read"),
+            ),
         );
         let run = wtlw_cluster(spec, x, cfg);
         assert!(run.complete(), "{run}");
@@ -374,7 +379,9 @@ mod tests {
         // under any admissible delay assignment.
         let p = params();
         for x in [Time::ZERO, Time(1200), Time(2400), p.d - p.epsilon] {
-            for delay in [DelaySpec::AllMax, DelaySpec::AllMin, DelaySpec::UniformRandom { seed: 5 }] {
+            for delay in
+                [DelaySpec::AllMax, DelaySpec::AllMin, DelaySpec::UniformRandom { seed: 5 }]
+            {
                 let spec = erase(RmwRegister::new(0));
                 let cfg = SimConfig::new(p, delay).with_schedule(
                     Schedule::new()
@@ -437,9 +444,11 @@ mod tests {
         let spec = erase(RmwRegister::new(0));
         // Two concurrent rmw(1): exactly one sees 0 and the other sees 1.
         let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("rmw", 1))
-                .at(Pid(1), Time(5), Invocation::new("rmw", 1)),
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("rmw", 1)).at(
+                Pid(1),
+                Time(5),
+                Invocation::new("rmw", 1),
+            ),
         );
         let run = wtlw_cluster(spec, Time::ZERO, cfg);
         assert!(run.complete());
@@ -489,9 +498,11 @@ mod tests {
         // Eventual Quiescence: a finite workload produces a finite run.
         let p = params();
         let spec = erase(FifoQueue::new());
-        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new().at(Pid(0), Time(0), Invocation::new("enqueue", 1)),
-        );
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(Schedule::new().at(
+            Pid(0),
+            Time(0),
+            Invocation::new("enqueue", 1),
+        ));
         let run = wtlw_cluster(spec, Time::ZERO, cfg);
         assert!(run.complete());
         // Run ends once the last replica executes the mutator: invocation
@@ -521,5 +532,45 @@ mod tests {
         }
         // The executed sequence is the same, so all delay patterns agree.
         assert!(rets_per_delay.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn scaled_waits_truncate_toward_zero_at_small_ticks() {
+        // The lower-bound victims are built by integer scaling; at small
+        // tick counts the division truncates toward zero, never rounds up —
+        // a victim must be *at most* as patient as requested.
+        let w = Waits {
+            aop_respond: Time(7),
+            aop_backdate: Time(3),
+            mop_respond: Time(1),
+            add: Time(5),
+            execute: Time(2),
+        };
+        let half = w.scaled(1, 2);
+        assert_eq!(half.aop_respond, Time(3)); // 7/2 → 3, not 4
+        assert_eq!(half.mop_respond, Time(0)); // 1/2 → 0
+        assert_eq!(half.add, Time(2)); // 5/2 → 2
+        assert_eq!(half.execute, Time(1));
+        // The backdate is a timestamp adjustment, not a wait: never scaled.
+        assert_eq!(half.aop_backdate, w.aop_backdate);
+
+        let two_thirds = w.scaled(2, 3);
+        assert_eq!(two_thirds.aop_respond, Time(4)); // 14/3 → 4
+        assert_eq!(two_thirds.add, Time(3)); // 10/3 → 3
+        assert_eq!(two_thirds.execute, Time(1)); // 4/3 → 1
+    }
+
+    #[test]
+    fn scaling_by_one_is_the_identity_and_latencies_follow() {
+        let p = params();
+        let w = Waits::standard(p, Time(1200));
+        assert_eq!(w.scaled(1, 1), w);
+        assert_eq!(w.scaled(7, 7), w);
+        // predicted_latency tracks the scaled waits exactly.
+        let s = w.scaled(3, 4);
+        assert_eq!(s.predicted_latency(OpClass::PureAccessor), s.aop_respond);
+        assert_eq!(s.predicted_latency(OpClass::PureMutator), s.mop_respond);
+        assert_eq!(s.predicted_latency(OpClass::Mixed), s.add + s.execute);
+        assert!(s.predicted_latency(OpClass::Mixed) <= w.predicted_latency(OpClass::Mixed));
     }
 }

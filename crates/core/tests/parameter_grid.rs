@@ -10,7 +10,8 @@ use lintime_sim::prelude::*;
 fn grid() -> Vec<ModelParams> {
     let mut out = Vec::new();
     for n in [2usize, 3, 5] {
-        for (d, u) in [(Time(6000), Time(2400)), (Time(6000), Time(6000)), (Time(1200), Time(120))] {
+        for (d, u) in [(Time(6000), Time(2400)), (Time(6000), Time(6000)), (Time(1200), Time(120))]
+        {
             // Optimal skew, zero skew bound, and a loose skew bound.
             for eps in [ModelParams::optimal_epsilon(n, u), Time::ZERO, u] {
                 out.push(ModelParams::new(n, d, u, eps));
@@ -52,17 +53,14 @@ fn linearizable_under_contention_on_the_whole_grid() {
             schedule = schedule.at(Pid(i), Time(i as i64 * 3), Invocation::new("rmw", 1));
         }
         schedule = schedule.at(Pid(0), p.d * 5, Invocation::nullary("read"));
-        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 31 })
-            .with_schedule(schedule);
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed: 31 }).with_schedule(schedule);
         let run = run_algorithm(Algorithm::Wtlw { x }, &spec, &cfg);
         assert!(run.complete(), "{p:?}");
         let history = History::from_run(&run).unwrap();
         assert!(check(&spec, &history).is_linearizable(), "{p:?}: {run}");
         // All rmw tickets distinct, final read = n.
-        let mut tickets: Vec<i64> = run.ops[..p.n]
-            .iter()
-            .filter_map(|o| o.ret.as_ref().and_then(Value::as_int))
-            .collect();
+        let mut tickets: Vec<i64> =
+            run.ops[..p.n].iter().filter_map(|o| o.ret.as_ref().and_then(Value::as_int)).collect();
         tickets.sort_unstable();
         assert_eq!(tickets, (0..p.n as i64).collect::<Vec<_>>(), "{p:?}");
         assert_eq!(run.ops[p.n].ret, Some(Value::Int(p.n as i64)));
@@ -84,7 +82,7 @@ fn epsilon_zero_is_a_valid_degenerate_model() {
     let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
     assert!(run.complete());
     assert_eq!(run.ops[0].latency(), Some(Time::ZERO)); // X + ε = 0
-    // Tie on timestamps → pid 1 is larger → its write orders last.
+                                                        // Tie on timestamps → pid 1 is larger → its write orders last.
     assert_eq!(run.ops[2].ret, Some(Value::Int(20)));
     let history = History::from_run(&run).unwrap();
     assert!(check(&spec, &history).is_linearizable());

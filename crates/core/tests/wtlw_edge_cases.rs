@@ -27,9 +27,11 @@ fn mixed_op_executed_early_by_a_later_timestamp_responds_once() {
     // fires at t+3600: both entries queue at p0, and whichever Execute fires
     // last drains both.
     let cfg = SimConfig::new(p, DelaySpec::AllMin).with_schedule(
-        Schedule::new()
-            .at(Pid(0), Time(0), Invocation::new("rmw", 1))
-            .at(Pid(1), Time(1), Invocation::new("rmw", 1)),
+        Schedule::new().at(Pid(0), Time(0), Invocation::new("rmw", 1)).at(
+            Pid(1),
+            Time(1),
+            Invocation::new("rmw", 1),
+        ),
     );
     let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
     assert!(run.complete());
@@ -100,9 +102,11 @@ fn backdated_accessor_excludes_younger_mutators() {
 
     // Control: invoked after the write completes, the same read sees 5.
     let cfg = SimConfig::new(p, DelaySpec::AllMin).with_schedule(
-        Schedule::new()
-            .at(Pid(1), Time(0), Invocation::new("write", 5))
-            .at(Pid(0), p.d + Time(1), Invocation::nullary("read")),
+        Schedule::new().at(Pid(1), Time(0), Invocation::new("write", 5)).at(
+            Pid(0),
+            p.d + Time(1),
+            Invocation::nullary("read"),
+        ),
     );
     let run = run_algorithm(Algorithm::Wtlw { x }, &spec, &cfg);
     assert_eq!(run.ops[1].ret, Some(Value::Int(5)));
@@ -115,9 +119,11 @@ fn local_state_reflects_executed_mutators() {
     let spec2 = Arc::clone(&spec);
     let (run, nodes) = lintime_sim::engine::simulate_full(
         &SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("enqueue", 1))
-                .at(Pid(1), Time(2), Invocation::new("enqueue", 2)),
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("enqueue", 1)).at(
+                Pid(1),
+                Time(2),
+                Invocation::new("enqueue", 2),
+            ),
         ),
         move |pid| WtlwNode::new(pid, Arc::clone(&spec2), p, Time::ZERO),
     );

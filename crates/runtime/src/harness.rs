@@ -1,16 +1,24 @@
 //! The live-cluster harness: spawn router + node threads, drive a timed
 //! invocation schedule in wall-clock time, and collect a recorded
 //! [`Run`] that the linearizability checker can verify.
+//!
+//! The harness never hangs on a sick cluster: configurations are validated
+//! up front (undersized delay matrices are a clear error, not a panic), and
+//! a watchdog derived from [`LiveConfig::settle`] collects node outputs with
+//! a deadline. A node thread that panicked or stalled yields a truncated run
+//! carrying a per-process diagnosis instead of a deadlock — and truncated
+//! runs are refused by the checker, so they can never be certified.
 
 use crate::clock::LiveClock;
-use crate::platform::{spawn_node, Command};
+use crate::platform::{spawn_node, Command, NodeInput, NodeOutput};
 use crate::router::Router;
-use crossbeam::channel::{bounded, Sender};
 use lintime_sim::delay::DelaySpec;
+use lintime_sim::faults::FaultPlan;
 use lintime_sim::node::Node;
 use lintime_sim::run::Run;
 use lintime_sim::schedule::TimedInvocation;
 use lintime_sim::time::{ModelParams, Pid, Time};
+use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
 
 /// Configuration of a live cluster.
@@ -26,12 +34,16 @@ pub struct LiveConfig {
     /// Message-delay model (same specs as the simulator).
     pub delay: DelaySpec,
     /// How long (in ticks) to wait after the last scheduled invocation
-    /// before shutting the cluster down.
+    /// before shutting the cluster down. Also sizes the watchdog deadline
+    /// for node-thread shutdown.
     pub settle: Time,
+    /// Optional deterministic fault plan, mirrored onto the live router
+    /// (drops, duplicates, delay overrides per link).
+    pub faults: Option<FaultPlan>,
 }
 
 impl LiveConfig {
-    /// A config with zero offsets and a settle time of `3d`.
+    /// A config with zero offsets, a settle time of `3d`, and no faults.
     pub fn new(params: ModelParams, tick: Duration, delay: DelaySpec) -> Self {
         LiveConfig {
             params,
@@ -39,7 +51,27 @@ impl LiveConfig {
             offsets: vec![Time::ZERO; params.n],
             delay,
             settle: params.d * 3,
+            faults: None,
         }
+    }
+
+    /// Inject `plan` into the router (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Structural validation, mirroring `SimConfig::validate`: offsets must
+    /// match `n` and a delay matrix must be `n × n`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.params.n {
+            return Err(format!(
+                "{} clock offsets but the model has n = {} processes",
+                self.offsets.len(),
+                self.params.n
+            ));
+        }
+        self.delay.validate_shape(self.params.n)
     }
 }
 
@@ -47,45 +79,75 @@ impl LiveConfig {
 /// result. Invocation and response times are measured in virtual ticks from
 /// the cluster epoch, so the returned [`Run`] is directly comparable to a
 /// simulator run (modulo scheduling jitter).
+///
+/// Never hangs: an invalid configuration or a crashed/stalled node thread
+/// produces a truncated run with a diagnosis in [`Run::errors`].
 pub fn run_live<N: Node + 'static>(
     cfg: &LiveConfig,
     schedule: &[TimedInvocation],
     mut make_node: impl FnMut(Pid) -> N,
 ) -> Run {
     let n = cfg.params.n;
-    assert_eq!(cfg.offsets.len(), n);
+    let mut errors: Vec<String> = Vec::new();
+    let mut truncated = false;
+
+    if let Err(e) = cfg.validate() {
+        return Run {
+            params: cfg.params,
+            offsets: cfg.offsets.clone(),
+            ops: Vec::new(),
+            msgs: Vec::new(),
+            views: Vec::new(),
+            last_time: Time::ZERO,
+            events: 0,
+            errors: vec![format!("invalid configuration: {e}")],
+            delay_violations: 0,
+            truncated: true,
+            faults: Vec::new(),
+            suspect: Vec::new(),
+        };
+    }
+
     // Give threads a little lead time before tick 0.
     let epoch = Instant::now() + Duration::from_millis(20);
     let base_clock = LiveClock::new(epoch, Time::ZERO, cfg.tick);
 
-    let mut inbox_txs = Vec::with_capacity(n);
-    let mut inbox_rxs = Vec::with_capacity(n);
+    // One merged input channel per node: router deliveries + harness
+    // commands share it, so the node loop is a single recv.
+    let mut input_txs: Vec<SyncSender<NodeInput<N::Msg>>> = Vec::with_capacity(n);
+    let mut input_rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = bounded(4096);
-        inbox_txs.push(tx);
-        inbox_rxs.push(rx);
+        let (tx, rx) = sync_channel::<NodeInput<N::Msg>>(4096);
+        input_txs.push(tx);
+        input_rxs.push(rx);
     }
-    let router = Router::spawn(cfg.params, cfg.delay.clone(), base_clock, inbox_txs);
+    let router = Router::spawn_with_faults(
+        cfg.params,
+        cfg.delay.clone(),
+        base_clock,
+        input_txs.clone(),
+        cfg.faults.clone(),
+    );
 
-    let mut cmd_txs: Vec<Sender<Command>> = Vec::with_capacity(n);
+    let (results_tx, results_rx) = channel::<(Pid, NodeOutput)>();
     let mut handles = Vec::with_capacity(n);
-    for (i, inbox) in inbox_rxs.into_iter().enumerate() {
+    for (i, inputs) in input_rxs.into_iter().enumerate() {
         let pid = Pid(i);
         let clock = LiveClock::new(epoch, cfg.offsets[i], cfg.tick);
-        let (cmd_tx, cmd_rx) = bounded(1024);
-        cmd_txs.push(cmd_tx);
         handles.push(spawn_node(
             pid,
             n,
             clock,
             make_node(pid),
-            inbox,
-            cmd_rx,
+            inputs,
             router.tx.clone(),
+            results_tx.clone(),
         ));
     }
+    drop(results_tx);
 
-    // Drive the schedule in wall-clock time.
+    // Drive the schedule in wall-clock time. try_send keeps the harness
+    // immune to a wedged node whose inbox filled up.
     let mut timed: Vec<TimedInvocation> = schedule.to_vec();
     timed.sort_by_key(|t| t.at);
     let mut last = Time::ZERO;
@@ -95,9 +157,15 @@ pub fn run_live<N: Node + 'static>(
         if due > now {
             std::thread::sleep(due - now);
         }
-        cmd_txs[inv.pid.0]
-            .send(Command::Invoke(inv.inv))
-            .expect("node thread alive");
+        let pid = inv.pid;
+        if let Err(e) = input_txs[pid.0].try_send(NodeInput::Command(Command::Invoke(inv.inv))) {
+            let why = match e {
+                TrySendError::Full(_) => "its inbox is full (node wedged?)",
+                TrySendError::Disconnected(_) => "its thread is dead",
+            };
+            errors.push(format!("process {pid}: invocation not delivered — {why}"));
+            truncated = true;
+        }
         last = last.max(inv.at);
     }
 
@@ -107,17 +175,59 @@ pub fn run_live<N: Node + 'static>(
     if stop_at > now {
         std::thread::sleep(stop_at - now);
     }
-    for tx in &cmd_txs {
-        let _ = tx.send(Command::Shutdown);
+    for tx in &input_txs {
+        let _ = tx.try_send(NodeInput::Command(Command::Shutdown));
     }
+
+    // Watchdog: collect node outputs with a settle-derived wall-clock
+    // deadline instead of joining handles that may never finish.
+    let grace = base_clock.to_duration(cfg.settle).max(Duration::from_millis(250));
+    let deadline = Instant::now() + grace;
+    let mut outputs: Vec<Option<NodeOutput>> = (0..n).map(|_| None).collect();
+    let mut received = 0usize;
+    while received < n {
+        let remain = deadline.saturating_duration_since(Instant::now());
+        match results_rx.recv_timeout(remain) {
+            Ok((pid, out)) => {
+                outputs[pid.0] = Some(out);
+                received += 1;
+            }
+            Err(_) => break, // deadline passed or every sender vanished
+        }
+    }
+
     let mut ops = Vec::new();
-    let mut errors = Vec::new();
-    for h in handles {
-        let out = h.join().expect("node thread panicked");
-        ops.extend(out.records);
-        errors.extend(out.errors);
+    for (i, slot) in outputs.into_iter().enumerate() {
+        match slot {
+            Some(out) => {
+                if out.panicked {
+                    truncated = true;
+                }
+                ops.extend(out.records);
+                errors.extend(out.errors);
+            }
+            None => {
+                truncated = true;
+                errors.push(format!(
+                    "process p{i}: node thread did not shut down within the {grace:?} watchdog \
+                     deadline — crashed, stalled, or deadlocked"
+                ));
+            }
+        }
     }
-    let events = router.join();
+
+    // Only settle accounts with the router when every node exited; a stuck
+    // node still holds a router handle and joining would hang.
+    let (events, injected) = if received == n {
+        for h in handles {
+            let _ = h.join();
+        }
+        let report = router.join();
+        (report.routed, report.faults)
+    } else {
+        (0, Vec::new())
+    };
+
     ops.sort_by_key(|o| (o.t_invoke, o.pid));
     let last_time = ops
         .iter()
@@ -135,6 +245,9 @@ pub fn run_live<N: Node + 'static>(
         events,
         errors,
         delay_violations: 0,
+        truncated,
+        faults: injected,
+        suspect: Vec::new(),
     }
 }
 
@@ -145,6 +258,7 @@ mod tests {
     use lintime_adt::types::FifoQueue;
     use lintime_adt::value::Value;
     use lintime_core::wtlw::WtlwNode;
+    use lintime_sim::node::Effects;
     use std::sync::Arc;
 
     /// Small virtual scale: d = 300 ticks of 200 µs = 60 ms; jitter of a
@@ -164,11 +278,11 @@ mod tests {
             TimedInvocation { pid: Pid(1), at: Time(1500), inv: Invocation::nullary("peek") },
             TimedInvocation { pid: Pid(2), at: Time(3000), inv: Invocation::nullary("dequeue") },
         ];
-        let run = run_live(&cfg, &schedule, |pid| {
-            WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
-        });
+        let run =
+            run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO));
         assert!(run.complete(), "{run}");
         assert!(run.errors.is_empty(), "{:?}", run.errors);
+        assert!(!run.truncated);
         assert_eq!(run.ops[1].ret, Some(Value::Int(7)));
         assert_eq!(run.ops[2].ret, Some(Value::Int(7)));
         // Latencies approximate the formulas: enqueue ≈ ε = 90, peek ≈ d =
@@ -196,12 +310,76 @@ mod tests {
             TimedInvocation { pid: Pid(1), at: Time(3500), inv: Invocation::nullary("dequeue") },
             TimedInvocation { pid: Pid(2), at: Time(5000), inv: Invocation::nullary("dequeue") },
         ];
-        let run = run_live(&cfg, &schedule, |pid| {
-            WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
-        });
+        let run =
+            run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO));
         assert!(run.complete(), "{run}");
         let history = lintime_check::history::History::from_run(&run).unwrap();
         let verdict = lintime_check::wing_gong::check(&spec, &history);
         assert!(verdict.is_linearizable(), "{run}");
+    }
+
+    /// A node that panics on its first invocation.
+    struct PanicNode;
+    impl Node for PanicNode {
+        type Msg = ();
+        type Timer = ();
+        fn on_invoke(&mut self, _inv: Invocation, _fx: &mut Effects<(), ()>) {
+            panic!("injected crash for watchdog test");
+        }
+        fn on_deliver(&mut self, _from: Pid, _msg: (), _fx: &mut Effects<(), ()>) {}
+        fn on_timer(&mut self, _t: (), _fx: &mut Effects<(), ()>) {}
+    }
+
+    #[test]
+    fn panicking_node_yields_diagnosed_truncated_run() {
+        let cfg = cfg();
+        let schedule =
+            vec![TimedInvocation { pid: Pid(0), at: Time(50), inv: Invocation::nullary("boom") }];
+        let run = run_live(&cfg, &schedule, |_| PanicNode);
+        assert!(run.truncated, "{run}");
+        assert!(!run.certifiable());
+        assert!(
+            run.errors.iter().any(|e| e.contains("panicked") && e.contains("injected crash")),
+            "{:?}",
+            run.errors
+        );
+    }
+
+    /// A node that wedges (sleeps far past the watchdog) on invocation.
+    struct StallNode;
+    impl Node for StallNode {
+        type Msg = ();
+        type Timer = ();
+        fn on_invoke(&mut self, _inv: Invocation, _fx: &mut Effects<(), ()>) {
+            std::thread::sleep(Duration::from_secs(5));
+        }
+        fn on_deliver(&mut self, _from: Pid, _msg: (), _fx: &mut Effects<(), ()>) {}
+        fn on_timer(&mut self, _t: (), _fx: &mut Effects<(), ()>) {}
+    }
+
+    #[test]
+    fn stalled_node_trips_the_watchdog_instead_of_hanging() {
+        let mut cfg = cfg();
+        cfg.settle = Time(300); // keep the test fast: 60 ms settle + grace
+        let schedule =
+            vec![TimedInvocation { pid: Pid(1), at: Time(50), inv: Invocation::nullary("wedge") }];
+        let start = Instant::now();
+        let run = run_live(&cfg, &schedule, |_| StallNode);
+        assert!(start.elapsed() < Duration::from_secs(4), "watchdog must not wait out the stall");
+        assert!(run.truncated, "{run}");
+        assert!(
+            run.errors.iter().any(|e| e.contains("p1") && e.contains("watchdog")),
+            "{:?}",
+            run.errors
+        );
+    }
+
+    #[test]
+    fn invalid_live_config_is_refused_up_front() {
+        let mut cfg = cfg();
+        cfg.delay = DelaySpec::Matrix(vec![vec![Time(300); 2]; 2]); // 2×2 for n = 3
+        let run = run_live(&cfg, &[], |_| PanicNode);
+        assert!(run.truncated);
+        assert!(run.errors.iter().any(|e| e.contains("invalid configuration")), "{:?}", run.errors);
     }
 }

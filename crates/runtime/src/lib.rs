@@ -2,9 +2,12 @@
 //!
 //! A real-threads platform for the same [`Node`](lintime_sim::node::Node)
 //! implementations that run on the simulator: one OS thread per process,
-//! crossbeam channels for transport, and a router thread that injects
-//! WAN-shaped message delays (`[d − u, d]` in virtual ticks) plus deliberate
-//! per-process clock offsets.
+//! std channels for transport, and a router thread that injects WAN-shaped
+//! message delays (`[d − u, d]` in virtual ticks) plus deliberate
+//! per-process clock offsets. The router optionally mirrors a deterministic
+//! [`FaultPlan`](lintime_sim::faults::FaultPlan) (lossy-channel mode), and a
+//! settle-derived watchdog turns crashed or stalled node threads into
+//! diagnosed truncated runs instead of hangs.
 //!
 //! This is the substitution for the paper's "geographically dispersed
 //! processes": we cannot run on a WAN, so we reproduce its *timing shape*
@@ -30,6 +33,6 @@ pub mod router;
 pub mod prelude {
     pub use crate::clock::LiveClock;
     pub use crate::harness::{run_live, LiveConfig};
-    pub use crate::platform::{spawn_node, Command, NodeOutput};
-    pub use crate::router::{Envelope, Router};
+    pub use crate::platform::{spawn_node, Command, NodeInput, NodeOutput};
+    pub use crate::router::{Envelope, Router, RouterReport};
 }

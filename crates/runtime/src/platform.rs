@@ -1,13 +1,20 @@
 //! One OS thread per process: the live counterpart of the simulator's event
 //! loop, driving the *same* [`Node`] implementations.
+//!
+//! Each node thread consumes a single merged input channel
+//! ([`NodeInput`]: deliveries from the router plus commands from the
+//! harness), reports its [`NodeOutput`] through a results channel when it
+//! shuts down, and converts panics into a diagnosed output instead of a
+//! silent hang — the harness watchdog relies on this to fail fast.
 
 use crate::clock::LiveClock;
 use crate::router::Envelope;
-use crossbeam::channel::{Receiver, Sender};
 use lintime_adt::spec::Invocation;
 use lintime_sim::node::{Effects, Node};
 use lintime_sim::run::OpRecord;
 use lintime_sim::time::Pid;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -15,8 +22,24 @@ use std::time::{Duration, Instant};
 pub enum Command {
     /// Invoke an operation at this process.
     Invoke(Invocation),
-    /// Stop the event loop and return the records.
+    /// Stop the event loop and report the records.
     Shutdown,
+}
+
+/// Everything a node thread can receive: a routed message or a harness
+/// command, merged into one channel so a plain `recv_timeout` drives the
+/// loop.
+pub enum NodeInput<M> {
+    /// A message from another process, tagged with the sender.
+    Deliver(Pid, M),
+    /// A command from the harness.
+    Command(Command),
+}
+
+impl<M> From<(Pid, M)> for NodeInput<M> {
+    fn from((from, msg): (Pid, M)) -> Self {
+        NodeInput::Deliver(from, msg)
+    }
 }
 
 /// What a node thread hands back on shutdown.
@@ -25,6 +48,9 @@ pub struct NodeOutput {
     pub records: Vec<OpRecord>,
     /// Protocol errors observed (e.g. overlapping invocations).
     pub errors: Vec<String>,
+    /// True iff the node thread panicked (records are lost; `errors` holds
+    /// the panic diagnosis).
+    pub panicked: bool,
 }
 
 struct PendingTimer<T> {
@@ -33,85 +59,133 @@ struct PendingTimer<T> {
     tag: T,
 }
 
-/// Spawn the event loop for one process.
+/// Spawn the event loop for one process. The thread reports its
+/// [`NodeOutput`] through `results` when it shuts down — also when it
+/// panics, so the harness never joins a handle that will never finish.
 pub fn spawn_node<N: Node + 'static>(
     pid: Pid,
     n: usize,
     clock: LiveClock,
-    mut node: N,
-    inbox: Receiver<(Pid, N::Msg)>,
-    commands: Receiver<Command>,
-    router_tx: Sender<Envelope<N::Msg>>,
-) -> JoinHandle<NodeOutput> {
+    node: N,
+    inputs: Receiver<NodeInput<N::Msg>>,
+    router_tx: SyncSender<Envelope<N::Msg>>,
+    results: Sender<(Pid, NodeOutput)>,
+) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("lintime-node-{pid}"))
         .spawn(move || {
-            let mut timers: Vec<PendingTimer<N::Timer>> = Vec::new();
-            let mut next_timer_id = 0u64;
-            let mut records: Vec<OpRecord> = Vec::new();
-            let mut errors: Vec<String> = Vec::new();
-            let mut pending: Option<usize> = None;
-
-            loop {
-                // Fire due timers first.
-                let now = Instant::now();
-                while let Some(idx) = due_timer(&timers, now) {
-                    let t = timers.swap_remove(idx);
-                    let mut fx = Effects::new(pid, n, clock.local_now());
-                    node.on_timer(t.tag, &mut fx);
-                    apply_effects(
-                        pid, &clock, fx, &router_tx, &mut timers, &mut next_timer_id,
-                        &mut records, &mut errors, &mut pending,
-                    );
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                node_loop(pid, n, clock, node, inputs, router_tx)
+            }))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                NodeOutput {
+                    records: Vec::new(),
+                    errors: vec![format!("{pid}: node thread panicked: {msg}")],
+                    panicked: true,
                 }
-                let timeout = timers
-                    .iter()
-                    .map(|t| t.due)
-                    .min()
-                    .map(|due| due.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(20));
-
-                crossbeam::channel::select! {
-                    recv(inbox) -> msg => if let Ok((from, m)) = msg {
-                        let mut fx = Effects::new(pid, n, clock.local_now());
-                        node.on_deliver(from, m, &mut fx);
-                        apply_effects(
-                            pid, &clock, fx, &router_tx, &mut timers, &mut next_timer_id,
-                            &mut records, &mut errors, &mut pending,
-                        );
-                    }, // Err: router gone; timers may still drain
-                    recv(commands) -> cmd => match cmd {
-                        Ok(Command::Invoke(inv)) => {
-                            if pending.is_some() {
-                                errors.push(format!(
-                                    "{pid}: invocation {inv:?} while another operation is pending"
-                                ));
-                                continue;
-                            }
-                            pending = Some(records.len());
-                            records.push(OpRecord {
-                                pid,
-                                invocation: inv.clone(),
-                                ret: None,
-                                t_invoke: clock.real_now(),
-                                t_respond: None,
-                            });
-                            let mut fx = Effects::new(pid, n, clock.local_now());
-                            node.on_invoke(inv, &mut fx);
-                            apply_effects(
-                                pid, &clock, fx, &router_tx, &mut timers, &mut next_timer_id,
-                                &mut records, &mut errors, &mut pending,
-                            );
-                        }
-                        Ok(Command::Shutdown) | Err(_) => {
-                            return NodeOutput { records, errors };
-                        }
-                    },
-                    default(timeout) => {}
-                }
-            }
+            });
+            // The harness may have given up on us already; that's fine.
+            let _ = results.send((pid, out));
         })
         .expect("spawn node thread")
+}
+
+fn node_loop<N: Node>(
+    pid: Pid,
+    n: usize,
+    clock: LiveClock,
+    mut node: N,
+    inputs: Receiver<NodeInput<N::Msg>>,
+    router_tx: SyncSender<Envelope<N::Msg>>,
+) -> NodeOutput {
+    let mut timers: Vec<PendingTimer<N::Timer>> = Vec::new();
+    let mut next_timer_id = 0u64;
+    let mut records: Vec<OpRecord> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut pending: Option<usize> = None;
+
+    loop {
+        // Fire due timers first.
+        let now = Instant::now();
+        while let Some(idx) = due_timer(&timers, now) {
+            let t = timers.swap_remove(idx);
+            let mut fx = Effects::new(pid, n, clock.local_now());
+            node.on_timer(t.tag, &mut fx);
+            apply_effects(
+                pid,
+                &clock,
+                fx,
+                &router_tx,
+                &mut timers,
+                &mut next_timer_id,
+                &mut records,
+                &mut errors,
+                &mut pending,
+            );
+        }
+        let timeout = timers
+            .iter()
+            .map(|t| t.due)
+            .min()
+            .map(|due| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20));
+
+        match inputs.recv_timeout(timeout) {
+            Ok(NodeInput::Deliver(from, m)) => {
+                let mut fx = Effects::new(pid, n, clock.local_now());
+                node.on_deliver(from, m, &mut fx);
+                apply_effects(
+                    pid,
+                    &clock,
+                    fx,
+                    &router_tx,
+                    &mut timers,
+                    &mut next_timer_id,
+                    &mut records,
+                    &mut errors,
+                    &mut pending,
+                );
+            }
+            Ok(NodeInput::Command(Command::Invoke(inv))) => {
+                if pending.is_some() {
+                    errors.push(format!(
+                        "{pid}: invocation {inv:?} while another operation is pending"
+                    ));
+                    continue;
+                }
+                pending = Some(records.len());
+                records.push(OpRecord {
+                    pid,
+                    invocation: inv.clone(),
+                    ret: None,
+                    t_invoke: clock.real_now(),
+                    t_respond: None,
+                });
+                let mut fx = Effects::new(pid, n, clock.local_now());
+                node.on_invoke(inv, &mut fx);
+                apply_effects(
+                    pid,
+                    &clock,
+                    fx,
+                    &router_tx,
+                    &mut timers,
+                    &mut next_timer_id,
+                    &mut records,
+                    &mut errors,
+                    &mut pending,
+                );
+            }
+            Ok(NodeInput::Command(Command::Shutdown)) | Err(RecvTimeoutError::Disconnected) => {
+                return NodeOutput { records, errors, panicked: false };
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
 }
 
 fn due_timer<T>(timers: &[PendingTimer<T>], now: Instant) -> Option<usize> {
@@ -128,7 +202,7 @@ fn apply_effects<M: Send, T: Clone + PartialEq>(
     pid: Pid,
     clock: &LiveClock,
     fx: Effects<M, T>,
-    router_tx: &Sender<Envelope<M>>,
+    router_tx: &SyncSender<Envelope<M>>,
     timers: &mut Vec<PendingTimer<T>>,
     next_timer_id: &mut u64,
     records: &mut [OpRecord],

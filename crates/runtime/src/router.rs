@@ -5,14 +5,20 @@
 //! the simulator uses) before forwarding it to the destination's inbox.
 //! This is the substitution for the paper's wide-area network: the delays
 //! are WAN-shaped (`[d − u, d]` in virtual ticks) while the transport is
-//! local crossbeam channels.
+//! local std channels.
+//!
+//! With [`Router::spawn_with_faults`] the router becomes a *lossy* channel:
+//! it consults the same deterministic [`FaultPlan`] the simulator uses and
+//! drops, duplicates, or delay-overrides messages per link, recording every
+//! injected fault in the [`RouterReport`].
 
 use crate::clock::LiveClock;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use lintime_sim::delay::DelaySpec;
+use lintime_sim::faults::{FaultPlan, InjectedFault};
 use lintime_sim::time::{ModelParams, Pid};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -49,50 +55,76 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// What the router observed over its lifetime.
+#[derive(Debug, Default)]
+pub struct RouterReport {
+    /// Messages actually forwarded to an inbox.
+    pub routed: u64,
+    /// Faults injected by the [`FaultPlan`], in injection order.
+    pub faults: Vec<InjectedFault>,
+}
+
 /// Handle to the router thread.
 pub struct Router<M> {
     /// Send side handed to every node.
-    pub tx: Sender<Envelope<M>>,
-    handle: JoinHandle<u64>,
+    pub tx: SyncSender<Envelope<M>>,
+    handle: JoinHandle<RouterReport>,
 }
 
-impl<M: Send + 'static> Router<M> {
-    /// Spawn the router. `inboxes[i]` receives messages destined for `p_i`,
-    /// tagged with the sender. Returns once all `tx` clones are dropped and
-    /// the heap drains; `join` yields the number of routed messages.
-    pub fn spawn(
+impl<M: Clone + Send + 'static> Router<M> {
+    /// Spawn a fault-free router. `inboxes[i]` receives messages destined
+    /// for `p_i`, tagged with the sender (any `I` convertible from
+    /// `(Pid, M)`, so a node's merged input channel works directly). Returns
+    /// once all `tx` clones are dropped and the heap drains; `join` yields
+    /// the [`RouterReport`].
+    pub fn spawn<I: From<(Pid, M)> + Send + 'static>(
         params: ModelParams,
         delay: DelaySpec,
         clock: LiveClock,
-        inboxes: Vec<Sender<(Pid, M)>>,
+        inboxes: Vec<SyncSender<I>>,
     ) -> Router<M> {
-        let (tx, rx): (Sender<Envelope<M>>, Receiver<Envelope<M>>) = bounded(4096);
+        Self::spawn_with_faults(params, delay, clock, inboxes, None)
+    }
+
+    /// Spawn a router that mirrors `faults` onto the live channels: per-link
+    /// drops, duplicates, and delay overrides, decided by the same
+    /// deterministic plan the simulator uses (identical seeds produce the
+    /// same per-link fault pattern).
+    pub fn spawn_with_faults<I: From<(Pid, M)> + Send + 'static>(
+        params: ModelParams,
+        delay: DelaySpec,
+        clock: LiveClock,
+        inboxes: Vec<SyncSender<I>>,
+        faults: Option<FaultPlan>,
+    ) -> Router<M> {
+        let (tx, rx): (SyncSender<Envelope<M>>, Receiver<Envelope<M>>) = sync_channel(4096);
         let handle = std::thread::Builder::new()
             .name("lintime-router".into())
-            .spawn(move || route(params, delay, clock, rx, inboxes))
+            .spawn(move || route(params, delay, clock, rx, inboxes, faults))
             .expect("spawn router");
         Router { tx, handle }
     }
 
     /// Wait for the router to drain and stop (drop all `tx` clones first).
-    pub fn join(self) -> u64 {
+    pub fn join(self) -> RouterReport {
         drop(self.tx);
         self.handle.join().expect("router panicked")
     }
 }
 
-fn route<M>(
+fn route<M: Clone, I: From<(Pid, M)>>(
     params: ModelParams,
     delay: DelaySpec,
     clock: LiveClock,
     rx: Receiver<Envelope<M>>,
-    inboxes: Vec<Sender<(Pid, M)>>,
-) -> u64 {
+    inboxes: Vec<SyncSender<I>>,
+    faults: Option<FaultPlan>,
+) -> RouterReport {
     let n = params.n;
     let mut counters = vec![0u64; n * n];
     let mut heap: BinaryHeap<Reverse<Scheduled<M>>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let mut routed = 0u64;
+    let mut report = RouterReport::default();
     let mut closed = false;
     loop {
         // Deliver everything due.
@@ -100,11 +132,11 @@ fn route<M>(
         while heap.peek().is_some_and(|Reverse(s)| s.due <= now) {
             let Reverse(s) = heap.pop().expect("peeked");
             // A closed inbox means the node already shut down; drop quietly.
-            let _ = inboxes[s.env.to.0].send((s.env.from, s.env.msg));
-            routed += 1;
+            let _ = inboxes[s.env.to.0].send(I::from((s.env.from, s.env.msg)));
+            report.routed += 1;
         }
         if closed && heap.is_empty() {
-            return routed;
+            return report;
         }
         // Wait for new traffic or the next due time.
         let timeout = heap
@@ -119,7 +151,43 @@ fn route<M>(
                     *c += 1;
                     v
                 };
-                let ticks = delay.delay(params, env.from, env.to, k);
+                let t_send = clock.real_now();
+                let mut ticks = delay.delay(params, env.from, env.to, k);
+                if let Some(plan) = &faults {
+                    if let Some(over) = plan.delay_override(env.from, env.to, k) {
+                        ticks = over;
+                        report.faults.push(InjectedFault::DelayOverridden {
+                            from: env.from,
+                            to: env.to,
+                            k,
+                            delay: over,
+                        });
+                    }
+                    if plan.should_drop(env.from, env.to, k) {
+                        report.faults.push(InjectedFault::Dropped {
+                            from: env.from,
+                            to: env.to,
+                            k,
+                            t_send,
+                        });
+                        continue;
+                    }
+                    if plan.should_duplicate(env.from, env.to, k) {
+                        let extra = plan.duplicate_delay(params, env.from, env.to, k);
+                        report.faults.push(InjectedFault::Duplicated {
+                            from: env.from,
+                            to: env.to,
+                            k,
+                            t_extra: t_send + extra,
+                        });
+                        heap.push(Reverse(Scheduled {
+                            due: Instant::now() + clock.to_duration(extra),
+                            seq,
+                            env: Envelope { from: env.from, to: env.to, msg: env.msg.clone() },
+                        }));
+                        seq += 1;
+                    }
+                }
                 let due = Instant::now() + clock.to_duration(ticks);
                 heap.push(Reverse(Scheduled { due, seq, env }));
                 seq += 1;
@@ -141,22 +209,19 @@ mod tests {
         let params = ModelParams::new(2, Time(300), Time(120), Time(90));
         let tick = Duration::from_micros(100); // d = 30 ms
         let clock = LiveClock::new(Instant::now(), Time(0), tick);
-        let (in0_tx, _in0_rx) = bounded(16);
-        let (in1_tx, in1_rx) = bounded(16);
+        let (in0_tx, _in0_rx) = sync_channel::<(Pid, u32)>(16);
+        let (in1_tx, in1_rx) = sync_channel::<(Pid, u32)>(16);
         let router: Router<u32> =
             Router::spawn(params, DelaySpec::AllMin, clock, vec![in0_tx, in1_tx]);
         let start = Instant::now();
-        router
-            .tx
-            .send(Envelope { from: Pid(0), to: Pid(1), msg: 42 })
-            .unwrap();
+        router.tx.send(Envelope { from: Pid(0), to: Pid(1), msg: 42 }).unwrap();
         let (from, msg) = in1_rx.recv_timeout(Duration::from_secs(2)).unwrap();
         let elapsed = start.elapsed();
         assert_eq!((from, msg), (Pid(0), 42));
         // d − u = 180 ticks = 18 ms; allow generous jitter upward.
         assert!(elapsed >= Duration::from_millis(17), "{elapsed:?} too fast");
         assert!(elapsed < Duration::from_millis(100), "{elapsed:?} too slow");
-        assert_eq!(router.join(), 1);
+        assert_eq!(router.join().routed, 1);
     }
 
     #[test]
@@ -164,20 +229,46 @@ mod tests {
         let params = ModelParams::new(2, Time(100), Time(50), Time(10));
         let tick = Duration::from_micros(50);
         let clock = LiveClock::new(Instant::now(), Time(0), tick);
-        let (in0_tx, _in0) = bounded(64);
-        let (in1_tx, in1_rx) = bounded(64);
+        let (in0_tx, _in0) = sync_channel::<(Pid, u32)>(64);
+        let (in1_tx, in1_rx) = sync_channel::<(Pid, u32)>(64);
         let router: Router<u32> =
             Router::spawn(params, DelaySpec::Constant(Time(60)), clock, vec![in0_tx, in1_tx]);
         for i in 0..10 {
-            router
-                .tx
-                .send(Envelope { from: Pid(0), to: Pid(1), msg: i })
-                .unwrap();
+            router.tx.send(Envelope { from: Pid(0), to: Pid(1), msg: i }).unwrap();
         }
-        let got: Vec<u32> = (0..10)
-            .map(|_| in1_rx.recv_timeout(Duration::from_secs(2)).unwrap().1)
-            .collect();
+        let got: Vec<u32> =
+            (0..10).map(|_| in1_rx.recv_timeout(Duration::from_secs(2)).unwrap().1).collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
         router.join();
+    }
+
+    #[test]
+    fn lossy_mode_drops_and_records_deterministically() {
+        let params = ModelParams::new(2, Time(100), Time(50), Time(10));
+        let tick = Duration::from_micros(50);
+        let clock = LiveClock::new(Instant::now(), Time(0), tick);
+        let plan = FaultPlan::new(11).drop_exact(Pid(0), Pid(1), 0).drop_exact(Pid(0), Pid(1), 2);
+        let (in0_tx, _in0) = sync_channel::<(Pid, u32)>(64);
+        let (in1_tx, in1_rx) = sync_channel::<(Pid, u32)>(64);
+        let router: Router<u32> = Router::spawn_with_faults(
+            params,
+            DelaySpec::Constant(Time(60)),
+            clock,
+            vec![in0_tx, in1_tx],
+            Some(plan),
+        );
+        for i in 0..5 {
+            router.tx.send(Envelope { from: Pid(0), to: Pid(1), msg: i }).unwrap();
+        }
+        let got: Vec<u32> =
+            (0..3).map(|_| in1_rx.recv_timeout(Duration::from_secs(2)).unwrap().1).collect();
+        assert_eq!(got, vec![1, 3, 4], "messages 0 and 2 must be dropped");
+        let report = router.join();
+        assert_eq!(report.routed, 3);
+        assert_eq!(report.faults.len(), 2);
+        assert!(report
+            .faults
+            .iter()
+            .all(|f| matches!(f, InjectedFault::Dropped { from: Pid(0), to: Pid(1), .. })));
     }
 }

@@ -35,11 +35,7 @@ pub enum DelaySpec {
 impl DelaySpec {
     /// Build a pair-wise uniform matrix from a function.
     pub fn matrix_from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Time) -> DelaySpec {
-        DelaySpec::Matrix(
-            (0..n)
-                .map(|i| (0..n).map(|j| f(i, j)).collect())
-                .collect(),
-        )
+        DelaySpec::Matrix((0..n).map(|i| (0..n).map(|j| f(i, j)).collect()).collect())
     }
 
     /// The delay of the `k`-th message from `from` to `to`.
@@ -61,6 +57,30 @@ impl DelaySpec {
         }
     }
 
+    /// Structural validity: a `Matrix` spec must be exactly `n × n`, or the
+    /// per-message lookup would panic mid-run. Other specs are always valid.
+    /// (Unlike [`DelaySpec::admissible`], out-of-range *values* are allowed —
+    /// deliberately inadmissible delays are legitimate experiments.)
+    pub fn validate_shape(&self, n: usize) -> Result<(), String> {
+        if let DelaySpec::Matrix(m) = self {
+            if m.len() != n {
+                return Err(format!(
+                    "delay matrix has {} rows but the model has n = {n} processes",
+                    m.len()
+                ));
+            }
+            for (i, row) in m.iter().enumerate() {
+                if row.len() != n {
+                    return Err(format!(
+                        "delay matrix row {i} has {} entries but the model has n = {n} processes",
+                        row.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Check that every delay this spec can produce is admissible for
     /// `params`. For `Matrix`, checks all off-diagonal entries.
     pub fn admissible(&self, params: ModelParams) -> bool {
@@ -70,10 +90,7 @@ impl DelaySpec {
                 m.len() == params.n
                     && m.iter().enumerate().all(|(i, row)| {
                         row.len() == params.n
-                            && row
-                                .iter()
-                                .enumerate()
-                                .all(|(j, t)| i == j || params.delay_ok(*t))
+                            && row.iter().enumerate().all(|(j, t)| i == j || params.delay_ok(*t))
                     })
             }
             DelaySpec::UniformRandom { .. } | DelaySpec::AllMax | DelaySpec::AllMin => true,
@@ -93,9 +110,7 @@ impl DelaySpec {
     pub fn to_matrix(&self, params: ModelParams) -> Option<Vec<Vec<Time>>> {
         match self {
             DelaySpec::Matrix(m) => Some(m.clone()),
-            DelaySpec::Constant(t) => {
-                Some(vec![vec![*t; params.n]; params.n])
-            }
+            DelaySpec::Constant(t) => Some(vec![vec![*t; params.n]; params.n]),
             DelaySpec::AllMax => Some(vec![vec![params.d; params.n]; params.n]),
             DelaySpec::AllMin => Some(vec![vec![params.min_delay(); params.n]; params.n]),
             DelaySpec::UniformRandom { .. } => None,
@@ -125,10 +140,7 @@ mod tests {
         let p = params();
         assert_eq!(DelaySpec::AllMax.delay(p, Pid(0), Pid(1), 0), p.d);
         assert_eq!(DelaySpec::AllMin.delay(p, Pid(0), Pid(1), 0), p.min_delay());
-        assert_eq!(
-            DelaySpec::Constant(Time(4000)).delay(p, Pid(2), Pid(3), 9),
-            Time(4000)
-        );
+        assert_eq!(DelaySpec::Constant(Time(4000)).delay(p, Pid(2), Pid(3), 9), Time(4000));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! shifting experiments (Theorem 1) rely on.
 
 use crate::delay::DelaySpec;
+use crate::faults::{FaultPlan, InjectedFault};
 use crate::node::{Effects, Node};
 use crate::run::{MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
 use crate::schedule::Schedule;
@@ -41,6 +42,8 @@ pub struct SimConfig {
     pub max_real_time: Option<Time>,
     /// Hard stop: maximum number of events to process.
     pub max_events: u64,
+    /// Fault schedule to inject (None = fault-free).
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -56,6 +59,7 @@ impl SimConfig {
             record_views: false,
             max_real_time: None,
             max_events: 50_000_000,
+            faults: None,
         }
     }
 
@@ -77,6 +81,40 @@ impl SimConfig {
         self.record_messages = true;
         self.record_views = true;
         self
+    }
+
+    /// Inject faults from `plan` (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Structural validity: the configuration can be *executed* at all
+    /// (unlike [`SimConfig::admissible`], which asks whether it stays inside
+    /// the model — deliberately inadmissible configs are legitimate
+    /// experiments). Catches shape errors such as a delay matrix whose
+    /// dimensions do not match `n`, which would otherwise panic deep inside
+    /// the delivery loop.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.params.n {
+            return Err(format!(
+                "config has {} clock offsets but n = {}",
+                self.offsets.len(),
+                self.params.n
+            ));
+        }
+        self.delay.validate_shape(self.params.n)?;
+        for t in &self.schedule.timed {
+            if t.pid.0 >= self.params.n {
+                return Err(format!("schedule invokes at unknown process {}", t.pid));
+            }
+        }
+        for s in &self.schedule.scripts {
+            if s.pid.0 >= self.params.n {
+                return Err(format!("script runs at unknown process {}", s.pid));
+            }
+        }
+        Ok(())
     }
 
     /// Check configuration admissibility (Section 2.2): clock skews within ε
@@ -124,6 +162,7 @@ impl SimConfig {
             record_views: self.record_views,
             max_real_time: self.max_real_time,
             max_events: self.max_events,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -190,7 +229,6 @@ pub fn simulate_full<N: Node>(
 ) -> (Run, Vec<N>) {
     let params = config.params;
     let n = params.n;
-    assert_eq!(config.offsets.len(), n, "need one clock offset per process");
 
     let mut nodes: Vec<N> = (0..n).map(|i| make_node(Pid(i))).collect();
     let mut heap: BinaryHeap<Reverse<Entry<N::Msg, N::Timer>>> = BinaryHeap::new();
@@ -202,11 +240,7 @@ pub fn simulate_full<N: Node>(
     let mut msg_counters: Vec<u64> = vec![0; n * n];
 
     let mut procs: Vec<ProcState> = (0..n)
-        .map(|_| ProcState {
-            pending_op: None,
-            script: VecDeque::new(),
-            script_gap: Time::ZERO,
-        })
+        .map(|_| ProcState { pending_op: None, script: VecDeque::new(), script_gap: Time::ZERO })
         .collect();
 
     let mut ops: Vec<OpRecord> = Vec::new();
@@ -216,6 +250,33 @@ pub fn simulate_full<N: Node>(
     let mut delay_violations: u64 = 0;
     let mut last_time = Time::ZERO;
     let mut events: u64 = 0;
+    let mut truncated = false;
+    let mut faults: Vec<InjectedFault> = Vec::new();
+    // Which (pid, stall-window-end) deferrals were already recorded, and
+    // which crashes were already recorded, to log each fault once.
+    let mut stalls_recorded: HashSet<(usize, Time)> = HashSet::new();
+    let mut crashes_recorded: HashSet<usize> = HashSet::new();
+
+    // Refuse structurally invalid configurations up front with a clear
+    // error instead of panicking mid-run (e.g. an undersized delay matrix).
+    if let Err(e) = config.validate() {
+        errors.push(format!("invalid configuration: {e}"));
+        let run = Run {
+            params,
+            offsets: config.offsets.clone(),
+            ops,
+            msgs,
+            views,
+            last_time,
+            events,
+            errors,
+            delay_violations,
+            truncated: true,
+            faults,
+            suspect: Vec::new(),
+        };
+        return (run, nodes);
+    }
 
     // Seed the heap from the schedule.
     for t in &config.schedule.timed {
@@ -249,11 +310,50 @@ pub fn simulate_full<N: Node>(
         }
         if events >= config.max_events {
             errors.push(format!("event cap {} reached", config.max_events));
+            truncated = true;
             break;
         }
+        let pid = entry.pid;
+
+        // Fault injection: crashed processes take no further steps; stalled
+        // processes defer their events to the end of the stall window.
+        if let Some(plan) = &config.faults {
+            if let Some(at) = plan.crashed_at(pid) {
+                if now >= at {
+                    if crashes_recorded.insert(pid.0) {
+                        faults.push(InjectedFault::Crashed { pid, at });
+                    }
+                    // An invocation at a crashed process is recorded (the
+                    // user observes no response — the run is incomplete),
+                    // other events are silently lost with the process.
+                    if let EventKind::Invoke { inv, .. } = entry.kind {
+                        ops.push(OpRecord {
+                            pid,
+                            invocation: inv,
+                            ret: None,
+                            t_invoke: now,
+                            t_respond: None,
+                        });
+                    }
+                    continue;
+                }
+            }
+            if let Some(until) = plan.stall_until(pid, now) {
+                if stalls_recorded.insert((pid.0, until)) {
+                    faults.push(InjectedFault::Stalled { pid, from: now, until });
+                }
+                heap.push(Reverse(Entry {
+                    key: EventKey { time: until, class: entry.key.class, seq },
+                    pid,
+                    kind: entry.kind,
+                }));
+                seq += 1;
+                continue;
+            }
+        }
+
         events += 1;
         last_time = last_time.max(now);
-        let pid = entry.pid;
         let local = now + config.offsets[pid.0];
         let mut fx: Effects<N::Msg, N::Timer> = Effects::new(pid, n, local);
 
@@ -273,17 +373,14 @@ pub fn simulate_full<N: Node>(
                     t_invoke: now,
                     t_respond: None,
                 });
-                let trig = config
-                    .record_views
-                    .then(|| StepTrigger::Invoke(format!("{inv:?}")));
+                let trig = config.record_views.then(|| StepTrigger::Invoke(format!("{inv:?}")));
                 nodes[pid.0].on_invoke(inv, &mut fx);
                 trig
             }
             EventKind::Deliver { from, msg } => {
-                let trig = config.record_views.then(|| StepTrigger::Deliver {
-                    from,
-                    msg: format!("{msg:?}"),
-                });
+                let trig = config
+                    .record_views
+                    .then(|| StepTrigger::Deliver { from, msg: format!("{msg:?}") });
                 nodes[pid.0].on_deliver(from, msg, &mut fx);
                 trig
             }
@@ -292,9 +389,7 @@ pub fn simulate_full<N: Node>(
                     continue;
                 }
                 live_tags[pid.0].retain(|(tid, _)| *tid != id);
-                let trig = config
-                    .record_views
-                    .then(|| StepTrigger::Timer(format!("{tag:?}")));
+                let trig = config.record_views.then(|| StepTrigger::Timer(format!("{tag:?}")));
                 nodes[pid.0].on_timer(tag, &mut fx);
                 trig
             }
@@ -322,7 +417,20 @@ pub fn simulate_full<N: Node>(
                 *c += 1;
                 v
             };
-            let delay = config.delay.delay(params, pid, to, k);
+            let mut delay = config.delay.delay(params, pid, to, k);
+            if let Some(plan) = &config.faults {
+                if let Some(override_delay) = plan.delay_override(pid, to, k) {
+                    delay = override_delay;
+                    faults.push(InjectedFault::DelayOverridden { from: pid, to, k, delay });
+                }
+                if plan.should_drop(pid, to, k) {
+                    faults.push(InjectedFault::Dropped { from: pid, to, k, t_send: now });
+                    if config.record_messages {
+                        msgs.push(MsgRecord { from: pid, to, t_send: now, t_recv: None });
+                    }
+                    continue;
+                }
+            }
             assert!(delay >= Time::ZERO, "negative message delay {delay:?}");
             if !params.delay_ok(delay) {
                 delay_violations += 1;
@@ -336,6 +444,28 @@ pub fn simulate_full<N: Node>(
                     t_send: now,
                     t_recv: deliverable.then_some(t_recv),
                 });
+            }
+            if let Some(plan) = &config.faults {
+                if plan.should_duplicate(pid, to, k) {
+                    let extra_delay = plan.duplicate_delay(params, pid, to, k);
+                    let t_extra = now + extra_delay;
+                    faults.push(InjectedFault::Duplicated { from: pid, to, k, t_extra });
+                    if config.record_messages {
+                        let dup_deliverable = config.max_real_time.is_none_or(|cap| t_extra <= cap);
+                        msgs.push(MsgRecord {
+                            from: pid,
+                            to,
+                            t_send: now,
+                            t_recv: dup_deliverable.then_some(t_extra),
+                        });
+                    }
+                    heap.push(Reverse(Entry {
+                        key: EventKey { time: t_extra, class: 0, seq },
+                        pid: to,
+                        kind: EventKind::Deliver { from: pid, msg: msg.clone() },
+                    }));
+                    seq += 1;
+                }
             }
             heap.push(Reverse(Entry {
                 key: EventKey { time: t_recv, class: 0, seq },
@@ -403,6 +533,9 @@ pub fn simulate_full<N: Node>(
         events,
         errors,
         delay_violations,
+        truncated,
+        faults,
+        suspect: Vec::new(),
     };
     (run, nodes)
 }
@@ -446,9 +579,11 @@ mod tests {
 
     #[test]
     fn echo_round_trip() {
-        let cfg = config().with_schedule(
-            Schedule::new().at(Pid(0), Time(100), Invocation::new("echo", 5)),
-        );
+        let cfg = config().with_schedule(Schedule::new().at(
+            Pid(0),
+            Time(100),
+            Invocation::new("echo", 5),
+        ));
         let run = simulate(&cfg, |_| EchoNode { wait: Time(50), ping_peers: false });
         assert!(run.complete());
         assert_eq!(run.ops.len(), 1);
@@ -459,11 +594,8 @@ mod tests {
 
     #[test]
     fn messages_are_delivered_with_spec_delay() {
-        let cfg = SimConfig {
-            record_messages: true,
-            ..config()
-        }
-        .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("go")));
+        let cfg = SimConfig { record_messages: true, ..config() }
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("go")));
         let run = simulate(&cfg, |_| EchoNode { wait: Time(1), ping_peers: true });
         assert_eq!(run.msgs.len(), 3);
         for m in &run.msgs {
@@ -474,11 +606,7 @@ mod tests {
 
     #[test]
     fn closed_loop_script_runs_sequentially() {
-        let invs = vec![
-            Invocation::new("a", 1),
-            Invocation::new("b", 2),
-            Invocation::new("c", 3),
-        ];
+        let invs = vec![Invocation::new("a", 1), Invocation::new("b", 2), Invocation::new("c", 3)];
         let cfg = config().with_schedule(Schedule::new().script(crate::schedule::Script {
             pid: Pid(2),
             start: Time(10),
@@ -497,9 +625,11 @@ mod tests {
     #[test]
     fn overlapping_invocations_are_rejected() {
         let cfg = config().with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::nullary("x"))
-                .at(Pid(0), Time(1), Invocation::nullary("y")), // overlaps (wait=50)
+            Schedule::new().at(Pid(0), Time(0), Invocation::nullary("x")).at(
+                Pid(0),
+                Time(1),
+                Invocation::nullary("y"),
+            ), // overlaps (wait=50)
         );
         let run = simulate(&cfg, |_| EchoNode { wait: Time(50), ping_peers: false });
         assert_eq!(run.ops.len(), 1);
@@ -509,17 +639,13 @@ mod tests {
 
     #[test]
     fn determinism_identical_reruns() {
-        let cfg = SimConfig {
-            record_messages: true,
-            record_views: true,
-            ..config()
-        }
-        .with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(0), Invocation::new("echo", 1))
-                .at(Pid(1), Time(0), Invocation::new("echo", 2))
-                .at(Pid(2), Time(3), Invocation::new("echo", 3)),
-        );
+        let cfg = SimConfig { record_messages: true, record_views: true, ..config() }
+            .with_schedule(
+                Schedule::new()
+                    .at(Pid(0), Time(0), Invocation::new("echo", 1))
+                    .at(Pid(1), Time(0), Invocation::new("echo", 2))
+                    .at(Pid(2), Time(3), Invocation::new("echo", 3)),
+            );
         let r1 = simulate(&cfg, |_| EchoNode { wait: Time(9), ping_peers: true });
         let r2 = simulate(&cfg, |_| EchoNode { wait: Time(9), ping_peers: true });
         assert_eq!(r1.ops, r2.ops);
@@ -530,16 +656,14 @@ mod tests {
 
     #[test]
     fn max_real_time_stops_the_run() {
-        let cfg = SimConfig {
-            max_real_time: Some(Time(25)),
-            ..config()
-        }
-        .with_schedule(Schedule::new().script(crate::schedule::Script {
-            pid: Pid(0),
-            start: Time(0),
-            gap: Time(0),
-            invocations: vec![Invocation::nullary("x"); 100],
-        }));
+        let cfg = SimConfig { max_real_time: Some(Time(25)), ..config() }.with_schedule(
+            Schedule::new().script(crate::schedule::Script {
+                pid: Pid(0),
+                start: Time(0),
+                gap: Time(0),
+                invocations: vec![Invocation::nullary("x"); 100],
+            }),
+        );
         let run = simulate(&cfg, |_| EchoNode { wait: Time(10), ping_peers: false });
         // Only ops fully inside [0, 25] complete: invocations at 0, 10, 20.
         assert!(run.ops.len() <= 3);
@@ -572,8 +696,11 @@ mod tests {
     #[test]
     fn timer_cancellation_prevents_firing() {
         let params = ModelParams::new(2, Time(30), Time(10), Time(5));
-        let cfg = SimConfig::new(params, DelaySpec::AllMin)
-            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("x")));
+        let cfg = SimConfig::new(params, DelaySpec::AllMin).with_schedule(Schedule::new().at(
+            Pid(0),
+            Time(0),
+            Invocation::nullary("x"),
+        ));
         let run = simulate(&cfg, |_| CancelNode);
         assert!(run.complete());
         // Round trip of 2 × (d-u) = 40 < timer 100, so cancel wins.
@@ -587,8 +714,11 @@ mod tests {
         // A deliver and a timer scheduled for the same instant: deliver wins,
         // so the CancelNode cancels its timer exactly at the tie.
         let params = ModelParams::new(2, Time(50), Time(10), Time(5));
-        let cfg = SimConfig::new(params, DelaySpec::AllMax)
-            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("x")));
+        let cfg = SimConfig::new(params, DelaySpec::AllMax).with_schedule(Schedule::new().at(
+            Pid(0),
+            Time(0),
+            Invocation::nullary("x"),
+        ));
         // Round trip = 100 = timer fire time.
         let run = simulate(&cfg, |_| CancelNode);
         assert_eq!(run.ops[0].ret, Some(Value::Int(99)));
@@ -614,10 +744,8 @@ mod tests {
         assert!(cfg.admissible().is_ok());
         cfg.offsets[0] = Time(99999);
         assert!(cfg.admissible().is_err());
-        let bad_delay = SimConfig::new(
-            ModelParams::default_experiment(),
-            DelaySpec::Constant(Time(1)),
-        );
+        let bad_delay =
+            SimConfig::new(ModelParams::default_experiment(), DelaySpec::Constant(Time(1)));
         assert!(bad_delay.admissible().is_err());
     }
 }

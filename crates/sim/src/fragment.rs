@@ -135,11 +135,7 @@ pub fn apply_cuts(run: &Run, cuts: &[Time]) -> Fragment {
 impl Fragment {
     /// First real time of any surviving step (`first-time` in the paper).
     pub fn first_time(&self) -> Option<Time> {
-        self.ops
-            .iter()
-            .map(|o| o.t_invoke)
-            .chain(self.msgs.iter().map(|m| m.t_send))
-            .min()
+        self.ops.iter().map(|o| o.t_invoke).chain(self.msgs.iter().map(|m| m.t_send)).min()
     }
 
     /// Last real time of any surviving step.
@@ -148,12 +144,7 @@ impl Fragment {
             .iter()
             .flat_map(|o| [Some(o.t_invoke), o.t_respond])
             .flatten()
-            .chain(
-                self.msgs
-                    .iter()
-                    .flat_map(|m| [Some(m.t_send), m.t_recv])
-                    .flatten(),
-            )
+            .chain(self.msgs.iter().flat_map(|m| [Some(m.t_send), m.t_recv]).flatten())
             .max()
     }
 
@@ -196,10 +187,7 @@ impl Fragment {
                 }
             }
             if m.t_send >= self.cuts[m.from.0] {
-                return Err(format!(
-                    "message {}→{} sent after the sender's cut",
-                    m.from, m.to
-                ));
+                return Err(format!("message {}→{} sent after the sender's cut", m.from, m.to));
             }
         }
         Ok(())
@@ -249,6 +237,9 @@ impl Fragment {
             events: prefix.events,
             errors: prefix.errors.clone(),
             delay_violations,
+            truncated: prefix.truncated,
+            faults: prefix.faults.clone(),
+            suspect: prefix.suspect.clone(),
         })
     }
 }
@@ -282,6 +273,9 @@ mod tests {
             events: 0,
             errors: Vec::new(),
             delay_violations: 0,
+            truncated: false,
+            faults: Vec::new(),
+            suspect: Vec::new(),
         }
     }
 
@@ -312,8 +306,18 @@ mod tests {
         let mut matrix = vec![vec![p.d; 4]; 4];
         matrix[1][0] = p.d + m_extra;
         let msgs = vec![
-            MsgRecord { from: Pid(1), to: Pid(0), t_send: Time(100), t_recv: Some(Time(100) + p.d + m_extra) },
-            MsgRecord { from: Pid(1), to: Pid(2), t_send: Time(100), t_recv: Some(Time(100) + p.d) },
+            MsgRecord {
+                from: Pid(1),
+                to: Pid(0),
+                t_send: Time(100),
+                t_recv: Some(Time(100) + p.d + m_extra),
+            },
+            MsgRecord {
+                from: Pid(1),
+                to: Pid(2),
+                t_send: Time(100),
+                t_recv: Some(Time(100) + p.d),
+            },
         ];
         let run = mk_run(Vec::new(), msgs);
         let delta = p.d - m_extra;

@@ -13,6 +13,10 @@
 //! * [`schedule`] — open-loop (timed) and closed-loop (scripted) invocation
 //!   schedules, including the paper's `R_A(ρ, C, D)` prefix;
 //! * [`workload`] — declarative workload mixes materialized into schedules;
+//! * [`faults`] — deterministic, seedable fault injection
+//!   ([`faults::FaultPlan`]): message drops/duplicates/delay overrides, node
+//!   crashes, and stall windows, threaded through the engine;
+//! * [`rng`] — a vendored SplitMix64 generator (no external dependencies);
 //! * [`engine`] — the simulator: [`engine::simulate`] turns a
 //!   [`engine::SimConfig`] plus a node factory into a recorded [`run::Run`];
 //! * [`run`] — recorded runs: operation/message records, timed views,
@@ -35,8 +39,10 @@
 
 pub mod delay;
 pub mod engine;
+pub mod faults;
 pub mod fragment;
 pub mod node;
+pub mod rng;
 pub mod run;
 pub mod schedule;
 pub mod time;
@@ -46,8 +52,10 @@ pub mod workload;
 pub mod prelude {
     pub use crate::delay::DelaySpec;
     pub use crate::engine::{simulate, simulate_full, SimConfig};
+    pub use crate::faults::{FaultPlan, InjectedFault, StallWindow};
     pub use crate::fragment::{apply_cuts, chop, shortest_paths, Fragment};
     pub use crate::node::{EffectParts, Effects, Node};
+    pub use crate::rng::SplitMix64;
     pub use crate::run::{MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
     pub use crate::schedule::{Schedule, Script, TimedInvocation};
     pub use crate::time::{ModelParams, Pid, Time};

@@ -145,12 +145,9 @@ impl<M, T: PartialEq> Effects<M, T> {
         mut fm: impl FnMut(M2) -> M,
         mut ft: impl FnMut(T2) -> T,
     ) {
-        self.sends
-            .extend(parts.sends.into_iter().map(|(to, m)| (to, fm(m))));
-        self.timers_set
-            .extend(parts.timers_set.into_iter().map(|(at, t)| (at, ft(t))));
-        self.timers_cancelled
-            .extend(parts.timers_cancelled.into_iter().map(&mut ft));
+        self.sends.extend(parts.sends.into_iter().map(|(to, m)| (to, fm(m))));
+        self.timers_set.extend(parts.timers_set.into_iter().map(|(at, t)| (at, ft(t))));
+        self.timers_cancelled.extend(parts.timers_cancelled.into_iter().map(&mut ft));
         if let Some(ret) = parts.response {
             self.respond(ret);
         }

@@ -1,0 +1,117 @@
+//! A tiny deterministic pseudo-random number generator (SplitMix64).
+//!
+//! The workspace must build without network access, so the external `rand`
+//! crate is replaced by this vendored generator. SplitMix64 passes BigCrush
+//! and is more than adequate for workload generation and delay jitter; the
+//! property that matters here is *reproducibility*: equal seeds produce equal
+//! streams on every platform, which the fault-injection and shifting
+//! machinery rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG with a `rand`-like `gen_range` API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// A uniform draw from `range` (modulo reduction; the bias is ≤ 2⁻⁴⁰ for
+    /// every range used in this workspace and irrelevant for workloads).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// One SplitMix64 finalization step: a high-quality 64-bit mix function,
+/// also used directly for stateless per-message fault decisions.
+pub fn mix(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ranges that [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z: i32 = rng.gen_range(0i32..3);
+            assert!((0..3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_support() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "{seen:?}");
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        assert_eq!(rng.gen_range(4i64..=4), 4);
+    }
+}

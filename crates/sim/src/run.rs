@@ -1,6 +1,7 @@
 //! Recorded runs: operation records, message records, timed views,
 //! admissibility, and record-level shifting (Theorem 1).
 
+use crate::faults::InjectedFault;
 use crate::time::{ModelParams, Pid, Time};
 use lintime_adt::spec::{Invocation, OpInstance};
 use lintime_adt::value::Value;
@@ -114,6 +115,18 @@ pub struct Run {
     /// Delay-admissibility violations observed while running (messages with
     /// delay outside `[d - u, d]`).
     pub delay_violations: u64,
+    /// True iff the engine stopped before quiescence (event cap reached or
+    /// invalid configuration). Truncated runs must never be certified
+    /// linearizable: operations and messages past the cutoff are missing.
+    pub truncated: bool,
+    /// Faults injected by the configured [`crate::faults::FaultPlan`], in
+    /// injection order. Empty for fault-free runs.
+    pub faults: Vec<InjectedFault>,
+    /// Diagnostics from runtime violation detectors (e.g. a mutator arriving
+    /// with a timestamp older than the execution frontier). Non-empty means
+    /// the run is *suspect*: responses may reflect out-of-model behavior and
+    /// a linearizability verdict should not be trusted without scrutiny.
+    pub suspect: Vec<String>,
 }
 
 impl Run {
@@ -121,6 +134,18 @@ impl Run {
     /// requirement of Section 2.3).
     pub fn complete(&self) -> bool {
         self.ops.iter().all(|op| op.ret.is_some())
+    }
+
+    /// True iff a violation detector flagged this run (see
+    /// [`Run::suspect`]).
+    pub fn is_suspect(&self) -> bool {
+        !self.suspect.is_empty()
+    }
+
+    /// True iff the run is trustworthy enough to certify: it ran to
+    /// quiescence (not truncated) and no violation detector fired.
+    pub fn certifiable(&self) -> bool {
+        !self.truncated && !self.is_suspect()
     }
 
     /// True iff the run is admissible: clock skews within ε and all observed
@@ -191,17 +216,10 @@ impl Run {
                 t_recv: m.t_recv.map(|t| t + x[m.to.0]),
             })
             .collect();
-        let offsets: Vec<Time> = self
-            .offsets
-            .iter()
-            .zip(x)
-            .map(|(c, xi)| *c - *xi)
-            .collect();
-        let delay_violations = msgs
-            .iter()
-            .filter_map(MsgRecord::delay)
-            .filter(|d| !self.params.delay_ok(*d))
-            .count() as u64;
+        let offsets: Vec<Time> = self.offsets.iter().zip(x).map(|(c, xi)| *c - *xi).collect();
+        let delay_violations =
+            msgs.iter().filter_map(MsgRecord::delay).filter(|d| !self.params.delay_ok(*d)).count()
+                as u64;
         let last_time = ops
             .iter()
             .flat_map(|o| [Some(o.t_invoke), o.t_respond])
@@ -219,6 +237,9 @@ impl Run {
             events: self.events,
             errors: self.errors.clone(),
             delay_violations,
+            truncated: self.truncated,
+            faults: self.faults.clone(),
+            suspect: self.suspect.clone(),
         }
     }
 
@@ -234,12 +255,19 @@ impl fmt::Display for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "run: {} ops ({} complete), {} msgs, last_time {}, admissible: {}",
+            "run: {} ops ({} complete), {} msgs, last_time {}, admissible: {}{}{}{}",
             self.ops.len(),
             self.completed().count(),
             self.msgs.len(),
             self.last_time,
-            self.is_admissible()
+            self.is_admissible(),
+            if self.truncated { ", TRUNCATED" } else { "" },
+            if self.is_suspect() { ", SUSPECT" } else { "" },
+            if self.faults.is_empty() {
+                String::new()
+            } else {
+                format!(", {} injected faults", self.faults.len())
+            }
         )?;
         for op in &self.ops {
             writeln!(
@@ -292,6 +320,9 @@ mod tests {
             events: 10,
             errors: Vec::new(),
             delay_violations: 0,
+            truncated: false,
+            faults: Vec::new(),
+            suspect: Vec::new(),
         }
     }
 

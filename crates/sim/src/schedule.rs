@@ -134,9 +134,11 @@ mod tests {
 
     #[test]
     fn builders_accumulate() {
-        let s = Schedule::new()
-            .at(Pid(0), Time(10), Invocation::nullary("read"))
-            .at(Pid(1), Time(20), Invocation::new("write", 1));
+        let s = Schedule::new().at(Pid(0), Time(10), Invocation::nullary("read")).at(
+            Pid(1),
+            Time(20),
+            Invocation::new("write", 1),
+        );
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
     }

@@ -2,11 +2,10 @@
 //! [`Schedule`], deterministically from a seed. Used by the benchmark
 //! harness, the examples, and randomized correctness sweeps.
 
+use crate::rng::SplitMix64;
 use crate::schedule::Schedule;
 use crate::time::{ModelParams, Pid, Time};
 use lintime_adt::spec::{Invocation, ObjectSpec, OpClass};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Relative operation-class weights of a workload mix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,7 +71,7 @@ impl Workload {
     /// If the type lacks an operation of a drawn class, the draw falls back
     /// to any operation (every type has at least one accessor and mutator).
     pub fn schedule(&self, params: ModelParams, spec: &dyn ObjectSpec) -> Schedule {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let mut schedule = Schedule::new();
         // Worst-case completion for WTLW and both folklore baselines.
         let op_budget = (params.d + params.u + params.epsilon).max(params.d * 2) + Time(1);
@@ -127,12 +126,7 @@ mod tests {
     #[test]
     fn read_heavy_mostly_reads() {
         let spec = erase(FifoQueue::new());
-        let w = Workload {
-            mix: Mix::READ_HEAVY,
-            ops_per_process: 50,
-            max_gap: Time(10),
-            seed: 3,
-        };
+        let w = Workload { mix: Mix::READ_HEAVY, ops_per_process: 50, max_gap: Time(10), seed: 3 };
         let s = w.schedule(p(), spec.as_ref());
         let peeks = s.timed.iter().filter(|t| t.inv.op == "peek").count();
         assert!(peeks * 2 > s.len(), "{peeks} peeks of {}", s.len());
@@ -145,12 +139,8 @@ mod tests {
         let s = w.schedule(p(), spec.as_ref());
         let budget = (p().d * 2).max(p().d + p().u + p().epsilon);
         for pid in 0..p().n {
-            let mut times: Vec<Time> = s
-                .timed
-                .iter()
-                .filter(|t| t.pid == Pid(pid))
-                .map(|t| t.at)
-                .collect();
+            let mut times: Vec<Time> =
+                s.timed.iter().filter(|t| t.pid == Pid(pid)).map(|t| t.at).collect();
             times.sort();
             for w in times.windows(2) {
                 assert!(w[1] - w[0] > budget, "overlap risk at {pid}");

@@ -1,11 +1,14 @@
 //! Property tests for the discrete-event engine itself: determinism, event
 //! accounting, admissibility reporting, and schedule-shifting identities,
 //! independent of any particular algorithm.
+//!
+//! Properties are exercised over deterministic seed sweeps (the workspace
+//! builds offline, with no property-testing dependency): every case a seed
+//! generates is reproducible by construction.
 
 use lintime_adt::spec::Invocation;
 use lintime_adt::value::Value;
 use lintime_sim::prelude::*;
-use proptest::prelude::*;
 
 /// A little protocol that exercises every engine feature: on invoke, ping a
 /// neighbour and set two timers, cancelling one when the pong returns.
@@ -46,23 +49,23 @@ impl Node for PingNode {
     }
 }
 
-fn arb_params() -> impl Strategy<Value = ModelParams> {
-    (2usize..6, 1i64..50, 0i64..50).prop_map(|(n, u_base, eps)| {
-        let u = Time(u_base * 12);
-        let d = u * 3;
-        ModelParams::new(n, d, u, Time(eps))
-    })
+/// Pseudo-random model parameters derived from a case seed.
+fn arb_params(rng: &mut SplitMix64) -> ModelParams {
+    let n = rng.gen_range(2usize..6);
+    let u = Time(rng.gen_range(1i64..50) * 12);
+    let d = u * 3;
+    let eps = Time(rng.gen_range(0i64..50));
+    ModelParams::new(n, d, u, eps)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 60, .. ProptestConfig::default() })]
-
-    #[test]
-    fn identical_configs_identical_runs(
-        params in arb_params(),
-        seed in 0u64..1000,
-        starts in proptest::collection::vec(0i64..500, 1..6),
-    ) {
+#[test]
+fn identical_configs_identical_runs() {
+    for case in 0u64..60 {
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let params = arb_params(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let count = rng.gen_range(1usize..6);
+        let starts: Vec<i64> = (0..count).map(|_| rng.gen_range(0i64..500)).collect();
         // Wait long enough that doom timers (4 × wait) outlive the pong
         // round trip (2d).
         let wait = params.d * 3;
@@ -82,24 +85,27 @@ proptest! {
             .recording_all();
         let a = simulate(&cfg, |_| PingNode { wait });
         let b = simulate(&cfg, |_| PingNode { wait });
-        prop_assert_eq!(&a.ops, &b.ops);
-        prop_assert_eq!(&a.msgs, &b.msgs);
-        prop_assert_eq!(a.events, b.events);
-        prop_assert!(a.views_equal(&b));
-        prop_assert!(a.complete());
-        prop_assert!(a.errors.is_empty());
+        assert_eq!(a.ops, b.ops, "case {case}");
+        assert_eq!(a.msgs, b.msgs, "case {case}");
+        assert_eq!(a.events, b.events, "case {case}");
+        assert!(a.views_equal(&b), "case {case}");
+        assert!(a.complete(), "case {case}");
+        assert!(a.errors.is_empty(), "case {case}");
+        assert!(!a.truncated, "case {case}");
         // Each op responds with its argument after exactly `wait`.
         for op in &a.ops {
-            prop_assert_eq!(op.latency(), Some(wait));
-            prop_assert_eq!(op.ret.clone(), Some(op.invocation.arg.clone()));
+            assert_eq!(op.latency(), Some(wait), "case {case}");
+            assert_eq!(op.ret.clone(), Some(op.invocation.arg.clone()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn admissibility_accounting_is_exact(
-        params in arb_params(),
-        excess in 1i64..100,
-    ) {
+#[test]
+fn admissibility_accounting_is_exact() {
+    for case in 0u64..40 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + case);
+        let params = arb_params(&mut rng);
+        let excess = rng.gen_range(1i64..100);
         // A single too-slow channel: every message on it is counted.
         let bad = DelaySpec::matrix_from_fn(params.n, |i, j| {
             if i == 0 && j == 1 {
@@ -109,39 +115,42 @@ proptest! {
             }
         });
         let wait = params.d * 3;
-        let cfg = SimConfig::new(params, bad).with_schedule(
-            Schedule::new().at(Pid(0), Time(0), Invocation::new("ping", 1)),
-        );
+        let cfg = SimConfig::new(params, bad).with_schedule(Schedule::new().at(
+            Pid(0),
+            Time(0),
+            Invocation::new("ping", 1),
+        ));
         let run = simulate(&cfg, |_| PingNode { wait });
         // p0 pings p1 (slow channel): exactly one violating message.
-        prop_assert_eq!(run.delay_violations, 1);
-        prop_assert!(!run.is_admissible());
+        assert_eq!(run.delay_violations, 1, "case {case}");
+        assert!(!run.is_admissible(), "case {case}");
     }
+}
 
-    #[test]
-    fn schedule_shift_round_trips(
-        params in arb_params(),
-        xs in proptest::collection::vec(-200i64..200, 6),
-    ) {
+#[test]
+fn schedule_shift_round_trips() {
+    for case in 0u64..60 {
+        let mut rng = SplitMix64::seed_from_u64(2000 + case);
+        let params = arb_params(&mut rng);
+        let xs: Vec<i64> = (0..6).map(|_| rng.gen_range(-200i64..200)).collect();
         let x: Vec<Time> = (0..params.n).map(|i| Time(xs[i % xs.len()])).collect();
         let neg: Vec<Time> = x.iter().map(|t| -*t).collect();
-        let schedule = Schedule::new()
-            .at(Pid(0), Time(5), Invocation::nullary("a"))
-            .script(Script {
+        let schedule =
+            Schedule::new().at(Pid(0), Time(5), Invocation::nullary("a")).script(Script {
                 pid: Pid(1),
                 start: Time(100),
                 gap: Time(7),
                 invocations: vec![Invocation::nullary("b"); 3],
             });
         let round = schedule.shifted(&x).shifted(&neg);
-        prop_assert_eq!(round, schedule);
+        assert_eq!(round, schedule, "case {case}");
     }
 }
 
 #[test]
-fn max_events_cap_reports_an_error() {
-    // A self-perpetuating protocol would run forever; the cap must stop it
-    // and say so.
+fn max_events_cap_reports_an_error_and_truncates() {
+    // A self-perpetuating protocol would run forever; the cap must stop it,
+    // say so, and mark the run truncated so nothing downstream certifies it.
     struct Storm;
     impl Node for Storm {
         type Msg = ();
@@ -155,15 +164,94 @@ fn max_events_cap_reports_an_error() {
         fn on_timer(&mut self, _t: (), _fx: &mut Effects<(), ()>) {}
     }
     let p = ModelParams::new(2, Time(30), Time(10), Time(5));
-    let mut cfg = SimConfig::new(p, DelaySpec::AllMin)
-        .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::nullary("go")));
+    let mut cfg = SimConfig::new(p, DelaySpec::AllMin).with_schedule(Schedule::new().at(
+        Pid(0),
+        Time(0),
+        Invocation::nullary("go"),
+    ));
     cfg.max_events = 500;
     let run = lintime_sim::engine::simulate(&cfg, |_| Storm);
     assert!(run.events <= 500);
     assert!(run.errors.iter().any(|e| e.contains("event cap")));
+    assert!(run.truncated, "event-cap runs must be flagged as truncated");
+    assert!(!run.certifiable());
     // The pending op never responded.
     assert!(!run.complete());
     let _ = Value::Unit;
+}
+
+#[test]
+fn undersized_delay_matrix_is_a_clear_error_not_a_panic() {
+    // n = 4 but the matrix is 2×2: the engine must refuse to start instead
+    // of panicking on an out-of-bounds lookup inside the delivery loop.
+    let p = ModelParams::default_experiment(); // n = 4
+    let small = DelaySpec::Matrix(vec![vec![p.d; 2]; 2]);
+    let cfg = SimConfig::new(p, small).with_schedule(Schedule::new().at(
+        Pid(0),
+        Time(0),
+        Invocation::new("ping", 1),
+    ));
+    let run = simulate(&cfg, |_| PingNode { wait: p.d });
+    assert!(run.truncated);
+    assert!(run.ops.is_empty());
+    assert!(
+        run.errors.iter().any(|e| e.contains("delay matrix") && e.contains("rows")),
+        "{:?}",
+        run.errors
+    );
+}
+
+#[test]
+fn ragged_delay_matrix_is_rejected() {
+    let p = ModelParams::default_experiment();
+    let mut m = vec![vec![p.d; 4]; 4];
+    m[2].pop(); // one short row
+    let cfg = SimConfig::new(p, DelaySpec::Matrix(m)).with_schedule(Schedule::new().at(
+        Pid(0),
+        Time(0),
+        Invocation::new("ping", 1),
+    ));
+    assert!(cfg.validate().is_err());
+    let run = simulate(&cfg, |_| PingNode { wait: p.d });
+    assert!(run.truncated);
+    assert!(run.errors.iter().any(|e| e.contains("row 2")), "{:?}", run.errors);
+}
+
+#[test]
+fn admissible_error_paths_are_distinguished() {
+    let p = ModelParams::default_experiment();
+
+    // Skew beyond ε.
+    let skewed = SimConfig::new(p, DelaySpec::AllMax).with_offsets(vec![
+        Time::ZERO,
+        p.epsilon + Time(1),
+        Time::ZERO,
+        Time::ZERO,
+    ]);
+    let err = skewed.admissible().unwrap_err();
+    assert!(err.contains("skew"), "{err}");
+    assert!(err.contains("epsilon"), "{err}");
+
+    // Delay value out of [d - u, d].
+    let slow = SimConfig::new(p, DelaySpec::Constant(p.d + Time(1)));
+    let err = slow.admissible().unwrap_err();
+    assert!(err.contains("[d-u, d]"), "{err}");
+    let fast = SimConfig::new(p, DelaySpec::Constant(p.min_delay() - Time(1)));
+    assert!(fast.admissible().is_err());
+
+    // Matrix with one out-of-range entry.
+    let mut m = vec![vec![p.d; 4]; 4];
+    m[0][1] = p.min_delay() - Time(1);
+    let bad_entry = SimConfig::new(p, DelaySpec::Matrix(m));
+    assert!(bad_entry.admissible().is_err());
+
+    // Wrong matrix dimensions fail admissibility too (3×3 for n = 4).
+    let wrong_dims = SimConfig::new(p, DelaySpec::Matrix(vec![vec![p.d; 3]; 3]));
+    assert!(wrong_dims.admissible().is_err());
+
+    // Diagonal entries are exempt (processes do not message themselves).
+    let diag = DelaySpec::matrix_from_fn(4, |i, j| if i == j { Time::ZERO } else { p.d });
+    assert!(SimConfig::new(p, diag).admissible().is_ok());
 }
 
 #[test]
@@ -195,11 +283,11 @@ fn chop_and_append_on_recorded_runs() {
     let mut matrix = vec![vec![p.d; 3]; 3];
     matrix[1][0] = p.d + Time(90); // the single invalid delay
     let cfg = SimConfig::new(p, DelaySpec::Matrix(matrix.clone()))
-        .with_schedule(
-            Schedule::new()
-                .at(Pid(0), Time(1000), Invocation::nullary("go"))
-                .at(Pid(1), Time(1000), Invocation::nullary("go")),
-        )
+        .with_schedule(Schedule::new().at(Pid(0), Time(1000), Invocation::nullary("go")).at(
+            Pid(1),
+            Time(1000),
+            Invocation::nullary("go"),
+        ))
         .recording_all();
     let run = simulate(&cfg, |_| Chatty);
     assert!(run.delay_violations > 0);

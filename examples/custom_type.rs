@@ -88,7 +88,11 @@ fn main() {
     println!("\nimplied bounds (d = {}, u = {}, ε = {}):", p.d, p.u, p.epsilon);
     println!("  balance       ≥ u/4 = {} (Thm 2); Algorithm 1: d − X", p.u / 4);
     println!("  deposit       no Thm-3 bound (commutative); Algorithm 1: X + ε");
-    println!("  withdraw_all  ≥ d + m = {} (Thm 4); Algorithm 1: d + ε = {}", p.d + p.m(), p.d + p.epsilon);
+    println!(
+        "  withdraw_all  ≥ d + m = {} (Thm 4); Algorithm 1: d + ε = {}",
+        p.d + p.m(),
+        p.d + p.epsilon
+    );
 
     // 2. Run it on a linearizable cluster — nothing else to implement.
     let spec = erase(Account);

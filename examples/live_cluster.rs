@@ -45,9 +45,7 @@ fn main() {
     ];
 
     let x = Time::ZERO;
-    let run = run_live(&cfg, &schedule, |pid| {
-        WtlwNode::new(pid, Arc::clone(&spec), params, x)
-    });
+    let run = run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), params, x));
     assert!(run.complete(), "{run}");
     assert!(run.errors.is_empty(), "{:?}", run.errors);
 
@@ -63,9 +61,6 @@ fn main() {
     }
 
     let history = History::from_run(&run).expect("complete");
-    assert!(
-        check(&spec, &history).is_linearizable(),
-        "live history must linearize"
-    );
+    assert!(check(&spec, &history).is_linearizable(), "live history must linearize");
     println!("\nlive history is linearizable ✓ ({} messages routed)", run.events);
 }

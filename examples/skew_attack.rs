@@ -29,11 +29,7 @@ fn main() {
     let victim_latency = waits.add + waits.execute;
 
     for (label, algo, latency) in [
-        (
-            "victim (mixed ops in d + ε − 600)",
-            Algorithm::WtlwWaits(waits),
-            victim_latency,
-        ),
+        ("victim (mixed ops in d + ε − 600)", Algorithm::WtlwWaits(waits), victim_latency),
         (
             "standard Algorithm 1 (mixed ops in d + ε)",
             Algorithm::Wtlw { x: Time::ZERO },
@@ -41,13 +37,8 @@ fn main() {
         ),
     ] {
         println!("--- {label}: |rmw| = {latency} vs bound {bound} ---");
-        let report = thm4_attack(
-            params,
-            &spec,
-            Invocation::new("rmw", 1),
-            Invocation::new("rmw", 1),
-            algo,
-        );
+        let report =
+            thm4_attack(params, &spec, Invocation::new("rmw", 1), Invocation::new("rmw", 1), algo);
         if let Some(run) = &report.base {
             for op in &run.ops {
                 println!(
@@ -66,7 +57,9 @@ fn main() {
                 assert!(latency < bound);
             }
             Outcome::NoViolation => {
-                println!("  checker verdict: linearizable — the second instance saw the first. ✓\n");
+                println!(
+                    "  checker verdict: linearizable — the second instance saw the first. ✓\n"
+                );
                 assert!(latency >= bound);
             }
             Outcome::Inconclusive(why) => println!("  inconclusive: {why}\n"),

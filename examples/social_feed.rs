@@ -17,11 +17,9 @@ use lintime_adt::prelude::*;
 use lintime_check::prelude::*;
 use lintime_core::prelude::*;
 use lintime_sim::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn feed_workload(params: ModelParams, seed: u64) -> Schedule {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut schedule = Schedule::new();
     let mut next_free = vec![Time::ZERO; params.n];
     let horizon = params.d * 40;
@@ -63,7 +61,10 @@ fn main() {
             "Algorithm 1, X = (d−ε)/2 (balanced)",
             Algorithm::Wtlw { x: (params.d - params.epsilon) / 2 },
         ),
-        ("Algorithm 1, X = d−ε (write-heavy tuning)", Algorithm::Wtlw { x: params.d - params.epsilon }),
+        (
+            "Algorithm 1, X = d−ε (write-heavy tuning)",
+            Algorithm::Wtlw { x: params.d - params.epsilon },
+        ),
         ("centralized folklore", Algorithm::Centralized),
         ("broadcast folklore", Algorithm::Broadcast),
     ];
@@ -87,10 +88,7 @@ fn main() {
 
         let stats = op_stats(&run, &spec);
         let get = |name: &str| {
-            stats
-                .iter()
-                .find(|s| s.op == name)
-                .map_or("—".to_string(), |s| s.max.to_string())
+            stats.iter().find(|s| s.op == name).map_or("—".to_string(), |s| s.max.to_string())
         };
         let all: Vec<Time> = run.latencies(None);
         let mean = Time(all.iter().map(|t| t.as_ticks()).sum::<i64>() / all.len() as i64);

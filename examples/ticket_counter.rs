@@ -28,11 +28,8 @@ fn dispense(algo: Algorithm, params: ModelParams, rounds: usize) -> (Vec<i64>, b
     let cfg = SimConfig::new(params, DelaySpec::UniformRandom { seed: 3 }).with_schedule(schedule);
     let run = run_algorithm(algo, &spec, &cfg);
     assert!(run.complete());
-    let tickets: Vec<i64> = run
-        .ops
-        .iter()
-        .filter_map(|o| o.ret.as_ref().and_then(Value::as_int))
-        .collect();
+    let tickets: Vec<i64> =
+        run.ops.iter().filter_map(|o| o.ret.as_ref().and_then(Value::as_int)).collect();
     let history = History::from_run(&run).expect("complete");
     let linearizable = check(&spec, &history).is_linearizable();
     (tickets, linearizable)

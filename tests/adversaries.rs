@@ -83,8 +83,8 @@ fn thm4_crossover_for_rmw_dequeue_pop() {
     // Corollary 2: RMW, Dequeue, Pop ≥ d + min{ε, u, d/3}.
     let p = params();
     let bound = formulas::thm4_pair_free_lb(p); // 7800
-    // For dequeue/pop the pair-free state needs one element; seed it long
-    // before the contended pair.
+                                                // For dequeue/pop the pair-free state needs one element; seed it long
+                                                // before the contended pair.
     struct Case {
         spec: std::sync::Arc<dyn ObjectSpec>,
         seed_op: Option<Invocation>,
@@ -118,12 +118,7 @@ fn thm4_crossover_for_rmw_dequeue_pop() {
             )
             .outcome
             .violated();
-            assert_eq!(
-                outcome,
-                expect_violation,
-                "{} at |op| = {total}",
-                case.spec.name()
-            );
+            assert_eq!(outcome, expect_violation, "{} at |op| = {total}", case.spec.name());
         }
     }
 }
@@ -172,8 +167,14 @@ fn thm5_applies_to_queue_and_tree_but_not_stack() {
         .is_none());
     let queue = FifoQueue::new();
     let uq = Universe::for_type(&queue);
-    assert!(classify::check_thm5_hypotheses(&queue, "enqueue", "peek", &uq, ExploreLimits::default())
-        .is_some());
+    assert!(classify::check_thm5_hypotheses(
+        &queue,
+        "enqueue",
+        "peek",
+        &uq,
+        ExploreLimits::default()
+    )
+    .is_some());
 }
 
 #[test]
@@ -205,9 +206,15 @@ fn standard_algorithm_survives_everything() {
     )
     .outcome
     .violated());
-    assert!(!thm4_attack(p, &spec_r, Invocation::new("rmw", 1), Invocation::new("rmw", 1), std_algo)
-        .outcome
-        .violated());
+    assert!(!thm4_attack(
+        p,
+        &spec_r,
+        Invocation::new("rmw", 1),
+        Invocation::new("rmw", 1),
+        std_algo
+    )
+    .outcome
+    .violated());
     assert!(!thm5_attack(
         p,
         &spec_q,
@@ -240,12 +247,7 @@ fn interference_bound_covers_stack_push_peek() {
             Invocation::nullary("peek"),
             Algorithm::WtlwWaits(w),
         );
-        assert_eq!(
-            r.outcome.violated(),
-            expect_violation,
-            "sum = d - {aop_cut}: {:?}",
-            r.outcome
-        );
+        assert_eq!(r.outcome.violated(), expect_violation, "sum = d - {aop_cut}: {:?}", r.outcome);
     }
     // The same sub-d victim is NOT caught by the Theorem 5 construction —
     // which is why the paper needed the interference bound for stacks...

@@ -1,0 +1,204 @@
+//! End-to-end fault-injection acceptance tests.
+//!
+//! The paper's model (Section 2.2) assumes reliable channels; Algorithm 1 is
+//! correct *under that assumption*. These tests break the assumption with a
+//! seeded [`FaultPlan`] and verify the whole pipeline behaves honestly:
+//!
+//! * bare `WtlwNode` under message drops produces runs the checker refutes
+//!   (or that never complete), while the same faults under the
+//!   [`ReliableWtlwNode`] recovery wrapper yield complete, checker-verified
+//!   linearizable runs;
+//! * crashes and stalls are detected and recorded — a compromised run is
+//!   surfaced as incomplete / truncated / suspect, never silently certified;
+//! * fault injection is deterministic: identical seeds reproduce identical
+//!   faulty runs, tick for tick.
+
+use lintime_adt::prelude::*;
+use lintime_check::prelude::*;
+use lintime_core::prelude::*;
+use lintime_sim::faults::InjectedFault;
+use lintime_sim::prelude::*;
+
+fn params() -> ModelParams {
+    ModelParams::default_experiment()
+}
+
+/// One write at p0, then a read at p1 long after the write has responded.
+/// Under real-time order the read *must* observe the write.
+fn write_then_read(value: i64) -> Schedule {
+    Schedule::new().at(Pid(0), Time(0), Invocation::new("write", value)).at(
+        Pid(1),
+        Time(200_000),
+        Invocation::nullary("read"),
+    )
+}
+
+#[test]
+fn dropped_announcement_breaks_bare_wtlw() {
+    // Drop the very first message on link 0→1: p0's write announcement.
+    // Bare Algorithm 1 has no retransmission, so p1 serves its read from a
+    // log that is missing the write — a stale read the checker must refute.
+    let p = params();
+    let spec = erase(Register::new(0));
+    let cfg = SimConfig::new(p, DelaySpec::AllMax)
+        .with_faults(FaultPlan::new(7).drop_exact(Pid(0), Pid(1), 0))
+        .with_schedule(write_then_read(9));
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+    assert!(run.complete(), "bare run should still respond everywhere: {run}");
+    assert_eq!(run.faults.len(), 1, "exactly the one injected drop: {:?}", run.faults);
+    assert!(matches!(run.faults[0], InjectedFault::Dropped { from: Pid(0), to: Pid(1), k: 0, .. }));
+    assert_eq!(run.ops[1].ret, Some(Value::Int(0)), "the read is stale: {run}");
+    let history = History::from_run(&run).unwrap();
+    assert_eq!(
+        check(&spec, &history),
+        Verdict::NotLinearizable,
+        "a stale read after the write responded must be refuted"
+    );
+}
+
+#[test]
+fn recovery_wrapper_survives_the_same_drop() {
+    // Same fault plan, same schedule — but the reliable wrapper retransmits
+    // the lost announcement, and the run certifies.
+    let p = params();
+    let spec = erase(Register::new(0));
+    let recovery = RecoveryConfig { rto: p.d * 2, max_retries: 2 };
+    let cfg = SimConfig::new(p, DelaySpec::AllMax)
+        .with_faults(FaultPlan::new(7).drop_exact(Pid(0), Pid(1), 0))
+        .with_schedule(write_then_read(9));
+    let run = run_reliable(&spec, &cfg, Time::ZERO, recovery);
+    assert!(run.complete(), "{run}");
+    assert!(!run.is_suspect(), "clean recovery must not be flagged: {:?}", run.suspect);
+    assert!(run.certifiable());
+    assert_eq!(run.ops[1].ret, Some(Value::Int(9)), "the read sees the write: {run}");
+    let history = History::from_run(&run).unwrap();
+    assert!(check(&spec, &history).is_linearizable());
+}
+
+#[test]
+fn crashed_process_is_detected_not_certified() {
+    // p0 crashes right after invoking its write: the operation never
+    // responds, the crash is recorded, and the checker refuses the run.
+    let p = params();
+    let spec = erase(Register::new(0));
+    let cfg = SimConfig::new(p, DelaySpec::AllMax)
+        .with_faults(FaultPlan::new(1).crash(Pid(0), Time(1)))
+        .with_schedule(write_then_read(9));
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+    assert!(!run.complete(), "the crashed writer's op must stay pending: {run}");
+    assert!(
+        run.faults.iter().any(|f| matches!(f, InjectedFault::Crashed { pid: Pid(0), .. })),
+        "{:?}",
+        run.faults
+    );
+    let err = History::from_run(&run).unwrap_err();
+    assert!(err.contains("pending") || err.contains("incomplete"), "{err}");
+
+    // The recovery wrapper cannot resurrect a dead process either — but it
+    // must equally refuse to certify.
+    let recovery = RecoveryConfig::standard(p);
+    let rec = run_reliable(&spec, &cfg, Time::ZERO, recovery);
+    assert!(!rec.complete() || rec.is_suspect(), "never silently certified: {rec}");
+}
+
+#[test]
+fn stall_windows_are_recorded_and_harmless_when_short() {
+    // p1 freezes for one ε right as the announcement arrives; the deferred
+    // events fire at the window's end. The stall is recorded, and because
+    // the freeze is short the run still completes and certifies.
+    let p = params();
+    let spec = erase(Register::new(0));
+    let cfg = SimConfig::new(p, DelaySpec::AllMax)
+        .with_faults(FaultPlan::new(2).stall(Pid(1), p.d, p.d + p.epsilon))
+        .with_schedule(write_then_read(4));
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+    assert!(
+        run.faults.iter().any(|f| matches!(f, InjectedFault::Stalled { pid: Pid(1), .. })),
+        "{:?}",
+        run.faults
+    );
+    assert!(run.complete(), "{run}");
+    let history = History::from_run(&run).unwrap();
+    assert!(check(&spec, &history).is_linearizable(), "{run}");
+}
+
+#[test]
+fn event_cap_truncation_is_refused_by_the_checker() {
+    let p = params();
+    let spec = erase(Register::new(0));
+    let mut cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(write_then_read(1));
+    cfg.max_events = 3;
+    let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
+    assert!(run.truncated);
+    assert!(!run.certifiable());
+    let err = History::from_run(&run).unwrap_err();
+    assert!(err.contains("truncated"), "{err}");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_faulty_runs() {
+    let p = params();
+    let spec = erase(FifoQueue::new());
+    let mut schedule = Schedule::new();
+    let mut rng = SplitMix64::seed_from_u64(99);
+    let mut free = vec![Time::ZERO; p.n];
+    for i in 0..10 {
+        let pid = rng.gen_range(0..p.n);
+        let at = free[pid] + Time(rng.gen_range(0..2 * p.d.as_ticks()));
+        let inv = if i % 3 == 0 {
+            Invocation::new("enqueue", i as i64)
+        } else {
+            Invocation::nullary("peek")
+        };
+        schedule = schedule.at(Pid(pid), at, inv);
+        free[pid] = at + p.d + p.u + p.epsilon + Time(1);
+    }
+    let cfg_with = |fault_seed: u64| {
+        SimConfig::new(p, DelaySpec::UniformRandom { seed: 5 })
+            .with_faults(FaultPlan::new(fault_seed).drop_all(0.25).duplicate_all(0.10))
+            .with_schedule(schedule.clone())
+            .recording_all()
+    };
+    let a = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg_with(42));
+    let b = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg_with(42));
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.msgs, b.msgs);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.errors, b.errors);
+    assert!(!a.faults.is_empty(), "a 25% drop rate over 10 ops must inject something");
+
+    // A different fault seed makes different decisions on the same run.
+    let c = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg_with(43));
+    assert_ne!(a.faults, c.faults);
+}
+
+#[test]
+fn recovery_under_random_drops_is_flagged_or_linearizable() {
+    // The tentpole guarantee, end to end: for every seed, a recovered run is
+    // either explicitly suspect (its retransmission budget was exhausted or
+    // the frontier detector fired) or it is checker-verified linearizable.
+    let p = params();
+    let spec = erase(Register::new(0));
+    let recovery = RecoveryConfig { rto: p.d * 2, max_retries: 2 };
+    for seed in 0u64..12 {
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
+            .with_faults(FaultPlan::new(seed).drop_all(0.15))
+            .with_schedule(
+                Schedule::new()
+                    .at(Pid(0), Time(0), Invocation::new("write", 7))
+                    .at(Pid(2), Time(0), Invocation::new("write", 8))
+                    .at(Pid(1), Time(400_000), Invocation::nullary("read"))
+                    .at(Pid(3), Time(400_000), Invocation::nullary("read")),
+            );
+        let run = run_reliable(&spec, &cfg, Time::ZERO, recovery);
+        assert!(run.complete(), "seed {seed}: {run}");
+        if run.is_suspect() {
+            continue; // honestly flagged — nothing more to prove
+        }
+        let history = History::from_run(&run).unwrap();
+        assert!(
+            check(&spec, &history).is_linearizable(),
+            "seed {seed}: unflagged recovered run must linearize: {run}"
+        );
+    }
+}

@@ -27,9 +27,7 @@ fn live_register_with_skewed_clocks() {
         TimedInvocation { pid: Pid(1), at: Time(900), inv: Invocation::nullary("read") },
         TimedInvocation { pid: Pid(2), at: Time(1800), inv: Invocation::nullary("read") },
     ];
-    let run = run_live(&cfg, &schedule, |pid| {
-        WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
-    });
+    let run = run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO));
     assert!(run.complete(), "{run}");
     assert!(run.errors.is_empty(), "{:?}", run.errors);
     assert_eq!(run.ops[1].ret, Some(Value::Int(5)));
@@ -49,15 +47,13 @@ fn live_latencies_track_formulas_with_jitter() {
         TimedInvocation { pid: Pid(1), at: Time(1200), inv: Invocation::nullary("peek") },
         TimedInvocation { pid: Pid(2), at: Time(2400), inv: Invocation::nullary("dequeue") },
     ];
-    let run = run_live(&cfg, &schedule, |pid| {
-        WtlwNode::new(pid, Arc::clone(&spec), p, x)
-    });
+    let run = run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x));
     assert!(run.complete(), "{run}");
     let tol = Time(45);
     let checks = [
-        (0usize, x + p.epsilon),  // enqueue: X + ε
-        (1, p.d - x),             // peek: d − X
-        (2, p.d + p.epsilon),     // dequeue: d + ε
+        (0usize, x + p.epsilon), // enqueue: X + ε
+        (1, p.d - x),            // peek: d − X
+        (2, p.d + p.epsilon),    // dequeue: d + ε
     ];
     for (idx, formula) in checks {
         let lat = run.ops[idx].latency().unwrap();
@@ -81,14 +77,10 @@ fn live_contended_history_linearizes() {
         TimedInvocation { pid: Pid(2), at: Time(14), inv: Invocation::new("rmw", 1) },
         TimedInvocation { pid: Pid(0), at: Time(2000), inv: Invocation::nullary("read") },
     ];
-    let run = run_live(&cfg, &schedule, |pid| {
-        WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
-    });
+    let run = run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO));
     assert!(run.complete(), "{run}");
-    let mut tickets: Vec<i64> = run.ops[..3]
-        .iter()
-        .filter_map(|o| o.ret.as_ref().and_then(Value::as_int))
-        .collect();
+    let mut tickets: Vec<i64> =
+        run.ops[..3].iter().filter_map(|o| o.ret.as_ref().and_then(Value::as_int)).collect();
     tickets.sort_unstable();
     assert_eq!(tickets, vec![0, 1, 2], "duplicate tickets issued");
     assert_eq!(run.ops[3].ret, Some(Value::Int(3)));
@@ -109,9 +101,7 @@ fn live_baselines_work_too() {
         TimedInvocation { pid: Pid(2), at: Time(1500), inv: Invocation::nullary("peek") },
     ];
     for algo in [Algorithm::Centralized, Algorithm::Broadcast] {
-        let run = run_live(&cfg, &schedule, |pid| {
-            AnyNode::build(algo, pid, Arc::clone(&spec), p)
-        });
+        let run = run_live(&cfg, &schedule, |pid| AnyNode::build(algo, pid, Arc::clone(&spec), p));
         assert!(run.complete(), "{algo:?}: {run}");
         assert!(run.errors.is_empty(), "{algo:?}: {:?}", run.errors);
         assert_eq!(run.ops[1].ret, Some(Value::Int(4)));

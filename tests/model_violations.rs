@@ -34,13 +34,8 @@ fn late_message_breaks_linearizability() {
         .at(Pid(1), p.epsilon + Time(10), Invocation::new("write", 2))
         .at(Pid(1), Time(40_000), Invocation::nullary("read"))
         .at(Pid(2), Time(40_000), Invocation::nullary("read"));
-    let bad_delay = DelaySpec::matrix_from_fn(p.n, |i, j| {
-        if i == 0 && j == 1 {
-            p.d + excess
-        } else {
-            p.d
-        }
-    });
+    let bad_delay =
+        DelaySpec::matrix_from_fn(p.n, |i, j| if i == 0 && j == 1 { p.d + excess } else { p.d });
     let bad = SimConfig::new(p, bad_delay).with_schedule(schedule.clone());
     assert!(bad.admissible().is_err(), "injected delay must be inadmissible");
     let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &bad);
@@ -100,9 +95,11 @@ fn too_fast_message_is_harmless_but_detected() {
     let spec = erase(FifoQueue::new());
     let fast = DelaySpec::Constant(p.min_delay() - Time(500));
     let cfg = SimConfig::new(p, fast).with_schedule(
-        Schedule::new()
-            .at(Pid(0), Time(0), Invocation::new("enqueue", 1))
-            .at(Pid(1), Time(20_000), Invocation::nullary("dequeue")),
+        Schedule::new().at(Pid(0), Time(0), Invocation::new("enqueue", 1)).at(
+            Pid(1),
+            Time(20_000),
+            Invocation::nullary("dequeue"),
+        ),
     );
     assert!(cfg.admissible().is_err());
     let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
@@ -118,9 +115,11 @@ fn engine_rejects_protocol_misuse() {
     let p = params();
     let spec = erase(FifoQueue::new());
     let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-        Schedule::new()
-            .at(Pid(0), Time(0), Invocation::nullary("dequeue"))
-            .at(Pid(0), Time(1), Invocation::nullary("dequeue")), // overlaps
+        Schedule::new().at(Pid(0), Time(0), Invocation::nullary("dequeue")).at(
+            Pid(0),
+            Time(1),
+            Invocation::nullary("dequeue"),
+        ), // overlaps
     );
     let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
     assert_eq!(run.errors.len(), 1);

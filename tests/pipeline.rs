@@ -36,11 +36,7 @@ fn full_workload(p: ModelParams, spec: &Arc<dyn ObjectSpec>) -> Schedule {
 fn every_type_linearizable_under_every_delay_model() {
     let p = params();
     for spec in all_types() {
-        for delay in [
-            DelaySpec::AllMax,
-            DelaySpec::AllMin,
-            DelaySpec::UniformRandom { seed: 42 },
-        ] {
+        for delay in [DelaySpec::AllMax, DelaySpec::AllMin, DelaySpec::UniformRandom { seed: 42 }] {
             let cfg = SimConfig::new(p, delay).with_schedule(full_workload(p, &spec));
             let run = run_algorithm(Algorithm::Wtlw { x: Time(1200) }, &spec, &cfg);
             assert!(run.complete(), "{}: incomplete", spec.name());
@@ -104,14 +100,11 @@ fn construction_1_verifies_on_contended_runs() {
             .at(Pid(3), Time(9), Invocation::nullary("peek"))
             .at(Pid(0), Time(20_000), Invocation::nullary("peek"))
             .at(Pid(1), Time(20_000), Invocation::nullary("dequeue"));
-        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
-            .with_schedule(schedule);
+        let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed }).with_schedule(schedule);
         let x = Time(600);
-        let (run, nodes) =
-            simulate_full(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x));
+        let (run, nodes) = simulate_full(&cfg, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, x));
         assert!(run.complete());
-        construction::verify(&run, &nodes, &spec)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        construction::verify(&run, &nodes, &spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -160,13 +153,8 @@ fn mixed_algorithms_disagree_only_on_latency_not_values() {
         .at(Pid(2), Time(30_000), Invocation::new("rmw", 3))
         .at(Pid(3), Time(60_000), Invocation::nullary("read"));
     let mut value_sets = Vec::new();
-    for algo in [
-        Algorithm::Wtlw { x: Time::ZERO },
-        Algorithm::Centralized,
-        Algorithm::Broadcast,
-    ] {
-        let cfg =
-            SimConfig::new(p, DelaySpec::AllMax).with_schedule(schedule.clone());
+    for algo in [Algorithm::Wtlw { x: Time::ZERO }, Algorithm::Centralized, Algorithm::Broadcast] {
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(schedule.clone());
         let run = run_algorithm(algo, &spec, &cfg);
         assert!(run.complete());
         let vals: Vec<_> = run.ops.iter().map(|o| o.ret.clone().unwrap()).collect();
@@ -183,14 +171,12 @@ fn quiescence_event_counts_are_bounded() {
     let ops = 20usize;
     let invocations: Vec<Invocation> =
         (0..ops).map(|i| Invocation::new("enqueue", i as i64)).collect();
-    let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(
-        Schedule::new().script(Script {
-            pid: Pid(0),
-            start: Time::ZERO,
-            gap: Time::ZERO,
-            invocations,
-        }),
-    );
+    let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(Schedule::new().script(Script {
+        pid: Pid(0),
+        start: Time::ZERO,
+        gap: Time::ZERO,
+        invocations,
+    }));
     let run = run_algorithm(Algorithm::Wtlw { x: Time::ZERO }, &spec, &cfg);
     assert!(run.complete());
     // Per enqueue: 1 invoke + 1 respond-timer + 1 add-timer + 1 execute at
@@ -205,10 +191,7 @@ fn multi_object_runs_and_locality() {
     let p = params();
     let product: Arc<dyn ObjectSpec> = Arc::new(lintime_adt::product::ProductSpec::new(
         "reg+queue",
-        vec![
-            ("reg", erase(Register::new(0))),
-            ("q", erase(FifoQueue::new())),
-        ],
+        vec![("reg", erase(Register::new(0))), ("q", erase(FifoQueue::new()))],
     ));
     let schedule = Schedule::new()
         .at(Pid(0), Time(0), Invocation::new("reg/write", 5))
@@ -228,10 +211,7 @@ fn multi_object_runs_and_locality() {
 
     // Each per-object projection linearizes against its own spec, with the
     // namespace stripped.
-    for (prefix, component) in [
-        ("reg", erase(Register::new(0))),
-        ("q", erase(FifoQueue::new())),
-    ] {
+    for (prefix, component) in [("reg", erase(Register::new(0))), ("q", erase(FifoQueue::new()))] {
         let projected = History {
             ops: history
                 .ops
@@ -239,13 +219,8 @@ fn multi_object_runs_and_locality() {
                 .filter(|o| o.instance.op.starts_with(&format!("{prefix}/")))
                 .map(|o| {
                     let mut o = o.clone();
-                    let inner = lintime_adt::product::ProductSpec::split(o.instance.op)
-                        .unwrap()
-                        .1;
-                    o.instance.op = component
-                        .op_meta(inner)
-                        .expect("component op exists")
-                        .name;
+                    let inner = lintime_adt::product::ProductSpec::split(o.instance.op).unwrap().1;
+                    o.instance.op = component.op_meta(inner).expect("component op exists").name;
                     o
                 })
                 .collect(),
@@ -300,11 +275,7 @@ fn linearizability_soak() {
         for seed in 0..100u64 {
             let run = lintime_bench::experiments::random_workload_run(p, &spec, seed);
             let history = History::from_run(&run).unwrap();
-            assert!(
-                check(&spec, &history).is_linearizable(),
-                "{} seed {seed}: {run}",
-                spec.name()
-            );
+            assert!(check(&spec, &history).is_linearizable(), "{} seed {seed}: {run}", spec.name());
         }
     }
 }

@@ -12,10 +12,7 @@ fn table1_reproduces() {
     assert!(r.contains("7800 (Thm 4)")); // d + m at default params
     assert!(r.contains("(1 - 1/n)u") || r.contains("Thm 3"));
     // Measured column is exact: RMW = d + ε = 7800.
-    let rmw_line = r
-        .lines()
-        .find(|l| l.trim_start().starts_with("Read-Modify-Write"))
-        .unwrap();
+    let rmw_line = r.lines().find(|l| l.trim_start().starts_with("Read-Modify-Write")).unwrap();
     assert!(rmw_line.trim_end().ends_with("7800"), "{rmw_line}");
 }
 
