@@ -1,0 +1,119 @@
+//! A vendored FxHash-style 64-bit hasher (the multiply-rotate hash used by
+//! Firefox and rustc), so hot paths can hash states and bit sets without
+//! external dependencies and without the DoS-resistant (but slower) SipHash
+//! of [`std::collections::HashMap`]'s default hasher.
+//!
+//! The linearizability checker uses this for its memoization keys: instead
+//! of cloning a `(BitSet, Value)` pair per search node it stores a single
+//! 64-bit state hash (hash compaction à la Lowe). Nothing here is
+//! cryptographic; inputs are trusted.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash mixing state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], for use as the `S` parameter of
+/// `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hash any `Hash` value to 64 bits with [`FxHasher`].
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Combine two 64-bit hashes (order-sensitive).
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    (a.rotate_left(5) ^ b).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_equal_hashes() {
+        assert_eq!(hash64(&(1u64, "abc")), hash64(&(1u64, "abc")));
+        assert_eq!(hash64(&vec![1i64, 2, 3]), hash64(&vec![1i64, 2, 3]));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        assert_ne!(hash64(&[1u8, 2, 3][..]), hash64(&[1u8, 2, 4][..]));
+        // Unaligned tail bytes participate.
+        assert_ne!(hash64(&[0u8; 9][..]), hash64(&[0u8; 10][..]));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn spread_over_small_ints() {
+        // Sanity: consecutive integers should not collide in the low bits
+        // (they feed a power-of-two-bucketed table).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            seen.insert(hash64(&i) & 0xFFFF);
+        }
+        assert!(seen.len() > 900, "only {} distinct low-16 buckets", seen.len());
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod classify;
 pub mod equiv;
+pub mod fxhash;
 pub mod product;
 pub mod spec;
 pub mod types;
@@ -59,7 +60,7 @@ pub mod prelude {
     pub use crate::product::ProductSpec;
     pub use crate::spec::{
         erase, DataType, DataTypeExt, Erased, HistoryObject, Invocation, ObjState, ObjectSpec,
-        OpClass, OpInstance, OpMeta,
+        OpClass, OpInstance, OpMeta, SpecKind,
     };
     pub use crate::types::{
         all_types, by_name, Counter, FifoQueue, GrowSet, KvStore, PriorityQueue, Register,

@@ -9,7 +9,7 @@
 //! The locality test in `tests/pipeline` projects a product run back onto
 //! its components and checks each projection independently.
 
-use crate::spec::{ObjState, ObjectSpec, OpMeta};
+use crate::spec::{ObjState, ObjectSpec, OpMeta, SpecKind};
 use crate::value::Value;
 use std::sync::Arc;
 
@@ -103,6 +103,10 @@ impl ObjState for ProductState {
 impl ObjectSpec for ProductSpec {
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::Product
     }
 
     fn ops(&self) -> &[OpMeta] {

@@ -61,6 +61,43 @@ impl fmt::Display for OpClass {
     }
 }
 
+/// Structural identity of a data type, used by the linearizability checker's
+/// fast-path dispatcher (`lintime-check`'s `monitor` module) to route
+/// histories to a type-specialized monitor instead of the general Wing–Gong
+/// search.
+///
+/// This is deliberately coarser than [`DataType::name`]: it names the
+/// *abstract* specification a type implements, so a semantically-equivalent
+/// reimplementation can opt into the same fast path by returning the same
+/// kind. Types with no specialized monitor report [`SpecKind::Other`] and are
+/// always checked by the general search.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
+pub enum SpecKind {
+    /// Read/write register (`read`, `write`).
+    Register,
+    /// Read-modify-write register (`read`, `write`, `rmw`).
+    RmwRegister,
+    /// FIFO queue (`enqueue`, `dequeue`, `peek`).
+    FifoQueue,
+    /// LIFO stack (`push`, `pop`, `peek`).
+    Stack,
+    /// Grow-only / add-remove set (`add`, `remove`, `contains`).
+    GrowSet,
+    /// Counter (`increment`, `add`, `read`, `fetch_inc`).
+    Counter,
+    /// Priority queue (`insert`, `extract_min`, `min`).
+    PriorityQueue,
+    /// Key-value store (`put`, `get`, `del`).
+    KvStore,
+    /// Rooted tree.
+    RootedTree,
+    /// Product of named component objects ([`crate::product::ProductSpec`]).
+    Product,
+    /// Any type without a declared structural identity.
+    Other,
+}
+
 /// Static metadata for one operation of a data type.
 #[derive(Clone, Debug)]
 pub struct OpMeta {
@@ -157,6 +194,12 @@ pub trait DataType: Send + Sync + 'static {
     /// Human-readable type name, e.g. `"fifo-queue"`.
     fn name(&self) -> &'static str;
 
+    /// Structural identity for fast-path checker dispatch. The default is
+    /// [`SpecKind::Other`] (no specialized monitor); concrete types override.
+    fn kind(&self) -> SpecKind {
+        SpecKind::Other
+    }
+
     /// Metadata for every operation in `OPS(T)`.
     fn ops(&self) -> &[OpMeta];
 
@@ -221,6 +264,10 @@ impl<T: DataType + ?Sized> DataTypeExt for T {}
 pub trait ObjectSpec: Send + Sync {
     /// Type name.
     fn name(&self) -> &'static str;
+    /// Structural identity for fast-path checker dispatch (see [`SpecKind`]).
+    fn kind(&self) -> SpecKind {
+        SpecKind::Other
+    }
     /// Operation metadata.
     fn ops(&self) -> &[OpMeta];
     /// Metadata lookup by name.
@@ -267,6 +314,14 @@ pub trait ObjState: Send {
     fn clone_box(&self) -> Box<dyn ObjState>;
     /// Canonical encoding of the current state (injective on reachable states).
     fn canonical(&self) -> Value;
+    /// A 64-bit hash of the current state, equal whenever [`Self::canonical`]
+    /// is equal. Used by the checker's memo table (hash compaction) so hot
+    /// paths avoid materializing a `Value` per search node. The default hashes
+    /// the canonical encoding; implementations with a cheaper `Hash` state
+    /// should override.
+    fn state_hash(&self) -> u64 {
+        crate::fxhash::hash64(&self.canonical())
+    }
 }
 
 impl Clone for Box<dyn ObjState> {
@@ -317,11 +372,23 @@ impl<T: DataType> ObjState for ErasedState<T> {
     fn canonical(&self) -> Value {
         self.spec.canonical(&self.state)
     }
+
+    fn state_hash(&self) -> u64 {
+        // `State: Eq + Hash` and canonical states (observational equivalence
+        // iff `==`, see the `DataType` contract) make hashing the typed state
+        // directly equivalent to hashing `canonical()` — without allocating
+        // the `Value` encoding.
+        crate::fxhash::hash64(&self.state)
+    }
 }
 
 impl<T: DataType> ObjectSpec for Erased<T> {
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn kind(&self) -> SpecKind {
+        self.inner.kind()
     }
 
     fn ops(&self) -> &[OpMeta] {

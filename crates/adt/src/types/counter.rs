@@ -5,7 +5,7 @@
 //! the classification matrix: it demonstrates an operation (`add`) that is a
 //! mutator, transposable, *not* last-sensitive, and *not* an overwriter.
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 
 /// Operation name constants for [`Counter`].
@@ -43,6 +43,10 @@ impl DataType for Counter {
 
     fn name(&self) -> &'static str {
         "counter"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::Counter
     }
 
     fn ops(&self) -> &[OpMeta] {

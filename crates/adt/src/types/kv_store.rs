@@ -12,7 +12,7 @@
 //! This shows the classification driving bounds for a data type the paper
 //! never mentions — the point of phrasing the theorems algebraically.
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -48,6 +48,10 @@ impl DataType for KvStore {
 
     fn name(&self) -> &'static str {
         "kv-store"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::KvStore
     }
 
     fn ops(&self) -> &[OpMeta] {

@@ -8,7 +8,7 @@
 //! a container whose cheap mutator has *no* nontrivial lower bound among the
 //! paper's theorems.
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 
 /// Operation name constants for [`PriorityQueue`].
@@ -44,6 +44,10 @@ impl DataType for PriorityQueue {
 
     fn name(&self) -> &'static str {
         "priority-queue"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::PriorityQueue
     }
 
     fn ops(&self) -> &[OpMeta] {

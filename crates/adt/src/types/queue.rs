@@ -1,6 +1,6 @@
 //! FIFO queue with `enqueue`, `dequeue`, and `peek` (Table 2 of the paper).
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 use std::collections::VecDeque;
 
@@ -41,6 +41,10 @@ impl DataType for FifoQueue {
 
     fn name(&self) -> &'static str {
         "fifo-queue"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::FifoQueue
     }
 
     fn ops(&self) -> &[OpMeta] {

@@ -1,6 +1,6 @@
 //! Read/write register over integers (Section 2.1's running example).
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 
 /// Operation name constants for [`Register`].
@@ -43,6 +43,10 @@ impl DataType for Register {
 
     fn name(&self) -> &'static str {
         "register"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::Register
     }
 
     fn ops(&self) -> &[OpMeta] {

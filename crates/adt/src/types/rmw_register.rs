@@ -6,7 +6,7 @@
 //! (Theorem 4): two instances invoked from the same state cannot both keep
 //! their solo return values in any order.
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 
 /// Operation name constants for [`RmwRegister`].
@@ -52,6 +52,10 @@ impl DataType for RmwRegister {
 
     fn name(&self) -> &'static str {
         "rmw-register"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::RmwRegister
     }
 
     fn ops(&self) -> &[OpMeta] {

@@ -24,7 +24,7 @@
 //!   `Unit` if absent. `insert`/`delete` + `depth` admit the discriminators
 //!   required by Theorem 5.
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -115,6 +115,10 @@ impl DataType for RootedTree {
 
     fn name(&self) -> &'static str {
         "rooted-tree"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::RootedTree
     }
 
     fn ops(&self) -> &[OpMeta] {

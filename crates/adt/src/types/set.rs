@@ -6,7 +6,7 @@
 //! `k = 1`. This makes the set a useful negative control for the classifier
 //! and shows where the paper's lower-bound taxonomy has gaps (Section 6.2).
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 use std::collections::BTreeSet;
 
@@ -42,6 +42,10 @@ impl DataType for GrowSet {
 
     fn name(&self) -> &'static str {
         "set"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::GrowSet
     }
 
     fn ops(&self) -> &[OpMeta] {

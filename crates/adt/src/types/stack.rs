@@ -6,7 +6,7 @@
 //! does **not** apply to stacks — Table 3 accordingly keeps the previous `d`
 //! lower bound for that row.
 
-use crate::spec::{DataType, OpClass, OpMeta};
+use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
 
 /// Operation name constants for [`Stack`].
@@ -41,6 +41,10 @@ impl DataType for Stack {
 
     fn name(&self) -> &'static str {
         "stack"
+    }
+
+    fn kind(&self) -> SpecKind {
+        SpecKind::Stack
     }
 
     fn ops(&self) -> &[OpMeta] {

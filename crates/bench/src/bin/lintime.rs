@@ -204,7 +204,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let history = lintime_check::history::History::from_run(&run)
         .map_err(|e| format!("cannot check: {e}"))?;
-    match lintime_check::wing_gong::check(&spec, &history) {
+    match lintime_check::monitor::check_fast(&spec, &history) {
         lintime_check::wing_gong::Verdict::Linearizable(_) => {
             println!("\nlinearizable ✓ ({} ops, {} events)", run.ops.len(), run.events);
             Ok(())

@@ -8,8 +8,26 @@
 //! `LINTIME_BENCH_SAMPLES=1` in the environment overrides every group's
 //! sample count — useful to smoke-test the bench binaries in CI without
 //! paying for full measurement runs.
+//!
+//! Every measurement also returns a [`Measurement`] (median included), and
+//! [`JsonReport`] renders collected rows as a flat JSON array — no external
+//! serialization crate required — so bench binaries can persist machine-
+//! readable baselines (e.g. `BENCH_checker.json`).
 
 use std::time::{Duration, Instant};
+
+/// Summary statistics of one benchmarked closure.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample (lower-middle for even sample counts).
+    pub median: Duration,
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
 
 /// A named group of measurements, printed as one block.
 pub struct Group {
@@ -35,17 +53,22 @@ impl Group {
     }
 
     /// Measure `f`, reporting min/mean/max over the group's sample count.
-    pub fn bench<R>(&self, id: &str, f: impl FnMut() -> R) {
-        self.run(id, None, f);
+    pub fn bench<R>(&self, id: &str, f: impl FnMut() -> R) -> Measurement {
+        self.run(id, None, f)
     }
 
     /// Measure `f`, additionally reporting throughput for `elements`
     /// processed per call.
-    pub fn bench_throughput<R>(&self, id: &str, elements: u64, f: impl FnMut() -> R) {
-        self.run(id, Some(elements), f);
+    pub fn bench_throughput<R>(
+        &self,
+        id: &str,
+        elements: u64,
+        f: impl FnMut() -> R,
+    ) -> Measurement {
+        self.run(id, Some(elements), f)
     }
 
-    fn run<R>(&self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> R) {
+    fn run<R>(&self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> Measurement {
         std::hint::black_box(f()); // warm-up, untimed
         let mut times = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -56,10 +79,13 @@ impl Group {
         let min = *times.iter().min().unwrap();
         let max = *times.iter().max().unwrap();
         let mean = times.iter().sum::<Duration>() / self.samples as u32;
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let median = sorted[(sorted.len() - 1) / 2];
         let mut line = format!(
-            "  {:<40} mean {:>9}  min {:>9}  max {:>9}",
+            "  {:<40} med {:>9}  min {:>9}  max {:>9}",
             format!("{}/{id}", self.name),
-            fmt_duration(mean),
+            fmt_duration(median),
             fmt_duration(min),
             fmt_duration(max),
         );
@@ -70,6 +96,116 @@ impl Group {
             }
         }
         println!("{line}");
+        Measurement { min, median, mean, max }
+    }
+}
+
+/// A JSON value for [`JsonReport`] rows: string, integer, or float.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    /// A JSON string (escaped on render).
+    Str(String),
+    /// A JSON integer.
+    Int(u128),
+    /// A JSON float (rendered with full precision; NaN/∞ become `null`).
+    Float(f64),
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<u128> for JsonValue {
+    fn from(n: u128) -> Self {
+        JsonValue::Int(n)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Int(n.into())
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Int(n as u128)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+
+/// A flat JSON array of homogeneous-ish objects, rendered without any
+/// external serialization dependency. Key order is preserved as pushed.
+#[derive(Default)]
+pub struct JsonReport {
+    rows: Vec<Vec<(String, JsonValue)>>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Append one row (object) of `(key, value)` fields.
+    pub fn push(&mut self, fields: &[(&str, JsonValue)]) {
+        self.rows.push(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect());
+    }
+
+    /// Render the report as pretty-ish JSON (one object per line).
+    pub fn render(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&escape(k));
+                out.push_str("\": ");
+                match v {
+                    JsonValue::Str(s) => {
+                        out.push('"');
+                        out.push_str(&escape(s));
+                        out.push('"');
+                    }
+                    JsonValue::Int(n) => out.push_str(&n.to_string()),
+                    JsonValue::Float(x) if x.is_finite() => out.push_str(&format!("{x}")),
+                    JsonValue::Float(_) => out.push_str("null"),
+                }
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Write the rendered report to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
     }
 }
 
@@ -122,6 +258,19 @@ mod tests {
         assert_eq!(fmt_count(12_300.0), "12.3k");
         assert_eq!(fmt_count(4_560_000.0), "4.56M");
         assert_eq!(fmt_count(2_000_000_000.0), "2.00G");
+    }
+
+    #[test]
+    fn json_report_renders_escaped_rows() {
+        let mut r = JsonReport::new();
+        r.push(&[("name", "a\"b".into()), ("median_ns", 1500u64.into()), ("x", 0.5.into())]);
+        r.push(&[("name", "plain".into())]);
+        let json = r.render();
+        assert_eq!(
+            json,
+            "[\n  {\"name\": \"a\\\"b\", \"median_ns\": 1500, \"x\": 0.5},\n  \
+             {\"name\": \"plain\"}\n]\n"
+        );
     }
 
     #[test]

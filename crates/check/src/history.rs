@@ -103,17 +103,28 @@ impl History {
         self.ops.is_empty()
     }
 
-    /// The precedence matrix: `prec[i]` lists the indices that must come
-    /// before op `i` in any linearization.
+    /// The precedence matrix: `prec[i]` lists (in ascending index order) the
+    /// indices that must come before op `i` in any linearization.
+    ///
+    /// Built with an interval sweep instead of the all-pairs loop: the
+    /// predecessors of op `i` are exactly the ops with `t_respond <
+    /// t_invoke(i)`, which form a prefix of the respond-sorted index array.
+    /// One sort plus a binary search per op gives O(n log n) construction
+    /// (plus the unavoidable O(|E|) to materialize the edge lists).
     pub fn predecessors(&self) -> Vec<Vec<usize>> {
         let n = self.ops.len();
+        // Indices sorted by response time; `responds[k]` mirrors the sort key
+        // so the per-op prefix bound is a plain `partition_point`.
+        let mut by_respond: Vec<usize> = (0..n).collect();
+        by_respond.sort_unstable_by_key(|&j| (self.ops[j].t_respond, j));
+        let responds: Vec<_> = by_respond.iter().map(|&j| self.ops[j].t_respond).collect();
         let mut prec = vec![Vec::new(); n];
         for (i, slot) in prec.iter_mut().enumerate() {
-            for j in 0..n {
-                if i != j && self.ops[j].precedes(&self.ops[i]) {
-                    slot.push(j);
-                }
-            }
+            let cut = responds.partition_point(|&r| r < self.ops[i].t_invoke);
+            slot.extend(by_respond[..cut].iter().copied().filter(|&j| j != i));
+            // Keep the historical ascending-index order for deterministic
+            // downstream iteration.
+            slot.sort_unstable();
         }
         prec
     }
@@ -140,6 +151,36 @@ mod tests {
         let prec = h.predecessors();
         assert_eq!(prec[2], vec![0]);
         assert!(prec[1].is_empty());
+    }
+
+    #[test]
+    fn predecessor_edge_counts_on_known_history() {
+        // A fixed 6-op history with a mix of nesting, overlap, and strict
+        // sequencing; edge counts pin the sweep against the all-pairs
+        // definition (j in prec[i] iff respond_j < invoke_i).
+        let h = History::from_tuples(vec![
+            (0, inst("a", 0, 0), 0, 10),  // precedes c, d, e, f
+            (1, inst("b", 0, 0), 5, 40),  // overlaps everything up to e
+            (2, inst("c", 0, 0), 12, 20), // precedes d, f
+            (3, inst("d", 0, 0), 25, 30), // precedes f
+            (4, inst("e", 0, 0), 25, 35), // precedes f
+            (5, inst("f", 0, 0), 50, 60),
+        ]);
+        let prec = h.predecessors();
+        assert_eq!(prec[0], Vec::<usize>::new());
+        assert_eq!(prec[1], Vec::<usize>::new());
+        assert_eq!(prec[2], vec![0]);
+        assert_eq!(prec[3], vec![0, 2]);
+        assert_eq!(prec[4], vec![0, 2]);
+        assert_eq!(prec[5], vec![0, 1, 2, 3, 4]);
+        let edge_count: usize = prec.iter().map(Vec::len).sum();
+        assert_eq!(edge_count, 10);
+        // Cross-check against the definitional all-pairs loop.
+        for (i, slot) in prec.iter().enumerate() {
+            let naive: Vec<usize> =
+                (0..h.len()).filter(|&j| j != i && h.ops[j].precedes(&h.ops[i])).collect();
+            assert_eq!(*slot, naive);
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`history`] — concurrent histories extracted from runs;
 //! * [`wing_gong`] — the decision procedure (Wing–Gong search with Lowe's
 //!   state memoization);
+//! * [`monitor`] — type-specialized fast-path monitors (register, queue,
+//!   stack, set/kv, counter) with Wing–Gong fallback via
+//!   [`monitor::check_fast`];
 //! * [`bitset`] — the done-set representation used by the search;
 //! * [`compositional`] — per-object checking for multi-object (product)
 //!   histories, exploiting the locality of linearizability.
@@ -23,11 +26,13 @@
 pub mod bitset;
 pub mod compositional;
 pub mod history;
+pub mod monitor;
 pub mod wing_gong;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::compositional::{check_components, ComponentVerdicts};
     pub use crate::history::{History, TimedOp};
+    pub use crate::monitor::{check_fast, check_fast_with, verify_witness, MonitorOutcome};
     pub use crate::wing_gong::{check, check_with, CheckConfig, Verdict};
 }

@@ -1,0 +1,205 @@
+//! Interval-bound monitor for counter histories.
+//!
+//! With only non-negative contributions (`increment`, `add k` for `k >= 0`)
+//! and `read`, the counter's value along any linearization is a
+//! non-decreasing prefix sum, which yields sound per-read bounds checkable
+//! by two sweeps:
+//!
+//! * `lo(r)` — the sum of contributions that respond before `r` invokes
+//!   (each is forced before `r`): a read below `lo` is impossible;
+//! * `hi(r)` — the total minus contributions invoked after `r` responds
+//!   (each is forced after `r`): a read above `hi` is impossible;
+//! * two reads ordered in real time must return non-decreasing values.
+//!
+//! If no bound fires, a greedy scheduler attempts a witness: reads in
+//! ascending returned value; before each read, the contributions forced
+//! before it (respond-ordered), topped up with ready contributions to hit
+//! the read's value exactly. Hitting an exact target with heterogeneous
+//! contribution sizes is subset-sum-hard in general, so the greedy simply
+//! defers on a stall or an overshoot — uniform workloads (the common case)
+//! always schedule. `fetch_inc` (an OOP) and negative `add` arguments defer
+//! outright.
+
+use super::{Frontier, MonitorOutcome};
+use crate::history::History;
+use lintime_adt::value::Value;
+use lintime_sim::time::Time;
+
+struct Contribution {
+    idx: usize,
+    invoke: Time,
+    respond: Time,
+    delta: i64,
+}
+
+struct ReadOp {
+    idx: usize,
+    invoke: Time,
+    respond: Time,
+    ret: i64,
+}
+
+/// Monitor a counter history (`increment`/`add`/`read`; `fetch_inc` defers).
+pub fn monitor(history: &History) -> MonitorOutcome {
+    let mut adds: Vec<Contribution> = Vec::new();
+    let mut reads: Vec<ReadOp> = Vec::new();
+    for (idx, op) in history.ops.iter().enumerate() {
+        let (invoke, respond) = (op.t_invoke, op.t_respond);
+        match op.instance.op {
+            "increment" | "add" => {
+                if op.instance.ret != Value::Unit {
+                    return MonitorOutcome::Violation; // mutators ack with Unit
+                }
+                let delta = if op.instance.op == "increment" {
+                    1
+                } else {
+                    match op.instance.arg.as_int() {
+                        Some(k) if k >= 0 => k,
+                        // Negative deltas break monotonicity; non-int args
+                        // are not this monitor's problem.
+                        _ => return MonitorOutcome::Deferred,
+                    }
+                };
+                adds.push(Contribution { idx, invoke, respond, delta });
+            }
+            "read" => match op.instance.ret.as_int() {
+                Some(ret) => reads.push(ReadOp { idx, invoke, respond, ret }),
+                None => return MonitorOutcome::Violation, // reads return ints
+            },
+            _ => return MonitorOutcome::Deferred, // fetch_inc or unknown
+        }
+    }
+    // Guard the arithmetic: totals beyond i64 would make the sequential
+    // spec's wrapping arithmetic diverge from these non-wrapping bounds.
+    let total: i128 = adds.iter().map(|a| i128::from(a.delta)).sum();
+    if total > i128::from(i64::MAX) {
+        return MonitorOutcome::Deferred;
+    }
+
+    // lo(r): prefix sums over respond-sorted contributions.
+    let mut by_respond: Vec<usize> = (0..adds.len()).collect();
+    by_respond.sort_unstable_by_key(|&a| adds[a].respond);
+    let mut prefix_lo = vec![0i128; adds.len() + 1];
+    for (k, &a) in by_respond.iter().enumerate() {
+        prefix_lo[k + 1] = prefix_lo[k] + i128::from(adds[a].delta);
+    }
+    // hi(r): suffix sums over invoke-sorted contributions.
+    let mut by_invoke: Vec<usize> = (0..adds.len()).collect();
+    by_invoke.sort_unstable_by_key(|&a| adds[a].invoke);
+    let mut prefix_inv = vec![0i128; adds.len() + 1];
+    for (k, &a) in by_invoke.iter().enumerate() {
+        prefix_inv[k + 1] = prefix_inv[k] + i128::from(adds[a].delta);
+    }
+    for r in &reads {
+        let cut_lo = by_respond.partition_point(|&a| adds[a].respond < r.invoke);
+        let lo = prefix_lo[cut_lo];
+        let cut_hi = by_invoke.partition_point(|&a| adds[a].invoke <= r.respond);
+        let hi = total - (prefix_inv[adds.len()] - prefix_inv[cut_hi]);
+        let ret = i128::from(r.ret);
+        if ret < lo || ret > hi {
+            return MonitorOutcome::Violation;
+        }
+    }
+    // Monotonicity of real-time-ordered reads.
+    let mut reads_by_invoke: Vec<usize> = (0..reads.len()).collect();
+    reads_by_invoke.sort_unstable_by_key(|&r| reads[r].invoke);
+    let mut reads_by_respond: Vec<usize> = (0..reads.len()).collect();
+    reads_by_respond.sort_unstable_by_key(|&r| reads[r].respond);
+    let mut admit = 0;
+    let mut max_prior_ret = i64::MIN;
+    for &r in &reads_by_invoke {
+        while admit < reads_by_respond.len() {
+            let q = reads_by_respond[admit];
+            if reads[q].respond >= reads[r].invoke {
+                break;
+            }
+            max_prior_ret = max_prior_ret.max(reads[q].ret);
+            admit += 1;
+        }
+        if max_prior_ret > reads[r].ret {
+            return MonitorOutcome::Violation;
+        }
+    }
+
+    match greedy_witness(history, &adds, &reads) {
+        Some(order) => MonitorOutcome::Witness(order),
+        None => MonitorOutcome::Deferred,
+    }
+}
+
+/// Greedy schedule: reads in ascending returned value, contributions woven
+/// in to hit each read's value exactly. `None` on stall or overshoot.
+fn greedy_witness(
+    history: &History,
+    adds: &[Contribution],
+    reads: &[ReadOp],
+) -> Option<Vec<usize>> {
+    let mut frontier = Frontier::new(history);
+    let ready = |frontier: &mut Frontier, invoke: Time| -> bool {
+        frontier.threshold().is_some_and(|t| invoke <= t)
+    };
+
+    // Contributions are emitted in respond order (which always respects
+    // their pairwise real-time order), skipping already-emitted ones.
+    let mut adds_by_respond: Vec<usize> = (0..adds.len()).collect();
+    adds_by_respond.sort_unstable_by_key(|&a| (adds[a].respond, a));
+    let mut add_emitted = vec![false; adds.len()];
+    let mut reads_sorted: Vec<usize> = (0..reads.len()).collect();
+    reads_sorted.sort_unstable_by_key(|&r| (reads[r].ret, reads[r].invoke, r));
+
+    let mut order = Vec::with_capacity(history.len());
+    let mut sum: i64 = 0;
+    let mut forced_ptr = 0;
+    for &r in &reads_sorted {
+        // Contributions responding before this read invokes are forced
+        // before it.
+        while forced_ptr < adds_by_respond.len() {
+            let a = adds_by_respond[forced_ptr];
+            if adds[a].respond >= reads[r].invoke {
+                break;
+            }
+            forced_ptr += 1;
+            if add_emitted[a] {
+                continue;
+            }
+            if !ready(&mut frontier, adds[a].invoke) {
+                return None;
+            }
+            add_emitted[a] = true;
+            sum += adds[a].delta;
+            frontier.emit(adds[a].idx);
+            order.push(adds[a].idx);
+        }
+        // Top up to the read's value with ready unforced contributions,
+        // most urgent (earliest respond) first.
+        while sum < reads[r].ret {
+            let need = reads[r].ret - sum;
+            let pick = adds_by_respond[forced_ptr..].iter().copied().find(|&a| {
+                !add_emitted[a] && adds[a].delta <= need && ready(&mut frontier, adds[a].invoke)
+            })?;
+            add_emitted[pick] = true;
+            sum += adds[pick].delta;
+            frontier.emit(adds[pick].idx);
+            order.push(adds[pick].idx);
+        }
+        if sum != reads[r].ret || !ready(&mut frontier, reads[r].invoke) {
+            return None; // overshoot or read not schedulable yet
+        }
+        frontier.emit(reads[r].idx);
+        order.push(reads[r].idx);
+    }
+    // Remaining contributions, in respond order (each is ready when it is
+    // the earliest-responding unemitted op).
+    for &a in &adds_by_respond {
+        if add_emitted[a] {
+            continue;
+        }
+        if !ready(&mut frontier, adds[a].invoke) {
+            return None;
+        }
+        add_emitted[a] = true;
+        frontier.emit(adds[a].idx);
+        order.push(adds[a].idx);
+    }
+    Some(order)
+}

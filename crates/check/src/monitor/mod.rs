@@ -1,0 +1,346 @@
+//! Type-specialized linearizability monitors (the fast path).
+//!
+//! The Wing–Gong search ([`crate::wing_gong`]) decides linearizability for
+//! *any* sequential specification, but is worst-case exponential. For the
+//! concrete types of the paper's Tables 1–4, far better is possible: the
+//! decrease-and-conquer monitoring literature (see `PAPERS.md`: *Efficient
+//! Decrease-and-Conquer Linearizability Monitoring* and *Efficient
+//! Linearizability Monitoring*) gives log-linear algorithms for registers,
+//! FIFO queues, stacks, and sets when the history is **unambiguous** —
+//! distinct written/enqueued/pushed values — which is overwhelmingly the
+//! common case for generated workloads (the harness tags operations with
+//! unique arguments precisely so witnesses are readable).
+//!
+//! This module is the dispatcher: [`check_fast`] routes a history by
+//! [`SpecKind`] to a specialized monitor and falls back to Wing–Gong
+//! whenever the monitor cannot decide. The architecture is deliberately
+//! risk-asymmetric so a fast path can never change a verdict:
+//!
+//! * **`NotLinearizable`** is only ever produced from *individually sound*
+//!   violation patterns (each pattern implies a real-time/legality
+//!   contradiction in every candidate linearization);
+//! * **`Linearizable`** is only ever produced with a concrete witness order
+//!   that is replay-verified against the specification and the real-time
+//!   precedence relation before being returned;
+//! * anything else — unknown operations, ambiguous (duplicate) values,
+//!   mixed-class (OOP) operations like `peek`/`fetch_inc`, or a stalled
+//!   witness construction — yields [`MonitorOutcome::Deferred`] and the
+//!   history is handed to the general search.
+//!
+//! Agreement between the two paths is enforced by the differential fuzz
+//! suite (`tests/differential_fuzz.rs`).
+
+pub mod counter;
+pub mod keyed;
+pub mod queue_like;
+pub mod register;
+
+use crate::history::History;
+use crate::wing_gong::{self, CheckConfig, Verdict};
+use lintime_adt::spec::{ObjectSpec, SpecKind};
+use lintime_sim::time::Time;
+use std::sync::Arc;
+
+/// What a specialized monitor concluded about a history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MonitorOutcome {
+    /// A candidate linearization (indices into `history.ops`). The dispatcher
+    /// replay-verifies it before certifying the history linearizable.
+    Witness(Vec<usize>),
+    /// A sound violation certificate: no linearization can exist.
+    Violation,
+    /// The monitor does not apply (or could not finish); use the general
+    /// search.
+    Deferred,
+}
+
+/// Check `history` against `spec`, using a type-specialized monitor when one
+/// applies and falling back to the Wing–Gong search otherwise.
+///
+/// Verdict semantics are identical to [`wing_gong::check`]: the two are
+/// interchangeable, and [`Verdict::Unknown`] can only arise from the
+/// fallback path's node budget.
+pub fn check_fast(spec: &Arc<dyn ObjectSpec>, history: &History) -> Verdict {
+    check_fast_with(spec, history, CheckConfig::default())
+}
+
+/// [`check_fast`] with an explicit fallback node budget.
+pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) -> Verdict {
+    if history.is_empty() {
+        return Verdict::Linearizable(Vec::new());
+    }
+    let outcome = match spec.kind() {
+        SpecKind::Register => register::monitor(spec, history),
+        // An RMW-register history without actual `rmw` instances is a plain
+        // register history; the monitor defers on any other operation name.
+        SpecKind::RmwRegister => register::monitor(spec, history),
+        SpecKind::FifoQueue => queue_like::monitor_queue(history),
+        SpecKind::Stack => queue_like::monitor_stack(history),
+        SpecKind::GrowSet | SpecKind::KvStore => keyed::monitor(spec, history, cfg),
+        SpecKind::Counter => counter::monitor(history),
+        // Priority queues, rooted trees, products, and unknown types have no
+        // specialized monitor (yet): general search.
+        _ => MonitorOutcome::Deferred,
+    };
+    match outcome {
+        MonitorOutcome::Witness(order) => {
+            if verify_witness(spec, history, &order) {
+                Verdict::Linearizable(order)
+            } else {
+                // A monitor bug, not a verdict: never certify an unchecked
+                // witness. Decide with the general search instead.
+                debug_assert!(false, "monitor produced an invalid witness");
+                wing_gong::check_with(spec, history, cfg)
+            }
+        }
+        MonitorOutcome::Violation => Verdict::NotLinearizable,
+        MonitorOutcome::Deferred => wing_gong::check_with(spec, history, cfg),
+    }
+}
+
+/// True iff `order` is a permutation of the history that respects real-time
+/// precedence and replays legally against `spec`. O(n) after the permutation
+/// check.
+pub fn verify_witness(spec: &Arc<dyn ObjectSpec>, history: &History, order: &[usize]) -> bool {
+    let n = history.len();
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &i in order {
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    // Real-time: no op may appear after one it strictly precedes. Equivalent
+    // to: each op's response is no earlier than the running max invocation.
+    let mut max_invoke = Time(i64::MIN);
+    for &i in order {
+        let op = &history.ops[i];
+        if op.t_respond < max_invoke {
+            return false;
+        }
+        max_invoke = max_invoke.max(op.t_invoke);
+    }
+    // Legality: replay through the erased object (mutates in place; no
+    // per-step state clones).
+    let mut obj = spec.new_object();
+    order.iter().all(|&i| {
+        let inst = &history.ops[i].instance;
+        obj.apply(inst.op, &inst.arg) == inst.ret
+    })
+}
+
+/// The scheduling frontier shared by the greedy witness builders: an op may
+/// be emitted next iff it is invoked no later than the earliest response
+/// among unemitted ops (otherwise it would be ordered after an op that
+/// strictly precedes it). The threshold is monotone non-decreasing as ops
+/// are emitted, so each builder admits candidates with a single
+/// invoke-sorted pointer sweep.
+pub(crate) struct Frontier {
+    /// Indices sorted by (t_respond, idx).
+    by_respond: Vec<usize>,
+    /// First position in `by_respond` not yet emitted.
+    ptr: usize,
+    emitted: Vec<bool>,
+    responds: Vec<Time>,
+}
+
+impl Frontier {
+    pub(crate) fn new(history: &History) -> Self {
+        let n = history.len();
+        let mut by_respond: Vec<usize> = (0..n).collect();
+        by_respond.sort_unstable_by_key(|&i| (history.ops[i].t_respond, i));
+        let responds = history.ops.iter().map(|o| o.t_respond).collect();
+        Frontier { by_respond, ptr: 0, emitted: vec![false; n], responds }
+    }
+
+    /// The earliest response among unemitted ops; `None` once all emitted.
+    pub(crate) fn threshold(&mut self) -> Option<Time> {
+        while self.ptr < self.by_respond.len() && self.emitted[self.by_respond[self.ptr]] {
+            self.ptr += 1;
+        }
+        self.by_respond.get(self.ptr).map(|&i| self.responds[i])
+    }
+
+    pub(crate) fn emit(&mut self, i: usize) {
+        debug_assert!(!self.emitted[i]);
+        self.emitted[i] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::prelude::*;
+
+    fn h(tuples: Vec<(usize, OpInstance, i64, i64)>) -> History {
+        History::from_tuples(tuples)
+    }
+
+    #[test]
+    fn register_monitor_produces_verified_witness() {
+        let spec = erase(Register::new(0));
+        // Overlapping write(1)/read->0/read->1: order reads around the write.
+        let hist = h(vec![
+            (0, OpInstance::new("write", 1, ()), 0, 10),
+            (1, OpInstance::new("read", (), 0), 1, 4),
+            (2, OpInstance::new("read", (), 1), 5, 12),
+        ]);
+        let out = register::monitor(&spec, &hist);
+        let MonitorOutcome::Witness(order) = out else {
+            panic!("expected witness, got {out:?}");
+        };
+        assert!(verify_witness(&spec, &hist, &order));
+        assert!(check_fast(&spec, &hist).is_linearizable());
+    }
+
+    #[test]
+    fn register_monitor_flags_stale_read_after_overwrite() {
+        let spec = erase(Register::new(0));
+        // write(1) fully before write(2) fully before read->1: the read is
+        // stale, and no ordering of the blocks can fix it.
+        let hist = h(vec![
+            (0, OpInstance::new("write", 1, ()), 0, 1),
+            (0, OpInstance::new("write", 2, ()), 2, 3),
+            (1, OpInstance::new("read", (), 1), 4, 5),
+        ]);
+        assert_eq!(register::monitor(&spec, &hist), MonitorOutcome::Violation);
+        assert_eq!(check_fast(&spec, &hist), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn register_monitor_defers_on_duplicate_writes() {
+        let spec = erase(Register::new(0));
+        let hist = h(vec![
+            (0, OpInstance::new("write", 1, ()), 0, 1),
+            (1, OpInstance::new("write", 1, ()), 2, 3),
+        ]);
+        assert_eq!(register::monitor(&spec, &hist), MonitorOutcome::Deferred);
+        // The fallback still decides it.
+        assert!(check_fast(&spec, &hist).is_linearizable());
+    }
+
+    #[test]
+    fn queue_monitor_witness_and_fifo_violation() {
+        // Legal: two overlapping enqueues, dequeues agree with either order.
+        let legal = h(vec![
+            (0, OpInstance::new("enqueue", 1, ()), 0, 10),
+            (1, OpInstance::new("enqueue", 2, ()), 5, 15),
+            (2, OpInstance::new("dequeue", (), 1), 20, 30),
+            (3, OpInstance::new("dequeue", (), 2), 35, 40),
+        ]);
+        let out = queue_like::monitor_queue(&legal);
+        assert!(matches!(out, MonitorOutcome::Witness(_)), "got {out:?}");
+
+        // FIFO violation: enqueue(1) wholly before enqueue(2), but 2 is
+        // dequeued wholly before 1's dequeue begins.
+        let bad = h(vec![
+            (0, OpInstance::new("enqueue", 1, ()), 0, 1),
+            (0, OpInstance::new("enqueue", 2, ()), 2, 3),
+            (1, OpInstance::new("dequeue", (), 2), 4, 5),
+            (1, OpInstance::new("dequeue", (), 1), 6, 7),
+        ]);
+        assert_eq!(queue_like::monitor_queue(&bad), MonitorOutcome::Violation);
+        let spec = erase(FifoQueue::new());
+        assert_eq!(check_fast(&spec, &bad), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn stack_monitor_witness_and_lifo_violation() {
+        // Legal LIFO: push 1, push 2, pop->2, pop->1.
+        let legal = h(vec![
+            (0, OpInstance::new("push", 1, ()), 0, 1),
+            (0, OpInstance::new("push", 2, ()), 2, 3),
+            (1, OpInstance::new("pop", (), 2), 4, 5),
+            (1, OpInstance::new("pop", (), 1), 6, 7),
+        ]);
+        let out = queue_like::monitor_stack(&legal);
+        assert!(matches!(out, MonitorOutcome::Witness(_)), "got {out:?}");
+
+        // LIFO violation: the same history popped in FIFO order.
+        let bad = h(vec![
+            (0, OpInstance::new("push", 1, ()), 0, 1),
+            (0, OpInstance::new("push", 2, ()), 2, 3),
+            (1, OpInstance::new("pop", (), 1), 4, 5),
+            (1, OpInstance::new("pop", (), 2), 6, 7),
+        ]);
+        assert_eq!(queue_like::monitor_stack(&bad), MonitorOutcome::Violation);
+        let spec = erase(Stack::new());
+        assert_eq!(check_fast(&spec, &bad), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn queue_monitor_defers_on_peek() {
+        let hist = h(vec![
+            (0, OpInstance::new("enqueue", 1, ()), 0, 1),
+            (1, OpInstance::new("peek", (), 1), 2, 3),
+        ]);
+        assert_eq!(queue_like::monitor_queue(&hist), MonitorOutcome::Deferred);
+        let spec = erase(FifoQueue::new());
+        assert!(check_fast(&spec, &hist).is_linearizable());
+    }
+
+    #[test]
+    fn keyed_monitor_decomposes_per_key() {
+        let spec = erase(GrowSet::new());
+        // Keys 1 and 2 interleave; each key's sub-history is trivially legal.
+        let hist = h(vec![
+            (0, OpInstance::new("add", 1, ()), 0, 10),
+            (1, OpInstance::new("add", 2, ()), 2, 6),
+            (2, OpInstance::new("contains", 1, true), 12, 14),
+            (3, OpInstance::new("contains", 2, false), 0, 1),
+        ]);
+        let out = keyed::monitor(&spec, &hist, CheckConfig::default());
+        let MonitorOutcome::Witness(order) = out else {
+            panic!("expected witness, got {out:?}");
+        };
+        assert!(verify_witness(&spec, &hist, &order));
+
+        // contains(1) -> true wholly before add(1) begins: per-key violation.
+        let bad = h(vec![
+            (0, OpInstance::new("contains", 1, true), 0, 1),
+            (1, OpInstance::new("add", 1, ()), 2, 3),
+        ]);
+        assert_eq!(keyed::monitor(&spec, &bad, CheckConfig::default()), MonitorOutcome::Violation);
+    }
+
+    #[test]
+    fn counter_monitor_bounds_and_witness() {
+        let spec = erase(Counter::new());
+        // Legal: two overlapping increments, read->1 overlapping both.
+        let legal = h(vec![
+            (0, OpInstance::new("increment", (), ()), 0, 10),
+            (1, OpInstance::new("increment", (), ()), 2, 12),
+            (2, OpInstance::new("read", (), 1), 4, 6),
+        ]);
+        let out = counter::monitor(&legal);
+        let MonitorOutcome::Witness(order) = out else {
+            panic!("expected witness, got {out:?}");
+        };
+        assert!(verify_witness(&spec, &legal, &order));
+
+        // read->2 responds before either increment is invoked: above hi.
+        let bad = h(vec![
+            (0, OpInstance::new("read", (), 2), 0, 1),
+            (1, OpInstance::new("increment", (), ()), 2, 3),
+            (1, OpInstance::new("increment", (), ()), 4, 5),
+        ]);
+        assert_eq!(counter::monitor(&bad), MonitorOutcome::Violation);
+        assert_eq!(check_fast(&spec, &bad), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn witness_verifier_rejects_garbage() {
+        let spec = erase(FifoQueue::new());
+        let hist = h(vec![
+            (0, OpInstance::new("enqueue", 1, ()), 0, 1),
+            (1, OpInstance::new("dequeue", (), 1), 2, 3),
+        ]);
+        assert!(verify_witness(&spec, &hist, &[0, 1]));
+        assert!(!verify_witness(&spec, &hist, &[1, 0])); // real-time + legality
+        assert!(!verify_witness(&spec, &hist, &[0, 0])); // not a permutation
+        assert!(!verify_witness(&spec, &hist, &[0])); // wrong length
+    }
+}

@@ -1,0 +1,399 @@
+//! Log-linear monitors for FIFO-queue and stack histories.
+//!
+//! Both monitors share a producer/consumer skeleton: `enqueue`/`push` ops
+//! are matched to the `dequeue`/`pop` returning their value (unambiguous
+//! when produced values are pairwise distinct; duplicate values defer to the
+//! general search, as does any `peek`). Violations are detected by interval
+//! sweeps over sound patterns — each implies a real-time/legality
+//! contradiction in every candidate linearization:
+//!
+//! * a consumer returning a never-produced value, two consumers of the same
+//!   value, or a consumer that responds before its producer invokes;
+//! * **queue FIFO tunneling**: producers `v`, `w` with
+//!   `prodR(v) < prodI(w)` (v provably enqueued first) and
+//!   `consR(w) < consI(v)` (w provably dequeued first), or `v` never
+//!   dequeued at all while `w` is;
+//! * **stack LIFO covering**: `v` popped although some `w` was provably
+//!   pushed after `v` and before `v`'s pop, and is popped only after `v`
+//!   (or never) — `w` sits on top of `v` when `v` is popped;
+//! * **non-empty emptiness**: a consumer returned "empty" although some
+//!   value was provably produced before it and consumed only after it (or
+//!   never).
+//!
+//! When no pattern fires, a greedy scheduler builds a witness: it emits any
+//! ready consumer matching the structure head (queue front / stack top),
+//! ready "empty" consumers while the structure is empty, and otherwise a
+//! ready producer — earliest consumer deadline first for queues (FIFO:
+//! urgent values in front), latest deadline first for stacks (LIFO: urgent
+//! values on top, never-popped values at the bottom). "Ready" is the
+//! real-time frontier of [`super::Frontier`]. A stalled schedule is *not* a
+//! verdict — the monitor defers; the dispatcher replay-verifies any witness.
+
+use super::{Frontier, MonitorOutcome};
+use crate::history::History;
+use lintime_adt::value::Value;
+use lintime_sim::time::Time;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A produced value's lifecycle: its producer op and matching consumer.
+struct Pair {
+    /// History index of the producer (`enqueue`/`push`).
+    prod: usize,
+    /// History index of the matching consumer (`dequeue`/`pop`), if any.
+    cons: Option<usize>,
+}
+
+/// What a history index is, in producer/consumer terms.
+#[derive(Clone, Copy)]
+enum Role {
+    /// Producer of pair `.0`.
+    Prod(usize),
+    /// Consumer of pair `.0`.
+    Cons(usize),
+    /// Consumer that returned "empty".
+    Empty,
+}
+
+struct Parsed {
+    pairs: Vec<Pair>,
+    /// History indices of empty-returning consumers.
+    empties: Vec<usize>,
+    role: Vec<Role>,
+}
+
+/// Match producers to consumers. `Err` carries the short-circuit outcome
+/// (Deferred for unknown/ambiguous structure, Violation for sound
+/// impossibilities).
+fn parse(history: &History, prod_name: &str, cons_name: &str) -> Result<Parsed, MonitorOutcome> {
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut by_value: HashMap<&Value, usize> = HashMap::new();
+    let mut role = vec![Role::Empty; history.len()];
+    let mut empties = Vec::new();
+    // Producers first so consumers can match in one pass each.
+    for (i, op) in history.ops.iter().enumerate() {
+        if op.instance.op == prod_name {
+            if op.instance.ret != Value::Unit {
+                return Err(MonitorOutcome::Violation); // producers ack with Unit
+            }
+            if by_value.insert(&op.instance.arg, pairs.len()).is_some() {
+                return Err(MonitorOutcome::Deferred); // ambiguous: duplicate value
+            }
+            role[i] = Role::Prod(pairs.len());
+            pairs.push(Pair { prod: i, cons: None });
+        }
+    }
+    for (i, op) in history.ops.iter().enumerate() {
+        if op.instance.op == prod_name {
+            continue;
+        }
+        if op.instance.op != cons_name {
+            return Err(MonitorOutcome::Deferred); // peek or unknown op
+        }
+        if op.instance.ret == Value::Unit {
+            role[i] = Role::Empty;
+            empties.push(i);
+            continue;
+        }
+        let Some(&p) = by_value.get(&op.instance.ret) else {
+            return Err(MonitorOutcome::Violation); // consumed a never-produced value
+        };
+        if pairs[p].cons.replace(i).is_some() {
+            return Err(MonitorOutcome::Violation); // value consumed twice
+        }
+        if op.t_respond < history.ops[pairs[p].prod].t_invoke {
+            return Err(MonitorOutcome::Violation); // consumed before produced
+        }
+        role[i] = Role::Cons(p);
+    }
+    Ok(Parsed { pairs, empties, role })
+}
+
+/// Sound "non-empty emptiness" sweep, shared by queue and stack: an
+/// empty-returning consumer `e` is impossible if some value was provably in
+/// the structure across `e`'s whole interval — produced before `e` invokes,
+/// and consumed only after `e` responds (or never).
+fn empties_feasible(history: &History, parsed: &Parsed) -> bool {
+    if parsed.empties.is_empty() {
+        return true;
+    }
+    let mut empties = parsed.empties.clone();
+    empties.sort_unstable_by_key(|&e| history.ops[e].t_invoke);
+    let mut by_prod_respond: Vec<usize> = (0..parsed.pairs.len()).collect();
+    by_prod_respond.sort_unstable_by_key(|&p| history.ops[parsed.pairs[p].prod].t_respond);
+    let mut admit = 0;
+    let mut unconsumed_admitted = false;
+    let mut max_cons_invoke = Time(i64::MIN);
+    for &e in &empties {
+        let e_invoke = history.ops[e].t_invoke;
+        while admit < by_prod_respond.len() {
+            let p = by_prod_respond[admit];
+            if history.ops[parsed.pairs[p].prod].t_respond >= e_invoke {
+                break;
+            }
+            match parsed.pairs[p].cons {
+                None => unconsumed_admitted = true,
+                Some(c) => max_cons_invoke = max_cons_invoke.max(history.ops[c].t_invoke),
+            }
+            admit += 1;
+        }
+        if unconsumed_admitted || max_cons_invoke > history.ops[e].t_respond {
+            return false;
+        }
+    }
+    true
+}
+
+/// Monitor a FIFO-queue history (`enqueue`/`dequeue`; any `peek` defers).
+pub fn monitor_queue(history: &History) -> MonitorOutcome {
+    let parsed = match parse(history, "enqueue", "dequeue") {
+        Ok(p) => p,
+        Err(out) => return out,
+    };
+    if !empties_feasible(history, &parsed) {
+        return MonitorOutcome::Violation;
+    }
+
+    // FIFO order patterns over matched pairs.
+    let consumed: Vec<usize> =
+        (0..parsed.pairs.len()).filter(|&p| parsed.pairs[p].cons.is_some()).collect();
+    let unconsumed: Vec<usize> =
+        (0..parsed.pairs.len()).filter(|&p| parsed.pairs[p].cons.is_none()).collect();
+
+    // A never-dequeued value provably enqueued before a dequeued one blocks
+    // that dequeue forever.
+    let min_unconsumed_prod_respond = unconsumed
+        .iter()
+        .map(|&p| history.ops[parsed.pairs[p].prod].t_respond)
+        .min()
+        .unwrap_or(Time(i64::MAX));
+    let max_consumed_prod_invoke = consumed
+        .iter()
+        .map(|&p| history.ops[parsed.pairs[p].prod].t_invoke)
+        .max()
+        .unwrap_or(Time(i64::MIN));
+    if min_unconsumed_prod_respond < max_consumed_prod_invoke {
+        return MonitorOutcome::Violation;
+    }
+
+    // Pairwise FIFO: v provably enqueued before w, but w provably dequeued
+    // before v. Sweep w by enqueue-invoke; admit v by enqueue-respond;
+    // compare w's dequeue-respond against the running max dequeue-invoke.
+    let mut by_prod_invoke = consumed.clone();
+    by_prod_invoke.sort_unstable_by_key(|&p| history.ops[parsed.pairs[p].prod].t_invoke);
+    let mut by_prod_respond = consumed.clone();
+    by_prod_respond.sort_unstable_by_key(|&p| history.ops[parsed.pairs[p].prod].t_respond);
+    let mut admit = 0;
+    let mut max_cons_invoke = Time(i64::MIN);
+    for &w in &by_prod_invoke {
+        let w_prod_invoke = history.ops[parsed.pairs[w].prod].t_invoke;
+        while admit < by_prod_respond.len() {
+            let v = by_prod_respond[admit];
+            if history.ops[parsed.pairs[v].prod].t_respond >= w_prod_invoke {
+                break;
+            }
+            let cv = parsed.pairs[v].cons.expect("consumed pair");
+            max_cons_invoke = max_cons_invoke.max(history.ops[cv].t_invoke);
+            admit += 1;
+        }
+        let cw = parsed.pairs[w].cons.expect("consumed pair");
+        if max_cons_invoke > history.ops[cw].t_respond {
+            return MonitorOutcome::Violation;
+        }
+    }
+
+    match greedy_witness(history, &parsed, false) {
+        Some(order) => MonitorOutcome::Witness(order),
+        None => MonitorOutcome::Deferred,
+    }
+}
+
+/// Monitor a stack history (`push`/`pop`; any `peek` defers).
+pub fn monitor_stack(history: &History) -> MonitorOutcome {
+    let parsed = match parse(history, "push", "pop") {
+        Ok(p) => p,
+        Err(out) => return out,
+    };
+    if !empties_feasible(history, &parsed) {
+        return MonitorOutcome::Violation;
+    }
+    if stack_cover_violation(history, &parsed) {
+        return MonitorOutcome::Violation;
+    }
+    match greedy_witness(history, &parsed, true) {
+        Some(order) => MonitorOutcome::Witness(order),
+        None => MonitorOutcome::Deferred,
+    }
+}
+
+/// LIFO covering sweep: popped value `v` is impossible if some `w` was
+/// provably pushed after `v` (`prodR(v) < prodI(w)`) and before `v`'s pop
+/// (`prodR(w) < consI(v)`), yet popped only after `v` (`consR(v) < consI(w)`)
+/// or never — then `w` is above `v` whenever `v`'s pop linearizes.
+///
+/// Sweeping `v` by pop-invoke admits candidate `w`s by push-respond; the
+/// remaining two conditions are a max query over push-invoke suffixes,
+/// answered by a running max for never-popped `w`s and a Fenwick max (pop
+/// invoke keyed by descending push-invoke rank) for popped ones.
+fn stack_cover_violation(history: &History, parsed: &Parsed) -> bool {
+    let consumed: Vec<usize> =
+        (0..parsed.pairs.len()).filter(|&p| parsed.pairs[p].cons.is_some()).collect();
+    if consumed.is_empty() {
+        return false;
+    }
+    let prod_invoke = |p: usize| history.ops[parsed.pairs[p].prod].t_invoke;
+    let prod_respond = |p: usize| history.ops[parsed.pairs[p].prod].t_respond;
+    let cons_invoke = |p: usize| history.ops[parsed.pairs[p].cons.expect("consumed")].t_invoke;
+    let cons_respond = |p: usize| history.ops[parsed.pairs[p].cons.expect("consumed")].t_respond;
+
+    // Rank popped pairs by push-invoke (descending rank = suffix query
+    // becomes a prefix query on the Fenwick tree).
+    let mut by_push_invoke = consumed.clone();
+    by_push_invoke.sort_unstable_by_key(|&p| prod_invoke(p));
+    let mut rank = vec![0usize; parsed.pairs.len()];
+    for (r, &p) in by_push_invoke.iter().enumerate() {
+        rank[p] = by_push_invoke.len() - 1 - r;
+    }
+    let mut fen = FenwickMax::new(by_push_invoke.len());
+
+    let mut vs = consumed.clone();
+    vs.sort_unstable_by_key(|&p| cons_invoke(p));
+    let mut all_by_push_respond: Vec<usize> = (0..parsed.pairs.len()).collect();
+    all_by_push_respond.sort_unstable_by_key(|&p| prod_respond(p));
+    let mut admit = 0;
+    let mut max_unpopped_push_invoke = Time(i64::MIN);
+    for &v in &vs {
+        while admit < all_by_push_respond.len() {
+            let w = all_by_push_respond[admit];
+            if prod_respond(w) >= cons_invoke(v) {
+                break;
+            }
+            match parsed.pairs[w].cons {
+                None => max_unpopped_push_invoke = max_unpopped_push_invoke.max(prod_invoke(w)),
+                Some(_) => fen.update(rank[w], cons_invoke(w).0),
+            }
+            admit += 1;
+        }
+        if max_unpopped_push_invoke > prod_respond(v) {
+            return true; // never-popped w provably above v at v's pop
+        }
+        // Popped w with push-invoke > prodR(v): suffix of the ascending
+        // push-invoke order, i.e. prefix of the descending rank order.
+        let cut = by_push_invoke.partition_point(|&w| prod_invoke(w) <= prod_respond(v));
+        let suffix_len = by_push_invoke.len() - cut;
+        if fen.prefix_max(suffix_len) > cons_respond(v).0 {
+            return true; // w popped provably after v
+        }
+    }
+    false
+}
+
+/// Fenwick tree over `max`, for offline dominance sweeps.
+struct FenwickMax {
+    tree: Vec<i64>,
+}
+
+impl FenwickMax {
+    fn new(n: usize) -> Self {
+        FenwickMax { tree: vec![i64::MIN; n + 1] }
+    }
+
+    /// Raise position `i` to at least `v`.
+    fn update(&mut self, i: usize, v: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].max(v);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Max over positions `[0, len)`.
+    fn prefix_max(&self, len: usize) -> i64 {
+        let mut i = len.min(self.tree.len() - 1);
+        let mut best = i64::MIN;
+        while i > 0 {
+            best = best.max(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        best
+    }
+}
+
+/// Greedy witness construction shared by queue (`lifo = false`) and stack
+/// (`lifo = true`). Returns `None` on a stall (the caller defers).
+fn greedy_witness(history: &History, parsed: &Parsed, lifo: bool) -> Option<Vec<usize>> {
+    let n = history.len();
+    let mut frontier = Frontier::new(history);
+    let mut by_invoke: Vec<usize> = (0..n).collect();
+    by_invoke.sort_unstable_by_key(|&i| (history.ops[i].t_invoke, i));
+    let mut admit = 0;
+
+    // Producer deadline: its consumer's invoke (a value must be in position
+    // by the time its consumer can linearize); never-consumed values have no
+    // deadline. Queues emit earliest deadline first, stacks latest first.
+    let deadline = |p: usize| -> Time {
+        parsed.pairs[p].cons.map_or(Time(i64::MAX), |c| history.ops[c].t_invoke)
+    };
+    // Max-heap on (key, pair): queues negate the deadline so the earliest
+    // deadline has the largest key.
+    let prod_key = |p: usize| -> (i64, usize) {
+        if lifo {
+            (deadline(p).0, p)
+        } else {
+            (-deadline(p).0, p)
+        }
+    };
+    let mut prod_pool: BinaryHeap<(i64, usize)> = BinaryHeap::new();
+    let mut empty_pool: VecDeque<usize> = VecDeque::new();
+    let mut cons_ready = vec![false; parsed.pairs.len()];
+
+    // Queue of pair indices in structure order (front = index 0 for FIFO,
+    // top = last for LIFO).
+    let mut structure: VecDeque<usize> = VecDeque::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    while order.len() < n {
+        let threshold = frontier.threshold().expect("unemitted ops remain");
+        while admit < n && history.ops[by_invoke[admit]].t_invoke <= threshold {
+            let i = by_invoke[admit];
+            admit += 1;
+            match parsed.role[i] {
+                Role::Prod(p) => prod_pool.push((prod_key(p).0, p)),
+                Role::Cons(p) => cons_ready[p] = true,
+                Role::Empty => empty_pool.push_back(i),
+            }
+        }
+        let emit = |i: usize, order: &mut Vec<usize>, frontier: &mut Frontier| {
+            order.push(i);
+            frontier.emit(i);
+        };
+        // 1. Consume the structure head if its consumer is ready.
+        let head = if lifo { structure.back() } else { structure.front() }.copied();
+        if let Some(p) = head {
+            if cons_ready[p] {
+                let c = parsed.pairs[p].cons.expect("ready consumer");
+                if lifo {
+                    structure.pop_back();
+                } else {
+                    structure.pop_front();
+                }
+                emit(c, &mut order, &mut frontier);
+                continue;
+            }
+        }
+        // 2. Empty consumers linearize while the structure is empty.
+        if structure.is_empty() {
+            if let Some(e) = empty_pool.pop_front() {
+                emit(e, &mut order, &mut frontier);
+                continue;
+            }
+        }
+        // 3. Produce the most urgent ready value.
+        if let Some((_, p)) = prod_pool.pop() {
+            structure.push_back(p);
+            emit(parsed.pairs[p].prod, &mut order, &mut frontier);
+            continue;
+        }
+        return None; // stall: no rule applies, defer to the general search
+    }
+    Some(order)
+}

@@ -314,7 +314,7 @@ mod tests {
             run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO));
         assert!(run.complete(), "{run}");
         let history = lintime_check::history::History::from_run(&run).unwrap();
-        let verdict = lintime_check::wing_gong::check(&spec, &history);
+        let verdict = lintime_check::monitor::check_fast(&spec, &history);
         assert!(verdict.is_linearizable(), "{run}");
     }
 
