@@ -6,7 +6,10 @@
 //! Besides the console table, the run writes `BENCH_checker.json` at the
 //! workspace root (override with `LINTIME_BENCH_OUT`): one row per
 //! (case, variant) with the median in nanoseconds and the history size, so
-//! speedups are machine-checkable across commits.
+//! speedups are machine-checkable across commits. A final untimed pass with
+//! the observability layer enabled also writes `BENCH_metrics.json` (checker
+//! counters and frontier histograms) next to it; the timed measurements
+//! themselves always run with observability off.
 
 use lintime_adt::prelude::*;
 use lintime_adt::spec::OpInstance;
@@ -14,6 +17,7 @@ use lintime_bench::microbench::{Group, JsonReport, Measurement};
 use lintime_check::history::History;
 use lintime_check::monitor::check_fast;
 use lintime_check::wing_gong::check;
+use lintime_obs::{Obs, Registry, TraceHandle};
 use std::sync::Arc;
 
 /// A linearizable queue history: `n_ops` enqueues in `window`-wide concurrent
@@ -62,7 +66,7 @@ struct Case {
     history: History,
 }
 
-fn bench_checker(report: &mut JsonReport) {
+fn bench_checker(report: &mut JsonReport) -> Registry {
     let cases: Vec<Case> = [(64usize, 4usize), (1024, 8), (10_000, 8)]
         .iter()
         .flat_map(|&(n_ops, window)| {
@@ -130,6 +134,18 @@ fn bench_checker(report: &mut JsonReport) {
             );
         }
     }
+
+    // One untimed instrumented pass: all measurements above run with the
+    // default `Obs::off()`, so the observability layer costs them nothing;
+    // this extra pass feeds a registry (fast-path hits, fallback node
+    // counts, frontier sizes) whose snapshot lands next to the JSON report.
+    let obs = Obs::new(TraceHandle::null(), Registry::new());
+    for case in &cases {
+        let cfg = lintime_check::wing_gong::CheckConfig::default();
+        let v = lintime_check::monitor::check_fast_observed(&case.spec, &case.history, cfg, &obs);
+        assert!(v.is_linearizable());
+    }
+    obs.metrics
 }
 
 /// A product history interleaving k objects, each with `per` concurrent
@@ -192,11 +208,14 @@ fn bench_compositional() {
 
 fn main() {
     let mut report = JsonReport::new();
-    bench_checker(&mut report);
+    let metrics = bench_checker(&mut report);
     bench_compositional();
     let path = std::env::var("LINTIME_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_checker.json", env!("CARGO_MANIFEST_DIR")));
     let path = std::path::PathBuf::from(path);
     report.save(&path).expect("write BENCH_checker.json");
     println!("wrote {}", path.display());
+    let metrics_path = path.with_file_name("BENCH_metrics.json");
+    metrics.save_snapshot(&metrics_path).expect("write BENCH_metrics.json");
+    println!("wrote {}", metrics_path.display());
 }

@@ -1,4 +1,33 @@
 //! Run every table/figure reproduction in sequence (EXPERIMENTS.md source).
+//!
+//! ```text
+//! all_experiments [--metrics-out <path>]
+//! ```
+//!
+//! With `--metrics-out`, the fault sweep's runs and checker calls feed a
+//! metrics registry whose JSON snapshot is saved at the given path.
+
+use lintime_obs::{Obs, Registry, TraceHandle};
+
 fn main() {
-    print!("{}", lintime_bench::experiments::all_reports());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--metrics-out" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: all_experiments [--metrics-out <path>]");
+            std::process::exit(1);
+        }
+    };
+    let obs = if metrics_out.is_some() {
+        Obs::new(TraceHandle::null(), Registry::new())
+    } else {
+        Obs::off()
+    };
+    print!("{}", lintime_bench::experiments::all_reports_observed(&obs));
+    if let Some(path) = metrics_out {
+        let path = std::path::Path::new(&path);
+        obs.metrics.save_snapshot(path).expect("write metrics snapshot");
+        println!("wrote metrics snapshot to {}", path.display());
+    }
 }

@@ -1,7 +1,47 @@
 //! Fault-injection sweep: linearizability survival and latency degradation
 //! vs message drop rate, bare Algorithm 1 versus the recovery wrapper.
+//!
+//! ```text
+//! fault_sweep [seeds] [--metrics-out <path>]
+//! ```
+//!
+//! With `--metrics-out`, the sweep's runs and checker calls are routed
+//! through a metrics registry and the aggregate snapshot is saved as JSON.
+
+use lintime_obs::{Obs, Registry, TraceHandle};
+
 fn main() {
-    let seeds =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).filter(|&s| s > 0).unwrap_or(8);
-    print!("{}", lintime_bench::experiments::fault_sweep_report(seeds));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds = 8u64;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--metrics-out" {
+            metrics_out = it.next().cloned();
+            if metrics_out.is_none() {
+                eprintln!("--metrics-out expects a path");
+                std::process::exit(1);
+            }
+        } else if let Ok(s) = a.parse::<u64>() {
+            if s > 0 {
+                seeds = s;
+            }
+        } else {
+            eprintln!("usage: fault_sweep [seeds] [--metrics-out <path>]");
+            std::process::exit(1);
+        }
+    }
+    // Metrics-only observability: a null trace sink keeps event formatting
+    // off, the registry still aggregates counters across the sweep.
+    let obs = if metrics_out.is_some() {
+        Obs::new(TraceHandle::null(), Registry::new())
+    } else {
+        Obs::off()
+    };
+    print!("{}", lintime_bench::experiments::fault_sweep_report_observed(seeds, &obs));
+    if let Some(path) = metrics_out {
+        let path = std::path::Path::new(&path);
+        obs.metrics.save_snapshot(path).expect("write metrics snapshot");
+        println!("wrote metrics snapshot to {}", path.display());
+    }
 }

@@ -15,9 +15,17 @@
 //!     --delay <d>          random | max | min (default random)
 //!     --n/--d/--u <v>      model parameters (default 4 / 6000 / 2400)
 //!     --timeline           draw the run as ASCII timelines
+//! lintime trace <scenario> [flags]       replay a scenario with tracing on
+//!     scenarios: table5 (fault-free queue), faults (recovery under drops)
+//!     --seed <s>           scenario seed (default 7)
+//!     --drop <r>           drop rate for `faults`, 0..1 (default 0.10)
+//!     --events <k>         trace lines to print before eliding (default 80)
+//!     --width <w>          timeline width (default 100)
+//!     --metrics-out <p>    save a metrics JSON snapshot to <p>
 //! ```
 
 use lintime_adt::prelude::*;
+use lintime_bench::tracecmd::{self, TraceOptions};
 use lintime_bench::{experiments, timeline};
 use lintime_core::prelude::*;
 use lintime_sim::prelude::*;
@@ -42,8 +50,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        Some("trace") => {
+            if let Err(e) = cmd_trace(&args[1..]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         _ => {
-            eprintln!("usage: lintime <types|tables|fig11|attack|simulate> [flags]");
+            eprintln!("usage: lintime <types|tables|fig11|attack|simulate|trace> [flags]");
             eprintln!("       (see crate docs or README.md for flag details)");
             return ExitCode::FAILURE;
         }
@@ -131,6 +145,35 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (scenario, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
+        _ => ("faults", args),
+    };
+    let flags = parse_flags(rest)?;
+    let mut opts = TraceOptions::default();
+    if let Some(s) = flags.get("seed") {
+        opts.seed = s.parse().map_err(|_| "--seed expects an integer".to_string())?;
+    }
+    if let Some(r) = flags.get("drop") {
+        opts.drop_rate = r.parse().map_err(|_| "--drop expects a rate in 0..1".to_string())?;
+    }
+    if let Some(k) = flags.get("events") {
+        opts.max_events = k.parse().map_err(|_| "--events expects an integer".to_string())?;
+    }
+    if let Some(w) = flags.get("width") {
+        opts.width = w.parse().map_err(|_| "--width expects an integer".to_string())?;
+    }
+    let (report, obs) = tracecmd::trace_report(scenario, &opts)?;
+    print!("{report}");
+    if let Some(path) = flags.get("metrics-out") {
+        let path = std::path::Path::new(path);
+        obs.metrics.save_snapshot(path).map_err(|e| format!("cannot write metrics: {e}"))?;
+        println!("\nwrote metrics snapshot to {}", path.display());
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
@@ -201,6 +244,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             s.max
         );
     }
+
+    // The engine's honesty flags qualify everything below: a verdict only
+    // binds on an untruncated, unsuspected run.
+    println!(
+        "\nhonesty flags: truncated={}, suspect={}",
+        if run.truncated { "yes" } else { "no" },
+        if run.is_suspect() { format!("yes {:?}", run.suspect) } else { "no".to_string() }
+    );
 
     let history = lintime_check::history::History::from_run(&run)
         .map_err(|e| format!("cannot check: {e}"))?;

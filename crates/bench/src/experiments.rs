@@ -479,11 +479,14 @@ pub fn linearizability_sweep_report(seeds: u64) -> String {
         let run = random_workload_run(p, &spec, *seed);
         let history = lintime_check::history::History::from_run(&run).expect("complete");
         let verdict = lintime_check::monitor::check_fast(&spec, &history);
-        (spec.name(), *seed, verdict, run.ops.len())
+        (spec.name(), *seed, verdict, run.ops.len(), run.truncated, run.is_suspect())
     });
     let mut unknown = 0u64;
-    for (name, seed, verdict, ops) in &results {
+    let (mut truncated, mut suspect) = (0u64, 0u64);
+    for (name, seed, verdict, ops, trunc, susp) in &results {
         total += *ops as u64;
+        truncated += *trunc as u64;
+        suspect += *susp as u64;
         // Unknown (checker budget) is reported, never conflated with a
         // violation; NotLinearizable is a hard failure of Theorem 6.
         match verdict {
@@ -504,6 +507,9 @@ pub fn linearizability_sweep_report(seeds: u64) -> String {
         seeds
     )
     .unwrap();
+    // Verdicts only bind on runs the engine and violation detector vouch
+    // for, so the honesty flags are part of the result, not a footnote.
+    writeln!(out, "honesty flags: {truncated} truncated, {suspect} suspect runs").unwrap();
     out
 }
 
@@ -550,8 +556,9 @@ pub fn random_workload_run(
 /// write responded. A process that silently missed the final write then
 /// returns a stale value under real-time precedence — exactly what the
 /// checker refutes. `slack` spaces same-process invocations so the recovery
-/// layer's extended waits never overlap.
-fn fault_sweep_schedule(p: ModelParams, seed: u64, slack: Time) -> Schedule {
+/// layer's extended waits never overlap. (Also replayed by `lintime trace
+/// faults`, see [`crate::tracecmd`].)
+pub(crate) fn fault_sweep_schedule(p: ModelParams, seed: u64, slack: Time) -> Schedule {
     use lintime_sim::rng::SplitMix64;
     let mut rng = SplitMix64::seed_from_u64(seed ^ 0xFA17_5EED);
     let mut schedule = Schedule::new();
@@ -583,6 +590,14 @@ fn fault_sweep_schedule(p: ModelParams, seed: u64, slack: Time) -> Schedule {
 /// announcements, so the checker catches non-linearizable runs; the recovery
 /// wrapper retransmits and must keep every run certified.
 pub fn fault_sweep_report(seeds: u64) -> String {
+    fault_sweep_report_observed(seeds, &lintime_obs::Obs::off())
+}
+
+/// [`fault_sweep_report`] with every simulator run and checker call routed
+/// through `obs`: the experiment bins' `--metrics-out` flag uses this to
+/// leave a machine-readable metrics snapshot next to the text report. The
+/// sweep runs in parallel, so counters aggregate across all seeds and rates.
+pub fn fault_sweep_report_observed(seeds: u64, obs: &lintime_obs::Obs) -> String {
     use lintime_core::reliable::{run_reliable, RecoveryConfig};
     use lintime_core::wtlw::WtlwNode;
     use lintime_sim::engine::simulate;
@@ -604,7 +619,8 @@ pub fn fault_sweep_report(seeds: u64) -> String {
         let plan = FaultPlan::new(seed).drop_all(rates[ri]);
         let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
             .with_faults(plan)
-            .with_schedule(fault_sweep_schedule(p, seed, slack));
+            .with_schedule(fault_sweep_schedule(p, seed, slack))
+            .with_obs(obs.clone());
         let run = if recovered {
             run_reliable(&spec, &cfg, x, recovery)
         } else {
@@ -613,11 +629,14 @@ pub fn fault_sweep_report(seeds: u64) -> String {
         // Three-way verdict: `Unknown` (checker budget) is tallied in its
         // own column — an unresolved run is not a failed one.
         let (lin, unknown) = match lintime_check::history::History::from_run(&run) {
-            Ok(h) => match lintime_check::monitor::check_fast(&spec, &h) {
-                lintime_check::wing_gong::Verdict::Linearizable(_) => (true, false),
-                lintime_check::wing_gong::Verdict::NotLinearizable => (false, false),
-                lintime_check::wing_gong::Verdict::Unknown => (false, true),
-            },
+            Ok(h) => {
+                let cfg = lintime_check::wing_gong::CheckConfig::default();
+                match lintime_check::monitor::check_fast_observed(&spec, &h, cfg, obs) {
+                    lintime_check::wing_gong::Verdict::Linearizable(_) => (true, false),
+                    lintime_check::wing_gong::Verdict::NotLinearizable => (false, false),
+                    lintime_check::wing_gong::Verdict::Unknown => (false, true),
+                }
+            }
             Err(_) => (false, false), // incomplete run: did not survive
         };
         let lats: Vec<i64> =
@@ -633,7 +652,16 @@ pub fn fault_sweep_report(seeds: u64) -> String {
                 "recovered run not flagged yet non-linearizable (seed {seed}): {run}"
             );
         }
-        (ri, recovered, lin, unknown, run.is_suspect(), lats.iter().sum::<i64>(), lats.len() as u64)
+        (
+            ri,
+            recovered,
+            lin,
+            unknown,
+            run.is_suspect(),
+            run.truncated,
+            lats.iter().sum::<i64>(),
+            lats.len() as u64,
+        )
     });
 
     #[derive(Default, Clone, Copy)]
@@ -641,15 +669,17 @@ pub fn fault_sweep_report(seeds: u64) -> String {
         survived: u64,
         unknown: u64,
         suspect: u64,
+        truncated: u64,
         lat_sum: i64,
         lat_n: u64,
     }
     let mut cells = [[Cell::default(); 2]; 5];
-    for (ri, recovered, survived, unknown, suspect, lat_sum, lat_n) in results {
+    for (ri, recovered, survived, unknown, suspect, truncated, lat_sum, lat_n) in results {
         let c = &mut cells[ri][recovered as usize];
         c.survived += survived as u64;
         c.unknown += unknown as u64;
         c.suspect += suspect as u64;
+        c.truncated += truncated as u64;
         c.lat_sum += lat_sum;
         c.lat_n += lat_n;
     }
@@ -659,6 +689,7 @@ pub fn fault_sweep_report(seeds: u64) -> String {
         out,
         "  survival = complete + checker-verified linearizable, over {seeds} seeds; \
          'flagged' counts recovered runs the violation detector marked suspect; \
+         'trunc' counts runs the engine cut at its event budget (Run::truncated); \
          unknown verdicts (checker budget) are tallied separately, not as failures"
     )
     .unwrap();
@@ -670,8 +701,11 @@ pub fn fault_sweep_report(seeds: u64) -> String {
         recovery.backoff_budget()
     )
     .unwrap();
-    writeln!(out, "  drop rate |  bare: survive  mean-lat | recovered: survive  mean-lat  flagged")
-        .unwrap();
+    writeln!(
+        out,
+        "  drop rate |  bare: survive  mean-lat | recovered: survive  mean-lat  flagged  trunc"
+    )
+    .unwrap();
     let pct = |c: &Cell| 100.0 * c.survived as f64 / seeds as f64;
     let lat = |c: &Cell| if c.lat_n == 0 { 0.0 } else { c.lat_sum as f64 / c.lat_n as f64 };
     for (ri, rate) in rates.iter().enumerate() {
@@ -679,13 +713,14 @@ pub fn fault_sweep_report(seeds: u64) -> String {
         let rec = &cells[ri][1];
         writeln!(
             out,
-            "  {:>8.2}% | {:>13.0}% {:>9.0} | {:>16.0}% {:>9.0} {:>7}",
+            "  {:>8.2}% | {:>13.0}% {:>9.0} | {:>16.0}% {:>9.0} {:>7} {:>6}",
             rate * 100.0,
             pct(bare),
             lat(bare),
             pct(rec),
             lat(rec),
-            rec.suspect
+            rec.suspect,
+            bare.truncated + rec.truncated
         )
         .unwrap();
     }
@@ -703,6 +738,8 @@ pub fn fault_sweep_report(seeds: u64) -> String {
     );
     let unk_total: u64 = cells.iter().flat_map(|r| r.iter()).map(|c| c.unknown).sum();
     writeln!(out, "  unknown verdicts (checker budget exhausted): {unk_total}").unwrap();
+    let trunc_total: u64 = cells.iter().flat_map(|r| r.iter()).map(|c| c.truncated).sum();
+    writeln!(out, "  truncated runs (engine event budget): {trunc_total}").unwrap();
     writeln!(
         out,
         "  recovery survival {rec_total}/{} ≥ bare {bare_total}/{} ✓",
@@ -715,6 +752,13 @@ pub fn fault_sweep_report(seeds: u64) -> String {
 
 /// A quick all-experiments digest (used by `--bin all_experiments`).
 pub fn all_reports() -> String {
+    all_reports_observed(&lintime_obs::Obs::off())
+}
+
+/// [`all_reports`] with the fault sweep instrumented through `obs`, so
+/// `all_experiments --metrics-out` can save a metrics snapshot alongside
+/// the text digest.
+pub fn all_reports_observed(obs: &lintime_obs::Obs) -> String {
     let mut out = String::new();
     for (name, report) in [
         ("TABLE 1", table1_report()),
@@ -728,7 +772,7 @@ pub fn all_reports() -> String {
         ("X TRADEOFF", x_tradeoff_report()),
         ("CLOCK SYNC", clocksync_report()),
         ("LINEARIZABILITY SWEEP", linearizability_sweep_report(6)),
-        ("FAULT SWEEP (EXTENSION)", fault_sweep_report(4)),
+        ("FAULT SWEEP (EXTENSION)", fault_sweep_report_observed(4, obs)),
         ("TABLE 6 (EXTENSION, KV STORE)", table_kv_report()),
         ("THROUGHPUT (EXTENSION)", throughput_report()),
         ("N SCALING (EXTENSION)", n_scaling_report()),

@@ -6,7 +6,10 @@
 //! measures the corresponding simulator workload. The workspace-level
 //! `examples/` and `tests/` directories are wired into this crate. The
 //! robustness extension adds a fault-injection sweep
-//! ([`experiments::fault_sweep_report`], `--bin fault_sweep`).
+//! ([`experiments::fault_sweep_report`], `--bin fault_sweep`), and the
+//! observability extension adds traced scenario replay ([`tracecmd`],
+//! `lintime trace`) plus a `--metrics-out` snapshot flag on the sweep
+//! binaries.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,3 +18,4 @@ pub mod experiments;
 pub mod microbench;
 pub mod sweep;
 pub mod timeline;
+pub mod tracecmd;

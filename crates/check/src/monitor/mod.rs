@@ -36,8 +36,9 @@ pub mod queue_like;
 pub mod register;
 
 use crate::history::History;
-use crate::wing_gong::{self, CheckConfig, Verdict};
+use crate::wing_gong::{self, CheckConfig, Verdict, FRONTIER_BUCKETS};
 use lintime_adt::spec::{ObjectSpec, SpecKind};
+use lintime_obs::{EventCategory, Obs};
 use lintime_sim::time::Time;
 use std::sync::Arc;
 
@@ -64,12 +65,13 @@ pub fn check_fast(spec: &Arc<dyn ObjectSpec>, history: &History) -> Verdict {
     check_fast_with(spec, history, CheckConfig::default())
 }
 
-/// [`check_fast`] with an explicit fallback node budget.
-pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) -> Verdict {
-    if history.is_empty() {
-        return Verdict::Linearizable(Vec::new());
-    }
-    let outcome = match spec.kind() {
+/// Route a history to the specialized monitor for its [`SpecKind`], if any.
+fn dispatch_monitor(
+    spec: &Arc<dyn ObjectSpec>,
+    history: &History,
+    cfg: CheckConfig,
+) -> MonitorOutcome {
+    match spec.kind() {
         SpecKind::Register => register::monitor(spec, history),
         // An RMW-register history without actual `rmw` instances is a plain
         // register history; the monitor defers on any other operation name.
@@ -81,8 +83,15 @@ pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: Check
         // Priority queues, rooted trees, products, and unknown types have no
         // specialized monitor (yet): general search.
         _ => MonitorOutcome::Deferred,
-    };
-    match outcome {
+    }
+}
+
+/// [`check_fast`] with an explicit fallback node budget.
+pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) -> Verdict {
+    if history.is_empty() {
+        return Verdict::Linearizable(Vec::new());
+    }
+    match dispatch_monitor(spec, history, cfg) {
         MonitorOutcome::Witness(order) => {
             if verify_witness(spec, history, &order) {
                 Verdict::Linearizable(order)
@@ -96,6 +105,109 @@ pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: Check
         MonitorOutcome::Violation => Verdict::NotLinearizable,
         MonitorOutcome::Deferred => wing_gong::check_with(spec, history, cfg),
     }
+}
+
+/// [`check_fast_with`] with checker observability: monitor fast-path hits
+/// vs Wing–Gong fallbacks, memo hit rate, frontier-size histogram, and
+/// witness replay time land in `obs.metrics` under `check.*`, and each
+/// decision phase emits an [`EventCategory::CheckPhase`] trace event.
+///
+/// With an inactive bundle this is exactly [`check_fast_with`] — same
+/// verdicts, same cost — so callers can thread one `Obs` unconditionally.
+pub fn check_fast_observed(
+    spec: &Arc<dyn ObjectSpec>,
+    history: &History,
+    cfg: CheckConfig,
+    obs: &Obs,
+) -> Verdict {
+    if !obs.is_active() {
+        return check_fast_with(spec, history, cfg);
+    }
+    // Check phases happen after the run; anchor them at the history's end so
+    // an interleaved trace reads chronologically.
+    let t_end = history.ops.iter().map(|o| o.t_respond.0).max().unwrap_or(0);
+    obs.emit(t_end, None, EventCategory::CheckPhase, || {
+        format!("dispatch: {:?} history of {} ops", spec.kind(), history.len())
+    });
+    if history.is_empty() {
+        return Verdict::Linearizable(Vec::new());
+    }
+    let r = &obs.metrics;
+    match dispatch_monitor(spec, history, cfg) {
+        MonitorOutcome::Witness(order) => {
+            let t0 = std::time::Instant::now();
+            let ok = verify_witness(spec, history, &order);
+            let replay_us = t0.elapsed().as_micros() as u64;
+            r.histogram("check.witness_replay_micros", &[10, 100, 1_000, 10_000])
+                .observe(replay_us);
+            if ok {
+                r.counter("check.monitor.witnesses").inc();
+                obs.emit(t_end, None, EventCategory::CheckPhase, || {
+                    format!("monitor witness verified by replay in {replay_us}us")
+                });
+                Verdict::Linearizable(order)
+            } else {
+                debug_assert!(false, "monitor produced an invalid witness");
+                r.counter("check.monitor.invalid_witnesses").inc();
+                obs.emit(t_end, None, EventCategory::CheckPhase, || {
+                    "monitor witness FAILED replay; deciding with the general search".to_string()
+                });
+                observed_fallback(spec, history, cfg, obs, t_end)
+            }
+        }
+        MonitorOutcome::Violation => {
+            r.counter("check.monitor.violations").inc();
+            obs.emit(t_end, None, EventCategory::CheckPhase, || {
+                "monitor violation certificate: not linearizable".to_string()
+            });
+            Verdict::NotLinearizable
+        }
+        MonitorOutcome::Deferred => {
+            r.counter("check.monitor.deferred").inc();
+            obs.emit(t_end, None, EventCategory::CheckPhase, || {
+                format!("monitor deferred {:?}; falling back to Wing-Gong", spec.kind())
+            });
+            observed_fallback(spec, history, cfg, obs, t_end)
+        }
+    }
+}
+
+/// Run the instrumented Wing–Gong search and fold its [`SearchStats`] into
+/// the registry.
+fn observed_fallback(
+    spec: &Arc<dyn ObjectSpec>,
+    history: &History,
+    cfg: CheckConfig,
+    obs: &Obs,
+    t_end: i64,
+) -> Verdict {
+    let (verdict, stats) = wing_gong::check_with_stats(spec, history, cfg);
+    let r = &obs.metrics;
+    r.counter("check.fallback.runs").inc();
+    r.counter("check.fallback.nodes").add(stats.nodes);
+    r.counter("check.fallback.memo_hits").add(stats.memo_hits);
+    r.counter("check.fallback.memo_inserts").add(stats.memo_inserts);
+    let frontier = r.histogram("check.frontier_size", &FRONTIER_BUCKETS);
+    for (i, &n) in stats.frontier_sizes.iter().enumerate() {
+        // Fold pre-bucketed counts in at each bucket's upper bound (overflow
+        // at one past the last bound).
+        let v = FRONTIER_BUCKETS.get(i).copied().unwrap_or_else(|| FRONTIER_BUCKETS[i - 1] + 1);
+        frontier.observe_n(v, n);
+    }
+    obs.emit(t_end, None, EventCategory::CheckPhase, || {
+        format!(
+            "Wing-Gong fallback: {} after {} nodes (memo hit rate {}, max frontier {})",
+            match &verdict {
+                Verdict::Linearizable(_) => "linearizable",
+                Verdict::NotLinearizable => "NOT linearizable",
+                Verdict::Unknown => "unknown (budget exhausted)",
+            },
+            stats.nodes,
+            stats.memo_hit_rate().map_or_else(|| "n/a".to_string(), |x| format!("{:.2}", x)),
+            stats.max_frontier,
+        )
+    });
+    verdict
 }
 
 /// True iff `order` is a permutation of the history that respects real-time
@@ -329,6 +441,43 @@ mod tests {
         ]);
         assert_eq!(counter::monitor(&bad), MonitorOutcome::Violation);
         assert_eq!(check_fast(&spec, &bad), Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn observed_check_counts_fast_path_and_fallback() {
+        let (obs, ring) = Obs::ring(64);
+        let cfg = CheckConfig::default();
+
+        // Fast path: register monitor produces a replay-verified witness.
+        let reg = erase(Register::new(0));
+        let fast = h(vec![
+            (0, OpInstance::new("write", 1, ()), 0, 10),
+            (1, OpInstance::new("read", (), 1), 20, 30),
+        ]);
+        assert!(check_fast_observed(&reg, &fast, cfg, &obs).is_linearizable());
+        assert_eq!(obs.metrics.counter("check.monitor.witnesses").get(), 1);
+        assert_eq!(obs.metrics.counter("check.fallback.runs").get(), 0);
+
+        // Deferred path: duplicate written values force the general search.
+        let dup = h(vec![
+            (0, OpInstance::new("write", 1, ()), 0, 1),
+            (1, OpInstance::new("write", 1, ()), 2, 3),
+        ]);
+        assert!(check_fast_observed(&reg, &dup, cfg, &obs).is_linearizable());
+        assert_eq!(obs.metrics.counter("check.monitor.deferred").get(), 1);
+        assert_eq!(obs.metrics.counter("check.fallback.runs").get(), 1);
+        assert!(obs.metrics.counter("check.fallback.nodes").get() > 0);
+        let frontier =
+            obs.metrics.histogram("check.frontier_size", &wing_gong::FRONTIER_BUCKETS).snapshot();
+        assert!(frontier.count() > 0, "fallback must record frontier sizes");
+
+        // Every decision leaves a check-phase trail in the trace.
+        assert!(ring.events().iter().any(|e| e.category == EventCategory::CheckPhase));
+
+        // Inactive bundle: pure pass-through, nothing recorded.
+        let off = Obs::off();
+        assert!(check_fast_observed(&reg, &fast, cfg, &off).is_linearizable());
+        assert_eq!(off.metrics.counter("check.monitor.witnesses").get(), 0);
     }
 
     #[test]

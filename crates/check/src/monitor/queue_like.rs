@@ -26,7 +26,7 @@
 //! ready producer — earliest consumer deadline first for queues (FIFO:
 //! urgent values in front), latest deadline first for stacks (LIFO: urgent
 //! values on top, never-popped values at the bottom). "Ready" is the
-//! real-time frontier of [`super::Frontier`]. A stalled schedule is *not* a
+//! real-time frontier of the monitor module's `Frontier`. A stalled schedule is *not* a
 //! verdict — the monitor defers; the dispatcher replay-verifies any witness.
 
 use super::{Frontier, MonitorOutcome};

@@ -78,6 +78,49 @@ pub fn check(spec: &Arc<dyn ObjectSpec>, history: &History) -> Verdict {
     check_with(spec, history, CheckConfig::default())
 }
 
+/// Upper bounds of the frontier-size histogram collected by
+/// [`check_with_stats`]; sizes above the last bound land in the implicit
+/// overflow bucket of [`SearchStats::frontier_sizes`].
+pub const FRONTIER_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Search statistics collected by [`check_with_stats`].
+///
+/// These are plain local counters — no atomics, no locks — so collecting
+/// them costs a handful of register increments per node; [`check_with`]
+/// compiles them out entirely via a const-generic flag.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search nodes expanded (memoized states entered).
+    pub nodes: u64,
+    /// Prefixes pruned because `(done set, object state)` was already
+    /// proven fruitless.
+    pub memo_hits: u64,
+    /// States inserted into the memo table.
+    pub memo_inserts: u64,
+    /// Frames popped with their frontier exhausted.
+    pub backtracks: u64,
+    /// Histogram of schedulable-frontier sizes at frame creation, bucketed
+    /// by [`FRONTIER_BUCKETS`] plus one overflow slot.
+    pub frontier_sizes: [u64; FRONTIER_BUCKETS.len() + 1],
+    /// Largest schedulable frontier seen.
+    pub max_frontier: usize,
+}
+
+impl SearchStats {
+    fn record_frontier(&mut self, size: usize) {
+        let idx = FRONTIER_BUCKETS.partition_point(|&b| b < size as u64);
+        self.frontier_sizes[idx] += 1;
+        self.max_frontier = self.max_frontier.max(size);
+    }
+
+    /// Fraction of memo lookups that hit (pruned a branch); `None` before
+    /// any lookup happened.
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let total = self.memo_hits + self.memo_inserts;
+        (total > 0).then(|| self.memo_hits as f64 / total as f64)
+    }
+}
+
 /// One node of the iterative depth-first search: the object state after the
 /// current linearization prefix, plus the schedulable frontier for this node.
 struct Frame {
@@ -101,9 +144,31 @@ fn node_key(done: &BitSet, state_hash: u64) -> u64 {
 
 /// [`check`] with an explicit node budget.
 pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) -> Verdict {
+    // STATS = false compiles every stats update out of the hot loop.
+    search::<false>(spec, history, cfg).0
+}
+
+/// [`check_with`] plus [`SearchStats`] describing the search that produced
+/// the verdict. Slightly slower than [`check_with`] (a few register
+/// increments per node); use it when the numbers matter, not on the
+/// benchmarked default path.
+pub fn check_with_stats(
+    spec: &Arc<dyn ObjectSpec>,
+    history: &History,
+    cfg: CheckConfig,
+) -> (Verdict, SearchStats) {
+    search::<true>(spec, history, cfg)
+}
+
+fn search<const STATS: bool>(
+    spec: &Arc<dyn ObjectSpec>,
+    history: &History,
+    cfg: CheckConfig,
+) -> (Verdict, SearchStats) {
+    let mut stats = SearchStats::default();
     let n = history.len();
     if n == 0 {
-        return Verdict::Linearizable(Vec::new());
+        return (Verdict::Linearizable(Vec::new()), stats);
     }
 
     // Candidates are tried in invocation order (ties by index), which keeps
@@ -137,10 +202,18 @@ pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfi
     memo.insert(node_key(&done, root_obj.state_hash()));
     nodes += 1;
     if nodes > cfg.max_nodes {
-        return Verdict::Unknown;
+        stats.nodes = nodes;
+        return (Verdict::Unknown, stats);
     }
     let mut stack: Vec<Frame> = Vec::with_capacity(n + 1);
     stack.push(make_frame(root_obj, 0, &done));
+    if STATS {
+        stats.memo_inserts += 1;
+        // Every done op sits inside the cand_end prefix (the respond-time
+        // threshold is monotone along a search path), so the schedulable
+        // frontier is exactly the prefix minus the linearized ops.
+        stats.record_frontier(stack[0].cand_end);
+    }
 
     loop {
         let top = stack.len() - 1;
@@ -149,9 +222,15 @@ pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfi
             // Frontier exhausted: provably no linearization extends this
             // prefix. Backtrack (undo the op that created this frame).
             stack.pop();
+            if STATS {
+                stats.backtracks += 1;
+            }
             match order.pop() {
                 Some(i) => done.clear(i),
-                None => return Verdict::NotLinearizable,
+                None => {
+                    stats.nodes = nodes;
+                    return (Verdict::NotLinearizable, stats);
+                }
             }
             continue;
         }
@@ -168,20 +247,29 @@ pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfi
         done.set(i);
         order.push(i);
         if done.full() {
-            return Verdict::Linearizable(order);
+            stats.nodes = nodes;
+            return (Verdict::Linearizable(order), stats);
         }
         if !memo.insert(node_key(&done, child_obj.state_hash())) {
             // Same done set and object state already proven fruitless.
+            if STATS {
+                stats.memo_hits += 1;
+            }
             order.pop();
             done.clear(i);
             continue;
         }
         nodes += 1;
         if nodes > cfg.max_nodes {
-            return Verdict::Unknown;
+            stats.nodes = nodes;
+            return (Verdict::Unknown, stats);
         }
         let resp_from = stack[top].resp_ptr;
         stack.push(make_frame(child_obj, resp_from, &done));
+        if STATS {
+            stats.memo_inserts += 1;
+            stats.record_frontier(stack[stack.len() - 1].cand_end - order.len());
+        }
     }
 }
 
@@ -334,6 +422,27 @@ mod tests {
         let h = History::from_tuples(ops);
         let v = check_with(&spec, &h, CheckConfig { max_nodes: 3 });
         assert_eq!(v, Verdict::Unknown);
+    }
+
+    #[test]
+    fn stats_variant_agrees_with_plain_search() {
+        let spec = erase(FifoQueue::new());
+        let mut tuples: Vec<(usize, OpInstance, i64, i64)> =
+            (0..6i64).map(|i| (0usize, inst("enqueue", i, ()), 0, 1000)).collect();
+        for (k, i) in (0..6i64).enumerate() {
+            tuples.push((1, inst("dequeue", (), i), 2000 + 10 * k as i64, 2005 + 10 * k as i64));
+        }
+        let h = History::from_tuples(tuples);
+        let cfg = CheckConfig::default();
+        let (verdict, stats) = check_with_stats(&spec, &h, cfg);
+        assert_eq!(verdict, check_with(&spec, &h, cfg), "stats must not change the verdict");
+        assert!(verdict.is_linearizable());
+        assert!(stats.nodes > 0);
+        assert!(stats.memo_inserts > 0);
+        assert_eq!(stats.frontier_sizes.iter().sum::<u64>(), stats.memo_inserts);
+        assert!(stats.max_frontier >= 6, "6 concurrent enqueues are all schedulable at the root");
+        let rate = stats.memo_hit_rate().unwrap();
+        assert!((0.0..1.0).contains(&rate));
     }
 
     #[test]

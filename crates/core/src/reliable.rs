@@ -35,6 +35,7 @@ use lintime_adt::spec::{Invocation, ObjectSpec};
 use lintime_check::history::History;
 use lintime_check::monitor::check_fast_with;
 use lintime_check::wing_gong::{CheckConfig, Verdict};
+use lintime_obs::{EventCategory, Obs};
 use lintime_sim::engine::{simulate_full, SimConfig};
 use lintime_sim::node::{Effects, Node};
 use lintime_sim::run::Run;
@@ -121,6 +122,27 @@ struct PendingBroadcast {
     attempt: u32,
 }
 
+/// Pre-registered metric handles for the recovery layer, built once per node
+/// when observability is active (see [`ReliableWtlwNode::with_obs`]).
+struct RelMetrics {
+    acks_sent: lintime_obs::Counter,
+    retransmissions: lintime_obs::Counter,
+    duplicates_suppressed: lintime_obs::Counter,
+    violations: lintime_obs::Counter,
+}
+
+impl RelMetrics {
+    fn register(obs: &Obs) -> RelMetrics {
+        let r = &obs.metrics;
+        RelMetrics {
+            acks_sent: r.counter("reliable.acks_sent"),
+            retransmissions: r.counter("reliable.retransmissions"),
+            duplicates_suppressed: r.counter("reliable.duplicates_suppressed"),
+            violations: r.counter("reliable.violations"),
+        }
+    }
+}
+
 /// [`WtlwNode`] wrapped in the reliable-delivery recovery layer.
 pub struct ReliableWtlwNode {
     pid: Pid,
@@ -132,6 +154,8 @@ pub struct ReliableWtlwNode {
     retransmissions: u64,
     duplicates_suppressed: u64,
     violations: Vec<String>,
+    obs: Obs,
+    metrics: Option<RelMetrics>,
 }
 
 impl ReliableWtlwNode {
@@ -154,7 +178,19 @@ impl ReliableWtlwNode {
             retransmissions: 0,
             duplicates_suppressed: 0,
             violations: Vec::new(),
+            obs: Obs::off(),
+            metrics: None,
         }
+    }
+
+    /// Attach an observability bundle: retransmissions, suppressed
+    /// duplicates, and detector findings become trace events
+    /// ([`EventCategory::Retransmit`], [`EventCategory::Duplicate`],
+    /// [`EventCategory::Suspect`]) and `reliable.*` counters.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.metrics = obs.is_active().then(|| RelMetrics::register(&obs));
+        self.obs = obs;
+        self
     }
 
     /// Number of `Data` retransmissions this node performed.
@@ -225,8 +261,20 @@ impl Node for ReliableWtlwNode {
                 // Always ack, even a duplicate: the sender retransmitted
                 // because it never saw our previous ack.
                 fx.send(from, RelMsg::Ack { ts: m.ts });
+                if let Some(mx) = &self.metrics {
+                    mx.acks_sent.inc();
+                }
                 if !self.seen.insert(m.ts) {
                     self.duplicates_suppressed += 1;
+                    self.obs.emit(
+                        fx.local_time().0,
+                        Some(self.pid.0),
+                        EventCategory::Duplicate,
+                        || format!("suppressed duplicate announcement {:?} from {from}", m.ts),
+                    );
+                    if let Some(mx) = &self.metrics {
+                        mx.duplicates_suppressed.inc();
+                    }
                     return;
                 }
                 if let Some(frontier) = self.frontier() {
@@ -236,6 +284,15 @@ impl Node for ReliableWtlwNode {
                              the execution frontier {:?} — linearization order may be broken",
                             self.pid, m.inv.op, m.ts, frontier
                         ));
+                        self.obs.emit(
+                            fx.local_time().0,
+                            Some(self.pid.0),
+                            EventCategory::Suspect,
+                            || format!("mutator {:?} arrived behind frontier {frontier:?}", m.ts),
+                        );
+                        if let Some(mx) = &self.metrics {
+                            mx.violations.inc();
+                        }
                     }
                 }
                 self.dispatch(fx, |inner, ifx| inner.on_deliver(from, m, ifx));
@@ -270,11 +327,36 @@ impl Node for ReliableWtlwNode {
                          processes {:?} unconfirmed",
                         self.pid, ts, peers
                     ));
+                    self.obs.emit(
+                        fx.local_time().0,
+                        Some(self.pid.0),
+                        EventCategory::Suspect,
+                        || format!("retransmission budget exhausted for {ts:?}; peers {peers:?}"),
+                    );
+                    if let Some(mx) = &self.metrics {
+                        mx.violations.inc();
+                    }
                     self.outstanding.remove(&ts);
                     return;
                 }
                 for to in e.unacked.iter() {
                     fx.send(*to, RelMsg::Data(e.msg.clone()));
+                }
+                self.obs.emit(
+                    fx.local_time().0,
+                    Some(self.pid.0),
+                    EventCategory::Retransmit,
+                    || {
+                        format!(
+                            "retry {} of {:?} to {} unacked peers",
+                            attempt + 1,
+                            ts,
+                            e.unacked.len()
+                        )
+                    },
+                );
+                if let Some(mx) = &self.metrics {
+                    mx.retransmissions.add(e.unacked.len() as u64);
                 }
                 self.retransmissions += e.unacked.len() as u64;
                 e.attempt = attempt + 1;
@@ -299,8 +381,11 @@ pub fn run_reliable(
     recovery: RecoveryConfig,
 ) -> Run {
     let params = cfg.params;
-    let (mut run, nodes) =
-        simulate_full(cfg, |pid| ReliableWtlwNode::new(pid, Arc::clone(spec), params, x, recovery));
+    // Nodes inherit the config's observability bundle, so one `with_obs` on
+    // the SimConfig lights up both the engine and the recovery layer.
+    let (mut run, nodes) = simulate_full(cfg, |pid| {
+        ReliableWtlwNode::new(pid, Arc::clone(spec), params, x, recovery).with_obs(cfg.obs.clone())
+    });
     for node in &nodes {
         run.suspect.extend(node.violations().iter().cloned());
     }
@@ -498,6 +583,32 @@ mod tests {
         assert!(run.is_suspect(), "stale arrival must mark the run suspect");
         assert!(!run.certifiable());
         assert!(run.suspect.iter().any(|v| v.contains("execution frontier")), "{:?}", run.suspect);
+    }
+
+    #[test]
+    fn observed_recovery_traces_retransmissions() {
+        let p = params();
+        let rc = RecoveryConfig { rto: p.d * 2, max_retries: 1 };
+        let spec = erase(Register::new(0));
+        let (obs, ring) = Obs::ring(8192);
+        let cfg = SimConfig::new(p, DelaySpec::AllMax)
+            .with_faults(FaultPlan::new(7).drop_exact(Pid(0), Pid(1), 0))
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("write", 9)).at(
+                Pid(1),
+                Time(200_000),
+                Invocation::nullary("read"),
+            ))
+            .with_obs(obs.clone());
+        let run = run_reliable(&spec, &cfg, Time::ZERO, rc);
+        assert!(run.complete(), "{run}");
+        let events = ring.events();
+        assert!(
+            events.iter().any(|e| e.category == EventCategory::Retransmit),
+            "dropped announcement must surface as a retransmit event"
+        );
+        assert!(obs.metrics.counter("reliable.retransmissions").get() >= 1);
+        assert!(obs.metrics.counter("reliable.acks_sent").get() >= 1);
+        assert_eq!(obs.metrics.counter("reliable.violations").get(), 0);
     }
 
     #[test]

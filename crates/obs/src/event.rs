@@ -1,0 +1,359 @@
+//! Trace records: the event taxonomy and the JSONL wire format.
+//!
+//! A [`TraceEvent`] is one observed fact about a run: *when* (simulated
+//! ticks and wall-clock microseconds), *where* (process id, when one
+//! applies), *what* ([`EventCategory`]), and a free-form detail string. The
+//! taxonomy is deliberately small and layer-spanning, so a single
+//! chronological event log reads like one of the paper's run diagrams
+//! (Figures 1–10) with the machinery made visible.
+//!
+//! Events serialize to one JSON object per line ([`TraceEvent::to_jsonl`])
+//! and parse back losslessly ([`TraceEvent::from_jsonl`]); the round trip is
+//! tested, so JSONL traces on disk are replayable inputs, not just logs.
+
+use std::fmt;
+
+/// What kind of fact an event records. One flat enum across all layers so a
+/// merged log needs no schema negotiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventCategory {
+    /// A message was handed to the transport (engine send / router ingress).
+    Send,
+    /// A message was delivered to a process.
+    Recv,
+    /// The recovery layer retransmitted an unacked broadcast.
+    Retransmit,
+    /// A message was dropped by fault injection.
+    Drop,
+    /// A message was duplicated by fault injection.
+    Duplicate,
+    /// A message's delay was overridden by fault injection.
+    DelayOverride,
+    /// A process crashed (takes no further steps).
+    Crash,
+    /// A process's events were deferred by a stall window.
+    Stall,
+    /// An operation was invoked.
+    OpInvoke,
+    /// An operation responded.
+    OpRespond,
+    /// A checker phase boundary or decision (monitor dispatch, fallback,
+    /// witness verification, budget exhaustion).
+    CheckPhase,
+    /// The recovery layer's violation detector flagged the run suspect.
+    Suspect,
+    /// The live harness's watchdog fired (node thread missed its deadline).
+    Watchdog,
+}
+
+impl EventCategory {
+    /// Stable lower-kebab token used on the wire and in rendered logs.
+    pub fn token(self) -> &'static str {
+        match self {
+            EventCategory::Send => "send",
+            EventCategory::Recv => "recv",
+            EventCategory::Retransmit => "retransmit",
+            EventCategory::Drop => "drop",
+            EventCategory::Duplicate => "duplicate",
+            EventCategory::DelayOverride => "delay-override",
+            EventCategory::Crash => "crash",
+            EventCategory::Stall => "stall",
+            EventCategory::OpInvoke => "op-invoke",
+            EventCategory::OpRespond => "op-respond",
+            EventCategory::CheckPhase => "check-phase",
+            EventCategory::Suspect => "suspect",
+            EventCategory::Watchdog => "watchdog",
+        }
+    }
+
+    /// Inverse of [`EventCategory::token`].
+    pub fn from_token(s: &str) -> Option<EventCategory> {
+        EventCategory::ALL.iter().copied().find(|c| c.token() == s)
+    }
+
+    /// Every category, in declaration order.
+    pub const ALL: [EventCategory; 13] = [
+        EventCategory::Send,
+        EventCategory::Recv,
+        EventCategory::Retransmit,
+        EventCategory::Drop,
+        EventCategory::Duplicate,
+        EventCategory::DelayOverride,
+        EventCategory::Crash,
+        EventCategory::Stall,
+        EventCategory::OpInvoke,
+        EventCategory::OpRespond,
+        EventCategory::CheckPhase,
+        EventCategory::Suspect,
+        EventCategory::Watchdog,
+    ];
+}
+
+impl fmt::Display for EventCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One structured trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time in ticks (real time for engine events, local clock for
+    /// node-internal events — the detail says which when it matters).
+    pub sim_time: i64,
+    /// Wall-clock microseconds since the owning sink handle was created.
+    pub wall_micros: u64,
+    /// The process the event belongs to, if any (checker events have none).
+    pub pid: Option<usize>,
+    /// What happened.
+    pub category: EventCategory,
+    /// Free-form, human-readable specifics.
+    pub detail: String,
+}
+
+/// Escape a string for a JSON string literal (same policy as the bench
+/// harness's `JsonReport`).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape the subset of JSON string escapes that [`escape`] produces.
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad codepoint {code}"))?);
+            }
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+impl TraceEvent {
+    /// Render as one JSON object (no trailing newline). Keys are stable:
+    /// `t`, `wall_us`, `pid` (absent when none), `cat`, `detail`.
+    pub fn to_jsonl(&self) -> String {
+        let pid = match self.pid {
+            Some(p) => format!("\"pid\": {p}, "),
+            None => String::new(),
+        };
+        format!(
+            "{{\"t\": {}, \"wall_us\": {}, {pid}\"cat\": \"{}\", \"detail\": \"{}\"}}",
+            self.sim_time,
+            self.wall_micros,
+            self.category.token(),
+            escape(&self.detail)
+        )
+    }
+
+    /// Parse one line produced by [`TraceEvent::to_jsonl`]. This is a
+    /// purpose-built parser for the fixed field set above, not a general
+    /// JSON reader; unknown keys are rejected so drift is caught loudly.
+    pub fn from_jsonl(line: &str) -> Result<TraceEvent, String> {
+        let body = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("not a JSON object: {line:?}"))?;
+        let mut sim_time: Option<i64> = None;
+        let mut wall_micros: Option<u64> = None;
+        let mut pid: Option<usize> = None;
+        let mut category: Option<EventCategory> = None;
+        let mut detail: Option<String> = None;
+
+        let mut rest = body.trim_start();
+        while !rest.is_empty() {
+            let (key, after_key) = parse_key(rest)?;
+            let after_colon = after_key
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("missing ':' after {key:?}"))?
+                .trim_start();
+            let after_value = match key.as_str() {
+                "t" => {
+                    let (v, r) = parse_int(after_colon)?;
+                    sim_time = Some(v);
+                    r
+                }
+                "wall_us" => {
+                    let (v, r) = parse_int(after_colon)?;
+                    wall_micros =
+                        Some(u64::try_from(v).map_err(|_| format!("negative wall_us {v}"))?);
+                    r
+                }
+                "pid" => {
+                    let (v, r) = parse_int(after_colon)?;
+                    pid = Some(usize::try_from(v).map_err(|_| format!("negative pid {v}"))?);
+                    r
+                }
+                "cat" => {
+                    let (raw, r) = parse_string(after_colon)?;
+                    category = Some(
+                        EventCategory::from_token(&raw)
+                            .ok_or_else(|| format!("unknown category {raw:?}"))?,
+                    );
+                    r
+                }
+                "detail" => {
+                    let (raw, r) = parse_string(after_colon)?;
+                    detail = Some(unescape(&raw)?);
+                    r
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            };
+            rest = after_value.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("trailing junk {rest:?}"));
+            }
+        }
+        Ok(TraceEvent {
+            sim_time: sim_time.ok_or("missing key \"t\"")?,
+            wall_micros: wall_micros.ok_or("missing key \"wall_us\"")?,
+            pid,
+            category: category.ok_or("missing key \"cat\"")?,
+            detail: detail.ok_or("missing key \"detail\"")?,
+        })
+    }
+
+    /// Parse a whole JSONL document (one event per non-empty line).
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .enumerate()
+            .map(|(i, l)| TraceEvent::from_jsonl(l).map_err(|e| format!("line {}: {e}", i + 1)))
+            .collect()
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pid = self.pid.map_or_else(|| "  --".into(), |p| format!("  p{p}"));
+        write!(f, "t={:<9}{pid}  {:<14} {}", self.sim_time, self.category.token(), self.detail)
+    }
+}
+
+/// Parse a quoted JSON key; returns `(key, rest_after_closing_quote)`.
+fn parse_key(s: &str) -> Result<(String, &str), String> {
+    let (raw, rest) = parse_string(s)?;
+    Ok((raw, rest))
+}
+
+/// Parse a quoted string (raw, still escaped); returns `(contents, rest)`.
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let inner = s.strip_prefix('"').ok_or_else(|| format!("expected string at {s:?}"))?;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Ok((inner[..i].to_string(), &inner[i + 1..]));
+        }
+    }
+    Err(format!("unterminated string at {s:?}"))
+}
+
+/// Parse a (possibly negative) integer; returns `(value, rest)`.
+fn parse_int(s: &str) -> Result<(i64, &str), String> {
+    let end = s
+        .char_indices()
+        .find(|(i, c)| !(c.is_ascii_digit() || (*i == 0 && *c == '-')))
+        .map_or(s.len(), |(i, _)| i);
+    let (num, rest) = s.split_at(end);
+    Ok((num.parse().map_err(|_| format!("expected integer at {s:?}"))?, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pid: Option<usize>, detail: &str) -> TraceEvent {
+        TraceEvent {
+            sim_time: -42,
+            wall_micros: 123_456,
+            pid,
+            category: EventCategory::Retransmit,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn category_tokens_round_trip() {
+        for c in EventCategory::ALL {
+            assert_eq!(EventCategory::from_token(c.token()), Some(c));
+        }
+        assert_eq!(EventCategory::from_token("nonsense"), None);
+    }
+
+    #[test]
+    fn jsonl_round_trips_plain_and_escaped() {
+        for ev in [
+            sample(Some(3), "plain detail"),
+            sample(None, "quotes \" and \\ and\nnewline\tand \u{1} control"),
+        ] {
+            let line = ev.to_jsonl();
+            let back = TraceEvent::from_jsonl(&line).unwrap();
+            assert_eq!(back, ev, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_round_trips_in_order() {
+        let events: Vec<TraceEvent> = (0..20)
+            .map(|i| TraceEvent {
+                sim_time: i * 7,
+                wall_micros: i as u64,
+                pid: (i % 3 != 0).then_some(i as usize),
+                category: EventCategory::ALL[i as usize % EventCategory::ALL.len()],
+                detail: format!("event #{i}"),
+            })
+            .collect();
+        let doc: String = events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        assert_eq!(TraceEvent::parse_jsonl(&doc).unwrap(), events);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(TraceEvent::from_jsonl("not json").is_err());
+        assert!(TraceEvent::from_jsonl("{\"t\": 1}").is_err()); // missing keys
+        assert!(TraceEvent::from_jsonl(
+            "{\"t\": 1, \"wall_us\": 2, \"cat\": \"send\", \"detail\": \"x\", \"bogus\": 3}"
+        )
+        .is_err());
+        assert!(TraceEvent::from_jsonl(
+            "{\"t\": 1, \"wall_us\": 2, \"cat\": \"warp\", \"detail\": \"x\"}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Metrics: counters, gauges, and fixed-bucket histograms in a [`Registry`],
+//! with a dependency-free JSON snapshot exporter in the same one-object-per-
+//! line style as the bench harness's `JsonReport`.
+//!
+//! Handles are `Arc`-backed and lock-free to update (plain atomics), so hot
+//! loops pay one atomic RMW per update; registration (name lookup) takes a
+//! lock and should happen once, outside the loop. Registration is
+//! idempotent: asking twice for the same name returns the same underlying
+//! metric, so independent layers can share a registry without coordination.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depth, frontier
+/// size, …). [`Gauge::set_max`] keeps a running high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed upper-bound buckets.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one implicit overflow
+/// bucket (`+inf`) catches everything above the last bound, saturating
+/// rather than losing samples. Bounds are fixed at registration: snapshots
+/// are mergeable and the observe path is a binary search plus one atomic.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    /// One slot per bound plus the overflow bucket.
+    counts: Arc<Vec<AtomicU64>>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must strictly increase");
+        Histogram {
+            bounds: Arc::new(bounds.to_vec()),
+            counts: Arc::new((0..=bounds.len()).map(|_| AtomicU64::new(0)).collect()),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record `n` observations of value `v` at once — used to fold counts
+    /// that were pre-bucketed elsewhere (e.g. a search's local stats) into a
+    /// registry histogram without `n` separate updates.
+    pub fn observe_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    /// Record a signed observation, clamping negatives to zero (negative
+    /// durations/sizes do not occur; clamping beats panicking in a metrics
+    /// path).
+    pub fn observe_i64(&self, v: i64) {
+        self.observe(v.max(0) as u64);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.as_ref().clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, strictly increasing; the overflow bucket is implicit.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (last =
+    /// overflow).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observed value (`None` with zero samples — never NaN).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum as f64 / n as f64)
+    }
+
+    /// Count in the overflow (`+inf`) bucket.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().expect("counts never empty")
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Cloning shares the underlying map, so one
+/// registry can be threaded through every layer of a run and snapshotted at
+/// the end.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Registry({} metrics)", self.metrics.lock().unwrap().len())
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is already a
+    /// different metric kind (a naming bug, not a runtime condition).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name` with the given bucket bounds
+    /// (strictly increasing). A second registration must pass identical
+    /// bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => {
+                assert_eq!(*h.bounds, bounds, "histogram {name:?} re-registered with new bounds");
+                h.clone()
+            }
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Render every metric as a flat JSON array, one object per metric, in
+    /// name order (the `JsonReport` style — no external serializer).
+    ///
+    /// Counters/gauges carry `value`; histograms carry `count`, `sum`,
+    /// `mean` (null with zero samples), one `le_<bound>` field per bucket,
+    /// and `le_inf` for the overflow bucket.
+    pub fn snapshot_json(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut out = String::from("[\n");
+        for (i, (name, metric)) in m.iter().enumerate() {
+            out.push_str("  {");
+            out.push_str(&format!("\"metric\": \"{name}\", "));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("\"type\": \"counter\", \"value\": {}", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("\"type\": \"gauge\", \"value\": {}", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"mean\": {}",
+                        s.count(),
+                        s.sum,
+                        s.mean().map_or("null".into(), |x| format!("{x}"))
+                    ));
+                    for (b, c) in s.bounds.iter().zip(&s.counts) {
+                        out.push_str(&format!(", \"le_{b}\": {c}"));
+                    }
+                    out.push_str(&format!(", \"le_inf\": {}", s.overflow()));
+                }
+            }
+            out.push('}');
+            if i + 1 < m.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Write [`Registry::snapshot_json`] to `path`.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_json())
+    }
+
+    /// A compact console rendering: one metric per line, name-ordered.
+    /// Counters and gauges print their value; histograms print sample
+    /// count, mean, and how many samples landed past the last bound.
+    pub fn render_text(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            let rendered = match metric {
+                Metric::Counter(c) => format!("{}", c.get()),
+                Metric::Gauge(g) => format!("{}", g.get()),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    match s.mean() {
+                        Some(mean) => {
+                            format!("n={} mean={mean:.1} over-max={}", s.count(), s.overflow())
+                        }
+                        None => "n=0".to_string(),
+                    }
+                }
+            };
+            out.push_str(&format!("  {name:<36} {rendered}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_update() {
+        let r = Registry::new();
+        let c = r.counter("sim.events");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("sim.events").get(), 5, "re-registration shares state");
+        let g = r.gauge("router.queue_depth");
+        g.set(7);
+        g.add(-2);
+        g.set_max(3); // below current 5: no change
+        assert_eq!(g.get(), 5);
+        g.set_max(11);
+        assert_eq!(r.gauge("router.queue_depth").get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_values_at_boundaries() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [0, 10, 11, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // <=10: {0, 10}; <=100: {11, 100}; +inf: {}.
+        assert_eq!(s.counts, vec![2, 2, 0]);
+        assert_eq!(s.sum, 121);
+        assert_eq!(s.mean(), Some(30.25));
+    }
+
+    #[test]
+    fn histogram_with_zero_samples_is_well_defined() {
+        let h = Histogram::new(&[1, 2, 3]);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.mean(), None, "no samples must not divide by zero");
+        assert_eq!(s.overflow(), 0);
+        // The exporter renders it with mean null, not NaN.
+        let r = Registry::new();
+        r.histogram("empty", &[1, 2, 3]);
+        let json = r.snapshot_json();
+        assert!(json.contains("\"mean\": null"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_saturates_instead_of_losing() {
+        let h = Histogram::new(&[10]);
+        for v in [11, 1_000, u64::MAX / 4] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 0);
+        assert_eq!(s.overflow(), 3, "everything above the last bound lands in +inf");
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn negative_signed_observations_clamp_to_zero() {
+        let h = Histogram::new(&[5]);
+        h.observe_i64(-3);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.sum, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_is_a_loud_bug() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+
+    #[test]
+    fn render_text_covers_every_metric_kind() {
+        let r = Registry::new();
+        r.counter("sends").add(3);
+        r.gauge("depth").set(-1);
+        r.histogram("lat", &[10]).observe(4);
+        r.histogram("empty", &[10]);
+        let text = r.render_text();
+        assert!(text.contains("sends") && text.contains('3'), "{text}");
+        assert!(text.contains("depth") && text.contains("-1"), "{text}");
+        assert!(text.contains("n=1 mean=4.0 over-max=0"), "{text}");
+        assert!(text.contains("n=0"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_and_ordered() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.depth").set(-4);
+        r.histogram("c.lat", &[10, 20]).observe(15);
+        let json = r.snapshot_json();
+        let a = json.find("a.depth").unwrap();
+        let b = json.find("b.count").unwrap();
+        let c = json.find("c.lat").unwrap();
+        assert!(a < b && b < c, "name-ordered: {json}");
+        assert!(json.contains("\"value\": -4"));
+        assert!(json.contains("\"le_10\": 0, \"le_20\": 1, \"le_inf\": 0"), "{json}");
+    }
+}

@@ -12,6 +12,7 @@
 use crate::clock::LiveClock;
 use crate::platform::{spawn_node, Command, NodeInput, NodeOutput};
 use crate::router::Router;
+use lintime_obs::{EventCategory, Obs};
 use lintime_sim::delay::DelaySpec;
 use lintime_sim::faults::FaultPlan;
 use lintime_sim::node::Node;
@@ -40,6 +41,9 @@ pub struct LiveConfig {
     /// Optional deterministic fault plan, mirrored onto the live router
     /// (drops, duplicates, delay overrides per link).
     pub faults: Option<FaultPlan>,
+    /// Observability bundle, shared with the router thread. [`Obs::off`]
+    /// (the default) keeps the harness and router uninstrumented.
+    pub obs: Obs,
 }
 
 impl LiveConfig {
@@ -52,12 +56,19 @@ impl LiveConfig {
             delay,
             settle: params.d * 3,
             faults: None,
+            obs: Obs::off(),
         }
     }
 
     /// Inject `plan` into the router (builder style).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach an observability bundle (builder style).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -121,12 +132,14 @@ pub fn run_live<N: Node + 'static>(
         input_txs.push(tx);
         input_rxs.push(rx);
     }
-    let router = Router::spawn_with_faults(
+    let obs = &cfg.obs;
+    let router = Router::spawn_observed(
         cfg.params,
         cfg.delay.clone(),
         base_clock,
         input_txs.clone(),
         cfg.faults.clone(),
+        obs.clone(),
     );
 
     let (results_tx, results_rx) = channel::<(Pid, NodeOutput)>();
@@ -158,6 +171,7 @@ pub fn run_live<N: Node + 'static>(
             std::thread::sleep(due - now);
         }
         let pid = inv.pid;
+        obs.emit(inv.at.0, Some(pid.0), EventCategory::OpInvoke, || format!("{:?}", inv.inv));
         if let Err(e) = input_txs[pid.0].try_send(NodeInput::Command(Command::Invoke(inv.inv))) {
             let why = match e {
                 TrySendError::Full(_) => "its inbox is full (node wedged?)",
@@ -165,6 +179,12 @@ pub fn run_live<N: Node + 'static>(
             };
             errors.push(format!("process {pid}: invocation not delivered — {why}"));
             truncated = true;
+            obs.emit(inv.at.0, Some(pid.0), EventCategory::Watchdog, || {
+                format!("invocation undeliverable: {why}")
+            });
+            if obs.is_active() {
+                obs.metrics.counter("harness.undeliverable_invocations").inc();
+            }
         }
         last = last.max(inv.at);
     }
@@ -212,6 +232,12 @@ pub fn run_live<N: Node + 'static>(
                     "process p{i}: node thread did not shut down within the {grace:?} watchdog \
                      deadline — crashed, stalled, or deadlocked"
                 ));
+                obs.emit(base_clock.real_now().0, Some(i), EventCategory::Watchdog, || {
+                    format!("node thread missed the {grace:?} shutdown deadline")
+                });
+                if obs.is_active() {
+                    obs.metrics.counter("harness.watchdog_fires").inc();
+                }
             }
         }
     }
@@ -361,6 +387,8 @@ mod tests {
     fn stalled_node_trips_the_watchdog_instead_of_hanging() {
         let mut cfg = cfg();
         cfg.settle = Time(300); // keep the test fast: 60 ms settle + grace
+        let (obs, ring) = Obs::ring(1024);
+        cfg = cfg.with_obs(obs.clone());
         let schedule =
             vec![TimedInvocation { pid: Pid(1), at: Time(50), inv: Invocation::nullary("wedge") }];
         let start = Instant::now();
@@ -371,6 +399,13 @@ mod tests {
             run.errors.iter().any(|e| e.contains("p1") && e.contains("watchdog")),
             "{:?}",
             run.errors
+        );
+        // The watchdog firing is also visible through the observability layer.
+        assert_eq!(obs.metrics.counter("harness.watchdog_fires").get(), 1);
+        assert!(ring.events().iter().any(|e| e.category == EventCategory::Watchdog));
+        assert!(
+            ring.events().iter().any(|e| e.category == EventCategory::OpInvoke),
+            "driven invocations must be traced"
         );
     }
 

@@ -13,6 +13,7 @@
 //! injected fault in the [`RouterReport`].
 
 use crate::clock::LiveClock;
+use lintime_obs::{EventCategory, Obs};
 use lintime_sim::delay::DelaySpec;
 use lintime_sim::faults::{FaultPlan, InjectedFault};
 use lintime_sim::time::{ModelParams, Pid};
@@ -97,10 +98,25 @@ impl<M: Clone + Send + 'static> Router<M> {
         inboxes: Vec<SyncSender<I>>,
         faults: Option<FaultPlan>,
     ) -> Router<M> {
+        Self::spawn_observed(params, delay, clock, inboxes, faults, Obs::off())
+    }
+
+    /// [`Router::spawn_with_faults`] with an observability bundle: every
+    /// accepted, forwarded, dropped, duplicated, and delay-overridden message
+    /// becomes a trace event, and `router.*` metrics track throughput plus
+    /// the delay heap's depth (current and high-water).
+    pub fn spawn_observed<I: From<(Pid, M)> + Send + 'static>(
+        params: ModelParams,
+        delay: DelaySpec,
+        clock: LiveClock,
+        inboxes: Vec<SyncSender<I>>,
+        faults: Option<FaultPlan>,
+        obs: Obs,
+    ) -> Router<M> {
         let (tx, rx): (SyncSender<Envelope<M>>, Receiver<Envelope<M>>) = sync_channel(4096);
         let handle = std::thread::Builder::new()
             .name("lintime-router".into())
-            .spawn(move || route(params, delay, clock, rx, inboxes, faults))
+            .spawn(move || route(params, delay, clock, rx, inboxes, faults, obs))
             .expect("spawn router");
         Router { tx, handle }
     }
@@ -112,6 +128,31 @@ impl<M: Clone + Send + 'static> Router<M> {
     }
 }
 
+/// Pre-registered router metric handles (only built when `obs` is active).
+struct RouterMetrics {
+    routed: lintime_obs::Counter,
+    queue_depth: lintime_obs::Gauge,
+    queue_high_water: lintime_obs::Gauge,
+    drops: lintime_obs::Counter,
+    duplicates: lintime_obs::Counter,
+    delay_overrides: lintime_obs::Counter,
+}
+
+impl RouterMetrics {
+    fn register(obs: &Obs) -> RouterMetrics {
+        let r = &obs.metrics;
+        RouterMetrics {
+            routed: r.counter("router.routed"),
+            queue_depth: r.gauge("router.queue_depth"),
+            queue_high_water: r.gauge("router.queue_high_water"),
+            drops: r.counter("router.fault.drops"),
+            duplicates: r.counter("router.fault.duplicates"),
+            delay_overrides: r.counter("router.fault.delay_overrides"),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn route<M: Clone, I: From<(Pid, M)>>(
     params: ModelParams,
     delay: DelaySpec,
@@ -119,6 +160,7 @@ fn route<M: Clone, I: From<(Pid, M)>>(
     rx: Receiver<Envelope<M>>,
     inboxes: Vec<SyncSender<I>>,
     faults: Option<FaultPlan>,
+    obs: Obs,
 ) -> RouterReport {
     let n = params.n;
     let mut counters = vec![0u64; n * n];
@@ -126,14 +168,22 @@ fn route<M: Clone, I: From<(Pid, M)>>(
     let mut seq = 0u64;
     let mut report = RouterReport::default();
     let mut closed = false;
+    let metrics = obs.is_active().then(|| RouterMetrics::register(&obs));
     loop {
         // Deliver everything due.
         let now = Instant::now();
         while heap.peek().is_some_and(|Reverse(s)| s.due <= now) {
             let Reverse(s) = heap.pop().expect("peeked");
+            obs.emit(clock.real_now().0, Some(s.env.to.0), EventCategory::Recv, || {
+                format!("forwarded from {} to {}", s.env.from, s.env.to)
+            });
             // A closed inbox means the node already shut down; drop quietly.
             let _ = inboxes[s.env.to.0].send(I::from((s.env.from, s.env.msg)));
             report.routed += 1;
+            if let Some(m) = &metrics {
+                m.routed.inc();
+                m.queue_depth.set(heap.len() as i64);
+            }
         }
         if closed && heap.is_empty() {
             return report;
@@ -152,6 +202,9 @@ fn route<M: Clone, I: From<(Pid, M)>>(
                     v
                 };
                 let t_send = clock.real_now();
+                obs.emit(t_send.0, Some(env.from.0), EventCategory::Send, || {
+                    format!("accepted {} -> {} k={k}", env.from, env.to)
+                });
                 let mut ticks = delay.delay(params, env.from, env.to, k);
                 if let Some(plan) = &faults {
                     if let Some(over) = plan.delay_override(env.from, env.to, k) {
@@ -162,6 +215,12 @@ fn route<M: Clone, I: From<(Pid, M)>>(
                             k,
                             delay: over,
                         });
+                        obs.emit(t_send.0, Some(env.from.0), EventCategory::DelayOverride, || {
+                            format!("{} -> {} k={k}: delay forced to {over}", env.from, env.to)
+                        });
+                        if let Some(m) = &metrics {
+                            m.delay_overrides.inc();
+                        }
                     }
                     if plan.should_drop(env.from, env.to, k) {
                         report.faults.push(InjectedFault::Dropped {
@@ -170,6 +229,12 @@ fn route<M: Clone, I: From<(Pid, M)>>(
                             k,
                             t_send,
                         });
+                        obs.emit(t_send.0, Some(env.from.0), EventCategory::Drop, || {
+                            format!("{} -> {} k={k} dropped", env.from, env.to)
+                        });
+                        if let Some(m) = &metrics {
+                            m.drops.inc();
+                        }
                         continue;
                     }
                     if plan.should_duplicate(env.from, env.to, k) {
@@ -180,6 +245,12 @@ fn route<M: Clone, I: From<(Pid, M)>>(
                             k,
                             t_extra: t_send + extra,
                         });
+                        obs.emit(t_send.0, Some(env.from.0), EventCategory::Duplicate, || {
+                            format!("{} -> {} k={k} duplicated", env.from, env.to)
+                        });
+                        if let Some(m) = &metrics {
+                            m.duplicates.inc();
+                        }
                         heap.push(Reverse(Scheduled {
                             due: Instant::now() + clock.to_duration(extra),
                             seq,
@@ -191,6 +262,10 @@ fn route<M: Clone, I: From<(Pid, M)>>(
                 let due = Instant::now() + clock.to_duration(ticks);
                 heap.push(Reverse(Scheduled { due, seq, env }));
                 seq += 1;
+                if let Some(m) = &metrics {
+                    m.queue_depth.set(heap.len() as i64);
+                    m.queue_high_water.set_max(heap.len() as i64);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => closed = true,

@@ -16,6 +16,7 @@ use crate::run::{MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
 use crate::schedule::Schedule;
 use crate::time::{ModelParams, Pid, Time};
 use lintime_adt::spec::Invocation;
+use lintime_obs::{EventCategory, Obs};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
@@ -44,6 +45,9 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Fault schedule to inject (None = fault-free).
     pub faults: Option<FaultPlan>,
+    /// Observability bundle. [`Obs::off`] (the default) reduces every
+    /// instrumentation point to a single branch.
+    pub obs: Obs,
 }
 
 impl SimConfig {
@@ -60,6 +64,7 @@ impl SimConfig {
             max_real_time: None,
             max_events: 50_000_000,
             faults: None,
+            obs: Obs::off(),
         }
     }
 
@@ -86,6 +91,12 @@ impl SimConfig {
     /// Inject faults from `plan` (see [`FaultPlan`]).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach an observability bundle (trace sink + metrics registry).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -163,6 +174,7 @@ impl SimConfig {
             max_real_time: self.max_real_time,
             max_events: self.max_events,
             faults: self.faults.clone(),
+            obs: self.obs.clone(),
         }
     }
 }
@@ -216,6 +228,49 @@ struct ProcState {
     script_gap: Time,
 }
 
+/// Pre-registered metric handles for the engine hot loop. Registration takes
+/// a lock, so it happens once per run ([`EngineMetrics::register`]) and only
+/// when observability is active; the loop then pays one branch plus one
+/// relaxed atomic per instrumented site.
+struct EngineMetrics {
+    events: lintime_obs::Counter,
+    invocations: lintime_obs::Counter,
+    responses: lintime_obs::Counter,
+    sends: lintime_obs::Counter,
+    deliveries: lintime_obs::Counter,
+    timer_fires: lintime_obs::Counter,
+    drops: lintime_obs::Counter,
+    duplicates: lintime_obs::Counter,
+    delay_overrides: lintime_obs::Counter,
+    stall_deferrals: lintime_obs::Counter,
+    crash_discards: lintime_obs::Counter,
+    delay_draw: lintime_obs::Histogram,
+    op_latency: lintime_obs::Histogram,
+}
+
+impl EngineMetrics {
+    fn register(obs: &Obs) -> EngineMetrics {
+        let r = &obs.metrics;
+        // Tick buckets bracket the default experiment scale (d = 6000).
+        EngineMetrics {
+            events: r.counter("sim.events"),
+            invocations: r.counter("sim.op.invocations"),
+            responses: r.counter("sim.op.responses"),
+            sends: r.counter("sim.msg.sends"),
+            deliveries: r.counter("sim.msg.deliveries"),
+            timer_fires: r.counter("sim.timer.fires"),
+            drops: r.counter("sim.fault.drops"),
+            duplicates: r.counter("sim.fault.duplicates"),
+            delay_overrides: r.counter("sim.fault.delay_overrides"),
+            stall_deferrals: r.counter("sim.fault.stall_deferrals"),
+            crash_discards: r.counter("sim.fault.crash_discards"),
+            delay_draw: r.histogram("sim.msg.delay_ticks", &[750, 1500, 3000, 6000, 12000, 24000]),
+            op_latency: r
+                .histogram("sim.op.latency_ticks", &[1500, 3000, 6000, 12000, 24000, 48000]),
+        }
+    }
+}
+
 /// Run the simulation: one node per process, built by `make_node`.
 pub fn simulate<N: Node>(config: &SimConfig, make_node: impl FnMut(Pid) -> N) -> Run {
     simulate_full(config, make_node).0
@@ -256,6 +311,9 @@ pub fn simulate_full<N: Node>(
     // which crashes were already recorded, to log each fault once.
     let mut stalls_recorded: HashSet<(usize, Time)> = HashSet::new();
     let mut crashes_recorded: HashSet<usize> = HashSet::new();
+
+    let obs = &config.obs;
+    let metrics = obs.is_active().then(|| EngineMetrics::register(obs));
 
     // Refuse structurally invalid configurations up front with a clear
     // error instead of panicking mid-run (e.g. an undersized delay matrix).
@@ -322,6 +380,12 @@ pub fn simulate_full<N: Node>(
                 if now >= at {
                     if crashes_recorded.insert(pid.0) {
                         faults.push(InjectedFault::Crashed { pid, at });
+                        obs.emit(now.0, Some(pid.0), EventCategory::Crash, || {
+                            format!("process crashed at {at}")
+                        });
+                    }
+                    if let Some(m) = &metrics {
+                        m.crash_discards.inc();
                     }
                     // An invocation at a crashed process is recorded (the
                     // user observes no response — the run is incomplete),
@@ -341,6 +405,12 @@ pub fn simulate_full<N: Node>(
             if let Some(until) = plan.stall_until(pid, now) {
                 if stalls_recorded.insert((pid.0, until)) {
                     faults.push(InjectedFault::Stalled { pid, from: now, until });
+                    obs.emit(now.0, Some(pid.0), EventCategory::Stall, || {
+                        format!("stalled until {until}")
+                    });
+                }
+                if let Some(m) = &metrics {
+                    m.stall_deferrals.inc();
                 }
                 heap.push(Reverse(Entry {
                     key: EventKey { time: until, class: entry.key.class, seq },
@@ -353,6 +423,9 @@ pub fn simulate_full<N: Node>(
         }
 
         events += 1;
+        if let Some(m) = &metrics {
+            m.events.inc();
+        }
         last_time = last_time.max(now);
         let local = now + config.offsets[pid.0];
         let mut fx: Effects<N::Msg, N::Timer> = Effects::new(pid, n, local);
@@ -364,6 +437,10 @@ pub fn simulate_full<N: Node>(
                         "{pid}: invocation {inv:?} at {now} while another operation is pending"
                     ));
                     continue;
+                }
+                obs.emit(now.0, Some(pid.0), EventCategory::OpInvoke, || format!("{inv:?}"));
+                if let Some(m) = &metrics {
+                    m.invocations.inc();
                 }
                 procs[pid.0].pending_op = Some((ops.len(), from_script));
                 ops.push(OpRecord {
@@ -378,6 +455,12 @@ pub fn simulate_full<N: Node>(
                 trig
             }
             EventKind::Deliver { from, msg } => {
+                obs.emit(now.0, Some(pid.0), EventCategory::Recv, || {
+                    format!("from {from}: {msg:?}")
+                });
+                if let Some(m) = &metrics {
+                    m.deliveries.inc();
+                }
                 let trig = config
                     .record_views
                     .then(|| StepTrigger::Deliver { from, msg: format!("{msg:?}") });
@@ -387,6 +470,9 @@ pub fn simulate_full<N: Node>(
             EventKind::Timer { id, tag } => {
                 if dead_timers.remove(&id) {
                     continue;
+                }
+                if let Some(m) = &metrics {
+                    m.timer_fires.inc();
                 }
                 live_tags[pid.0].retain(|(tid, _)| *tid != id);
                 let trig = config.record_views.then(|| StepTrigger::Timer(format!("{tag:?}")));
@@ -422,9 +508,21 @@ pub fn simulate_full<N: Node>(
                 if let Some(override_delay) = plan.delay_override(pid, to, k) {
                     delay = override_delay;
                     faults.push(InjectedFault::DelayOverridden { from: pid, to, k, delay });
+                    obs.emit(now.0, Some(pid.0), EventCategory::DelayOverride, || {
+                        format!("to {to} k={k}: delay forced to {delay}")
+                    });
+                    if let Some(m) = &metrics {
+                        m.delay_overrides.inc();
+                    }
                 }
                 if plan.should_drop(pid, to, k) {
                     faults.push(InjectedFault::Dropped { from: pid, to, k, t_send: now });
+                    obs.emit(now.0, Some(pid.0), EventCategory::Drop, || {
+                        format!("to {to} k={k} dropped in flight")
+                    });
+                    if let Some(m) = &metrics {
+                        m.drops.inc();
+                    }
                     if config.record_messages {
                         msgs.push(MsgRecord { from: pid, to, t_send: now, t_recv: None });
                     }
@@ -436,6 +534,13 @@ pub fn simulate_full<N: Node>(
                 delay_violations += 1;
             }
             let t_recv = now + delay;
+            obs.emit(now.0, Some(pid.0), EventCategory::Send, || {
+                format!("to {to} k={k} delay={delay}")
+            });
+            if let Some(m) = &metrics {
+                m.sends.inc();
+                m.delay_draw.observe_i64(delay.0);
+            }
             let deliverable = config.max_real_time.is_none_or(|cap| t_recv <= cap);
             if config.record_messages {
                 msgs.push(MsgRecord {
@@ -450,6 +555,12 @@ pub fn simulate_full<N: Node>(
                     let extra_delay = plan.duplicate_delay(params, pid, to, k);
                     let t_extra = now + extra_delay;
                     faults.push(InjectedFault::Duplicated { from: pid, to, k, t_extra });
+                    obs.emit(now.0, Some(pid.0), EventCategory::Duplicate, || {
+                        format!("to {to} k={k}: second copy arrives at {t_extra}")
+                    });
+                    if let Some(m) = &metrics {
+                        m.duplicates.inc();
+                    }
                     if config.record_messages {
                         let dup_deliverable = config.max_real_time.is_none_or(|cap| t_extra <= cap);
                         msgs.push(MsgRecord {
@@ -500,6 +611,17 @@ pub fn simulate_full<N: Node>(
         if let Some(ret) = response {
             match procs[pid.0].pending_op.take() {
                 Some((op_idx, from_script)) => {
+                    obs.emit(now.0, Some(pid.0), EventCategory::OpRespond, || {
+                        format!(
+                            "{:?} -> {ret:?} (latency {})",
+                            ops[op_idx].invocation,
+                            now - ops[op_idx].t_invoke
+                        )
+                    });
+                    if let Some(m) = &metrics {
+                        m.responses.inc();
+                        m.op_latency.observe_i64((now - ops[op_idx].t_invoke).0);
+                    }
                     ops[op_idx].ret = Some(ret);
                     ops[op_idx].t_respond = Some(now);
                     // Closed-loop: a *scripted* response schedules the next
@@ -736,6 +858,61 @@ mod tests {
         assert_eq!(m[0][1], Time(5800));
         assert_eq!(m[1][0], Time(6200));
         assert_eq!(m[2][3], Time(6000));
+    }
+
+    #[test]
+    fn observed_run_traces_events_and_counts_metrics() {
+        use crate::faults::FaultPlan;
+        use lintime_obs::Obs;
+        let (obs, ring) = Obs::ring(4096);
+        let plan = FaultPlan::new(7).drop_exact(Pid(0), Pid(1), 0).crash(Pid(3), Time(1));
+        let cfg = config()
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("echo", 1)).at(
+                Pid(3),
+                Time(10),
+                Invocation::new("echo", 2),
+            ))
+            .with_faults(plan)
+            .with_obs(obs.clone());
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(9), ping_peers: true });
+        let cats: std::collections::HashSet<_> = ring.events().iter().map(|e| e.category).collect();
+        for want in [
+            lintime_obs::EventCategory::OpInvoke,
+            lintime_obs::EventCategory::Send,
+            lintime_obs::EventCategory::Recv,
+            lintime_obs::EventCategory::Drop,
+            lintime_obs::EventCategory::Crash,
+            lintime_obs::EventCategory::OpRespond,
+        ] {
+            assert!(cats.contains(&want), "missing {want} in {cats:?}");
+        }
+        let m = &obs.metrics;
+        assert_eq!(m.counter("sim.events").get(), run.events);
+        assert_eq!(m.counter("sim.fault.drops").get(), 1);
+        assert_eq!(m.counter("sim.op.responses").get(), 1, "p3 crashed before responding");
+        assert_eq!(
+            m.histogram("sim.op.latency_ticks", &[1500, 3000, 6000, 12000, 24000, 48000])
+                .snapshot()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_run() {
+        let cfg = config().with_schedule(
+            Schedule::new().at(Pid(0), Time(0), Invocation::new("echo", 1)).at(
+                Pid(1),
+                Time(3),
+                Invocation::new("echo", 2),
+            ),
+        );
+        let bare = simulate(&cfg, |_| EchoNode { wait: Time(9), ping_peers: true });
+        let (obs, _ring) = lintime_obs::Obs::ring(1024);
+        let observed =
+            simulate(&cfg.with_obs(obs), |_| EchoNode { wait: Time(9), ping_peers: true });
+        assert_eq!(bare.ops, observed.ops);
+        assert_eq!(bare.events, observed.events);
     }
 
     #[test]
