@@ -138,6 +138,12 @@ impl Invocation {
     pub fn nullary(op: &'static str) -> Self {
         Invocation { op, arg: Value::Unit }
     }
+
+    /// Estimated serialized size in bytes (operation name plus argument),
+    /// for communication-cost accounting.
+    pub fn wire_bytes(&self) -> usize {
+        self.op.len() + self.arg.wire_bytes()
+    }
 }
 
 impl fmt::Debug for Invocation {

@@ -68,6 +68,20 @@ impl Value {
     pub fn is_unit(&self) -> bool {
         matches!(self, Value::Unit)
     }
+
+    /// Estimated serialized size in bytes, for communication-cost
+    /// accounting: one tag byte plus the payload (8 bytes per integer,
+    /// 1 per boolean, string length, recursive for compounds).
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Pair(a, b) => a.wire_bytes() + b.wire_bytes(),
+            Value::List(items) => items.iter().map(Value::wire_bytes).sum(),
+        }
+    }
 }
 
 impl From<i64> for Value {

@@ -1,12 +1,20 @@
 //! Fault-injection sweep: linearizability survival and latency degradation
-//! vs message drop rate, bare Algorithm 1 versus the recovery wrapper.
+//! vs message drop rate, bare Algorithm 1 versus the recovery wrapper —
+//! plus the cross-backend availability matrix.
 //!
 //! ```text
-//! fault_sweep [seeds] [--metrics-out <path>]
+//! fault_sweep [seeds] [--metrics-out <path>] [--matrix-out <path>] [--matrix-only]
 //! ```
 //!
-//! With `--metrics-out`, the sweep's runs and checker calls are routed
-//! through a metrics registry and the aggregate snapshot is saved as JSON.
+//! With `--metrics-out`, the runs and checker calls are routed through a
+//! metrics registry and the aggregate snapshot is saved as JSON. With
+//! `--matrix-out`, the availability matrix (availability, latency,
+//! messages/bytes per op, and checker verdicts per backend × fault scenario)
+//! is saved as JSON. `--matrix-only` skips the drop-rate sweep.
+//!
+//! **CI gate:** the process exits non-zero if the matrix records any
+//! *confirmed violation* — a non-suspect run refuted by the checker inside a
+//! cell whose backend claims to tolerate that fault scenario.
 
 use lintime_obs::{Obs, Registry, TraceHandle};
 
@@ -14,6 +22,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seeds = 8u64;
     let mut metrics_out: Option<String> = None;
+    let mut matrix_out: Option<String> = None;
+    let mut matrix_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--metrics-out" {
@@ -22,12 +32,23 @@ fn main() {
                 eprintln!("--metrics-out expects a path");
                 std::process::exit(1);
             }
+        } else if a == "--matrix-out" {
+            matrix_out = it.next().cloned();
+            if matrix_out.is_none() {
+                eprintln!("--matrix-out expects a path");
+                std::process::exit(1);
+            }
+        } else if a == "--matrix-only" {
+            matrix_only = true;
         } else if let Ok(s) = a.parse::<u64>() {
             if s > 0 {
                 seeds = s;
             }
         } else {
-            eprintln!("usage: fault_sweep [seeds] [--metrics-out <path>]");
+            eprintln!(
+                "usage: fault_sweep [seeds] [--metrics-out <path>] [--matrix-out <path>] \
+                 [--matrix-only]"
+            );
             std::process::exit(1);
         }
     }
@@ -38,10 +59,25 @@ fn main() {
     } else {
         Obs::off()
     };
-    print!("{}", lintime_bench::experiments::fault_sweep_report_observed(seeds, &obs));
+    if !matrix_only {
+        print!("{}", lintime_bench::experiments::fault_sweep_report_observed(seeds, &obs));
+    }
+
+    let matrix = lintime_bench::matrix::availability_matrix(seeds, &obs);
+    print!("{}", matrix.render());
+    if let Some(path) = matrix_out {
+        let path = std::path::Path::new(&path);
+        std::fs::write(path, matrix.to_json()).expect("write matrix JSON");
+        println!("wrote availability matrix to {}", path.display());
+    }
     if let Some(path) = metrics_out {
         let path = std::path::Path::new(&path);
         obs.metrics.save_snapshot(path).expect("write metrics snapshot");
         println!("wrote metrics snapshot to {}", path.display());
+    }
+    let violations = matrix.confirmed_violations();
+    if violations > 0 {
+        eprintln!("FAIL: {violations} confirmed linearizability violations in tolerated cells");
+        std::process::exit(2);
     }
 }

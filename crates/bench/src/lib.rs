@@ -6,7 +6,8 @@
 //! measures the corresponding simulator workload. The workspace-level
 //! `examples/` and `tests/` directories are wired into this crate. The
 //! robustness extension adds a fault-injection sweep
-//! ([`experiments::fault_sweep_report`], `--bin fault_sweep`), and the
+//! ([`experiments::fault_sweep_report`], `--bin fault_sweep`) and a
+//! cross-backend availability matrix ([`matrix`]), and the
 //! observability extension adds traced scenario replay ([`tracecmd`],
 //! `lintime trace`) plus a `--metrics-out` snapshot flag on the sweep
 //! binaries.
@@ -15,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod matrix;
 pub mod microbench;
 pub mod sweep;
 pub mod timeline;

@@ -1,0 +1,498 @@
+//! Cross-backend availability/latency matrix under injected faults.
+//!
+//! The robustness extension's headline experiment: every backend
+//! ([`Algorithm`]) runs the same seeded workload under every fault scenario
+//! (crashes, stalls, drops, duplicates at several rates), and each cell
+//! reports
+//!
+//! * **availability** — completed operations over operations that *could*
+//!   have completed (pending ops attributable to the invoker's own crash are
+//!   excluded from the denominator: a crashed client is not an availability
+//!   failure of the backend);
+//! * **latency** — mean completed-operation latency;
+//! * **communication cost** — protocol messages and estimated wire bytes
+//!   per completed operation, plus quorum round trips for the MR register;
+//! * **verdicts** — every non-truncated run's history (pending operations
+//!   included) is fed through the pending-aware checker
+//!   ([`lintime_check::monitor::check_fast_pending`]).
+//!
+//! Each backend *declares* the fault classes it tolerates
+//! ([`Backend::tolerance`]); a `NotLinearizable` verdict on a non-suspect
+//! run inside a tolerated cell is a **confirmed violation** — the CI gate
+//! (`fault_sweep --matrix-only`) exits non-zero on any.
+
+use crate::experiments::fault_sweep_schedule;
+use crate::sweep::parallel_map;
+use lintime_adt::spec::erase;
+use lintime_adt::types::Register;
+use lintime_check::history::History;
+use lintime_check::monitor::check_fast_pending_with;
+use lintime_check::wing_gong::{CheckConfig, Verdict};
+use lintime_core::backend::{run_backend, Backend, FaultTolerance};
+use lintime_core::cluster::Algorithm;
+use lintime_core::reliable::RecoveryConfig;
+use lintime_obs::Obs;
+use lintime_sim::delay::DelaySpec;
+use lintime_sim::engine::SimConfig;
+use lintime_sim::faults::FaultPlan;
+use lintime_sim::time::{ModelParams, Pid, Time};
+use std::fmt::Write as _;
+
+/// One fault scenario of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scenario {
+    /// Fault-free baseline: every backend must be linearizable here.
+    None,
+    /// One early crash, chosen adversarially: the centralized coordinator.
+    CrashCoordinator,
+    /// Two early crashes (the largest minority at `n = 5`), avoiding the
+    /// coordinator so the quorum claim — not coordinator placement — is
+    /// what's exercised.
+    CrashMinority,
+    /// One process stalls (delivery-window pause) for the first `5d`.
+    Stall,
+    /// Uniform message drops at this rate.
+    Drop(f64),
+    /// Uniform message duplication at this rate.
+    Duplicate(f64),
+}
+
+impl Scenario {
+    /// Human-readable label, e.g. `drop(10%)`.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::None => "none".to_string(),
+            Scenario::CrashCoordinator => "crash(p0)".to_string(),
+            Scenario::CrashMinority => "crash(2)".to_string(),
+            Scenario::Stall => "stall".to_string(),
+            Scenario::Drop(r) => format!("drop({:.0}%)", r * 100.0),
+            Scenario::Duplicate(r) => format!("dup({:.0}%)", r * 100.0),
+        }
+    }
+
+    /// The fault plan for one seeded run; `None` for the fault-free cell.
+    pub fn plan(&self, params: ModelParams, seed: u64) -> Option<FaultPlan> {
+        match *self {
+            Scenario::None => None,
+            Scenario::CrashCoordinator => Some(FaultPlan::new(seed).crash(Pid(0), Time(1))),
+            Scenario::CrashMinority => Some(
+                FaultPlan::new(seed)
+                    .crash(Pid(params.n - 2), Time(1))
+                    .crash(Pid(params.n - 1), Time(1)),
+            ),
+            Scenario::Stall => Some(FaultPlan::new(seed).stall(Pid(1), Time::ZERO, params.d * 5)),
+            Scenario::Drop(rate) => Some(FaultPlan::new(seed).drop_all(rate)),
+            Scenario::Duplicate(rate) => Some(FaultPlan::new(seed).duplicate_all(rate)),
+        }
+    }
+
+    /// Whether a backend with tolerance claim `tol` is *expected* to stay
+    /// linearizable (or self-flag as suspect) in this scenario.
+    pub fn tolerated(&self, tol: &FaultTolerance) -> bool {
+        match *self {
+            Scenario::None => true,
+            Scenario::CrashCoordinator => tol.crashes >= 1,
+            Scenario::CrashMinority => tol.crashes >= 2,
+            Scenario::Stall => tol.stalls,
+            Scenario::Drop(_) => tol.omission,
+            Scenario::Duplicate(_) => tol.duplication,
+        }
+    }
+}
+
+/// The default scenario set: crashes, a stall, drops and duplicates at two
+/// rates each.
+pub fn default_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::None,
+        Scenario::CrashCoordinator,
+        Scenario::CrashMinority,
+        Scenario::Stall,
+        Scenario::Drop(0.05),
+        Scenario::Drop(0.20),
+        Scenario::Duplicate(0.20),
+    ]
+}
+
+/// The default backend set: Algorithm 1, both folklore baselines, the
+/// recovery wrapper, and the quorum register.
+pub fn default_backends(params: ModelParams) -> Vec<Algorithm> {
+    vec![
+        Algorithm::Wtlw { x: Time::ZERO },
+        Algorithm::Centralized,
+        Algorithm::Broadcast,
+        Algorithm::ReliableWtlw {
+            x: Time::ZERO,
+            recovery: RecoveryConfig { rto: params.d * 2, max_retries: 2 },
+        },
+        Algorithm::MrRegister,
+    ]
+}
+
+/// Aggregated results for one backend × scenario cell.
+#[derive(Clone, Debug, Default)]
+pub struct MatrixCell {
+    /// Backend label.
+    pub backend: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Whether the backend claims to tolerate this scenario.
+    pub tolerated: bool,
+    /// Seeded runs aggregated into this cell.
+    pub runs: u64,
+    /// Total invoked operations.
+    pub ops_total: u64,
+    /// Operations that responded.
+    pub ops_completed: u64,
+    /// Pending operations attributable to the invoker's crash (excluded
+    /// from the availability denominator).
+    pub crashed_pending: u64,
+    /// Runs whose (pending-aware) history linearized.
+    pub linearizable: u64,
+    /// Runs refuted by the checker.
+    pub not_linearizable: u64,
+    /// Runs the checker could not decide (budget / uncompletable pending).
+    pub unknown: u64,
+    /// Runs the backend's own detectors flagged as suspect.
+    pub suspect: u64,
+    /// Runs the engine truncated (event budget).
+    pub truncated: u64,
+    /// Refuted, non-suspect runs in a tolerated cell: must be zero.
+    pub confirmed_violations: u64,
+    /// Sum and count of completed-op latencies (ticks).
+    pub lat_sum: i64,
+    /// Number of completed-op latencies summed.
+    pub lat_n: u64,
+    /// Protocol messages sent, all runs.
+    pub msgs_sent: u64,
+    /// Estimated wire bytes sent, all runs.
+    pub bytes_sent: u64,
+    /// Completed quorum phases (MR register only; 0 elsewhere).
+    pub quorum_round_trips: u64,
+    /// One-round-trip reads (MR register only).
+    pub fast_reads: u64,
+}
+
+impl MatrixCell {
+    /// Completed ops over ops that could have completed, in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        let denom = self.ops_total.saturating_sub(self.crashed_pending);
+        if denom == 0 {
+            1.0
+        } else {
+            self.ops_completed as f64 / denom as f64
+        }
+    }
+
+    /// Mean latency of completed operations, in ticks.
+    pub fn mean_latency(&self) -> f64 {
+        if self.lat_n == 0 {
+            0.0
+        } else {
+            self.lat_sum as f64 / self.lat_n as f64
+        }
+    }
+
+    /// Protocol messages per completed operation.
+    pub fn msgs_per_op(&self) -> f64 {
+        if self.ops_completed == 0 {
+            0.0
+        } else {
+            self.msgs_sent as f64 / self.ops_completed as f64
+        }
+    }
+
+    /// Estimated wire bytes per completed operation.
+    pub fn bytes_per_op(&self) -> f64 {
+        if self.ops_completed == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.ops_completed as f64
+        }
+    }
+}
+
+/// The full matrix: parameters, seed count, and one cell per
+/// backend × scenario pair.
+#[derive(Clone, Debug)]
+pub struct AvailabilityMatrix {
+    /// Model parameters of every run.
+    pub params: ModelParams,
+    /// Seeds per cell.
+    pub seeds: u64,
+    /// Cells, scenario-major (all backends of scenario 0 first).
+    pub cells: Vec<MatrixCell>,
+}
+
+impl AvailabilityMatrix {
+    /// Total confirmed violations across all cells. Non-zero fails CI.
+    pub fn confirmed_violations(&self) -> u64 {
+        self.cells.iter().map(|c| c.confirmed_violations).sum()
+    }
+
+    /// Render the human-readable matrix report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "AVAILABILITY MATRIX (n = {}, {} seeds/cell; availability = completed / \
+             (invoked − crashed-pending); verdicts via the pending-aware checker; \
+             * marks cells the backend claims to tolerate)",
+            self.params.n, self.seeds
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<22} {:<10} {:>6} {:>6} {:>9} {:>8} {:>9} {:>5} {:>5} {:>5} {:>5}",
+            "backend",
+            "scenario",
+            "avail",
+            "lin",
+            "mean-lat",
+            "msgs/op",
+            "bytes/op",
+            "nlin",
+            "unk",
+            "susp",
+            "viol"
+        )
+        .unwrap();
+        for c in &self.cells {
+            writeln!(
+                out,
+                "  {:<22} {:<9}{} {:>5.0}% {:>6} {:>9.0} {:>8.1} {:>9.1} {:>5} {:>5} {:>5} {:>5}",
+                c.backend,
+                c.scenario,
+                if c.tolerated { "*" } else { " " },
+                c.availability() * 100.0,
+                c.linearizable,
+                c.mean_latency(),
+                c.msgs_per_op(),
+                c.bytes_per_op(),
+                c.not_linearizable,
+                c.unknown,
+                c.suspect,
+                c.confirmed_violations,
+            )
+            .unwrap();
+        }
+        let viol = self.confirmed_violations();
+        writeln!(out, "  confirmed violations (tolerated cell, non-suspect, refuted): {viol}")
+            .unwrap();
+        out
+    }
+
+    /// Serialize the matrix as JSON (hand-rolled: labels are plain ASCII,
+    /// no external dependency needed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let p = self.params;
+        writeln!(
+            s,
+            "  \"params\": {{\"n\": {}, \"d\": {}, \"u\": {}, \"epsilon\": {}}},",
+            p.n,
+            p.d.as_ticks(),
+            p.u.as_ticks(),
+            p.epsilon.as_ticks()
+        )
+        .unwrap();
+        writeln!(s, "  \"seeds\": {},", self.seeds).unwrap();
+        writeln!(s, "  \"confirmed_violations\": {},", self.confirmed_violations()).unwrap();
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            write!(
+                s,
+                "    {{\"backend\": \"{}\", \"scenario\": \"{}\", \"tolerated\": {}, \
+                 \"runs\": {}, \"ops_total\": {}, \"ops_completed\": {}, \
+                 \"crashed_pending\": {}, \"availability\": {:.4}, \
+                 \"mean_latency\": {:.1}, \"msgs_per_op\": {:.2}, \"bytes_per_op\": {:.2}, \
+                 \"quorum_round_trips\": {}, \"fast_reads\": {}, \
+                 \"linearizable\": {}, \"not_linearizable\": {}, \"unknown\": {}, \
+                 \"suspect\": {}, \"truncated\": {}, \"confirmed_violations\": {}}}",
+                c.backend,
+                c.scenario,
+                c.tolerated,
+                c.runs,
+                c.ops_total,
+                c.ops_completed,
+                c.crashed_pending,
+                c.availability(),
+                c.mean_latency(),
+                c.msgs_per_op(),
+                c.bytes_per_op(),
+                c.quorum_round_trips,
+                c.fast_reads,
+                c.linearizable,
+                c.not_linearizable,
+                c.unknown,
+                c.suspect,
+                c.truncated,
+                c.confirmed_violations,
+            )
+            .unwrap();
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Model parameters for the matrix: `n = 5` (so two crashes are a tolerated
+/// minority for the quorum register), timing as in the default experiment.
+pub fn matrix_params() -> ModelParams {
+    let base = ModelParams::default_experiment();
+    ModelParams::new(5, base.d, base.u, base.epsilon)
+}
+
+/// Run the full cross-backend availability matrix with `seeds` runs per
+/// cell, threading `obs` through every simulation (engine counters,
+/// `mr.*` quorum metrics, `reliable.*` recovery metrics aggregate there).
+pub fn availability_matrix(seeds: u64, obs: &Obs) -> AvailabilityMatrix {
+    let p = matrix_params();
+    let scenarios = default_scenarios();
+    let backends = default_backends(p);
+    // Space same-process invocations past the recovery wrapper's extended
+    // waits, like the drop-rate sweep does.
+    let recovery = RecoveryConfig { rto: p.d * 2, max_retries: 2 };
+    let slack = p.d + p.u + p.epsilon + recovery.backoff_budget() + Time(1);
+
+    let jobs: Vec<(usize, usize, u64)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| {
+            (0..backends.len()).flat_map(move |bi| (0..seeds).map(move |s| (si, bi, s)))
+        })
+        .collect();
+    let results = parallel_map(jobs, 0, |&(si, bi, seed)| {
+        let spec = erase(Register::new(0));
+        let algo = backends[bi];
+        let scenario = scenarios[si];
+        let mut cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
+            .with_schedule(fault_sweep_schedule(p, seed, slack))
+            .with_obs(obs.clone());
+        if let Some(plan) = scenario.plan(p, seed) {
+            cfg = cfg.with_faults(plan);
+        }
+        let out = run_backend(&algo, &spec, &cfg);
+        let run = &out.run;
+        let tolerated = scenario.tolerated(&algo.tolerance(p));
+
+        let verdict = History::from_run_with_pending(run)
+            .map(|ph| check_fast_pending_with(&spec, &ph, CheckConfig::default()));
+        let mut cell = MatrixCell {
+            backend: algo.label(),
+            scenario: scenario.label(),
+            tolerated,
+            runs: 1,
+            ops_total: run.ops.len() as u64,
+            ops_completed: run.completed().count() as u64,
+            crashed_pending: run.crashed_pending,
+            suspect: run.is_suspect() as u64,
+            truncated: run.truncated as u64,
+            lat_sum: run.ops.iter().filter_map(|o| o.latency()).map(|t| t.as_ticks()).sum(),
+            lat_n: run.ops.iter().filter_map(|o| o.latency()).count() as u64,
+            msgs_sent: run.msgs_sent,
+            bytes_sent: run.bytes_sent,
+            quorum_round_trips: out.quorum_round_trips,
+            fast_reads: out.fast_reads,
+            ..MatrixCell::default()
+        };
+        match verdict {
+            Ok(Verdict::Linearizable(_)) => cell.linearizable = 1,
+            Ok(Verdict::NotLinearizable) => {
+                cell.not_linearizable = 1;
+                if tolerated && !run.is_suspect() {
+                    cell.confirmed_violations = 1;
+                }
+            }
+            // Undecided and truncated runs alike are tallied as unknown;
+            // neither is a confirmed violation.
+            Ok(Verdict::Unknown) | Err(_) => cell.unknown = 1,
+        }
+        (si, bi, cell)
+    });
+
+    // Fold per-run cells into per-(scenario, backend) aggregates.
+    let nb = backends.len();
+    let mut cells: Vec<MatrixCell> = Vec::with_capacity(scenarios.len() * nb);
+    for (si, s) in scenarios.iter().enumerate() {
+        for (bi, b) in backends.iter().enumerate() {
+            let mut agg = MatrixCell {
+                backend: b.label(),
+                scenario: s.label(),
+                tolerated: s.tolerated(&b.tolerance(p)),
+                ..MatrixCell::default()
+            };
+            for (_, _, c) in results.iter().filter(|(rsi, rbi, _)| *rsi == si && *rbi == bi) {
+                agg.runs += c.runs;
+                agg.ops_total += c.ops_total;
+                agg.ops_completed += c.ops_completed;
+                agg.crashed_pending += c.crashed_pending;
+                agg.linearizable += c.linearizable;
+                agg.not_linearizable += c.not_linearizable;
+                agg.unknown += c.unknown;
+                agg.suspect += c.suspect;
+                agg.truncated += c.truncated;
+                agg.confirmed_violations += c.confirmed_violations;
+                agg.lat_sum += c.lat_sum;
+                agg.lat_n += c.lat_n;
+                agg.msgs_sent += c.msgs_sent;
+                agg.bytes_sent += c.bytes_sent;
+                agg.quorum_round_trips += c.quorum_round_trips;
+                agg.fast_reads += c.fast_reads;
+            }
+            cells.push(agg);
+        }
+    }
+    AvailabilityMatrix { params: p, seeds, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_smoke_two_seeds() {
+        let m = availability_matrix(2, &Obs::off());
+        assert_eq!(m.cells.len(), default_scenarios().len() * default_backends(m.params).len());
+        assert_eq!(m.confirmed_violations(), 0, "{}", m.render());
+
+        // Fault-free cells: full availability and all-linearizable for every
+        // backend.
+        for c in m.cells.iter().filter(|c| c.scenario == "none") {
+            assert_eq!(c.linearizable, m.seeds, "{}: {}", c.backend, m.render());
+            assert!((c.availability() - 1.0).abs() < 1e-9, "{}", c.backend);
+        }
+        // The MR register keeps full availability through a two-crash
+        // minority...
+        let mr_crash = m
+            .cells
+            .iter()
+            .find(|c| c.backend == "mr-register" && c.scenario == "crash(2)")
+            .unwrap();
+        assert!(mr_crash.tolerated);
+        assert_eq!(mr_crash.linearizable, m.seeds);
+        assert!((mr_crash.availability() - 1.0).abs() < 1e-9, "{}", m.render());
+        // ...while the centralized backend loses its coordinator.
+        let central_crash = m
+            .cells
+            .iter()
+            .find(|c| c.backend == "centralized" && c.scenario == "crash(p0)")
+            .unwrap();
+        assert!(!central_crash.tolerated);
+        assert!(central_crash.availability() < 1.0, "{}", m.render());
+        // Communication cost is recorded wherever ops completed.
+        for c in m.cells.iter().filter(|c| c.ops_completed > 0 && c.backend != "naive") {
+            assert!(c.msgs_per_op() >= 0.0);
+        }
+        let mr_none =
+            m.cells.iter().find(|c| c.backend == "mr-register" && c.scenario == "none").unwrap();
+        assert!(mr_none.quorum_round_trips > 0);
+        assert!(mr_none.bytes_per_op() > mr_none.msgs_per_op());
+
+        // JSON is well-formed enough to round-trip the headline number.
+        let json = m.to_json();
+        assert!(json.contains("\"confirmed_violations\": 0"));
+        assert!(json.contains("\"backend\": \"mr-register\""));
+    }
+}

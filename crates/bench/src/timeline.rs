@@ -113,6 +113,9 @@ mod tests {
             errors: vec![],
             delay_violations: 0,
             truncated: false,
+            crashed_pending: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
             faults: vec![],
             suspect: vec![],
         }

@@ -1,7 +1,8 @@
 //! Concurrent histories: operation instances with real-time intervals,
 //! extracted from recorded runs.
 
-use lintime_adt::spec::OpInstance;
+use lintime_adt::spec::{Invocation, OpInstance};
+use lintime_sim::faults::InjectedFault;
 use lintime_sim::run::Run;
 use lintime_sim::time::{Pid, Time};
 
@@ -103,6 +104,46 @@ impl History {
         self.ops.is_empty()
     }
 
+    /// Extract a *pending-aware* history: completed operations plus the
+    /// pending (open-interval) ones, failing only on truncation. This is the
+    /// entry point for fault-injected runs, where a crashed process's
+    /// in-flight operation legitimately never responds; see
+    /// [`crate::monitor::check_fast_pending`] for the matching decision
+    /// procedure.
+    pub fn from_run_with_pending(run: &Run) -> Result<PendingHistory, String> {
+        if run.truncated {
+            return Err(format!(
+                "run is truncated and cannot be checked: {}",
+                if run.errors.is_empty() {
+                    "no diagnostic recorded".to_string()
+                } else {
+                    run.errors.join("; ")
+                }
+            ));
+        }
+        let crash_at = |pid: Pid| {
+            run.faults.iter().find_map(|f| match f {
+                InjectedFault::Crashed { pid: p, at } if *p == pid => Some(*at),
+                _ => None,
+            })
+        };
+        let pending = run
+            .ops
+            .iter()
+            .filter(|op| op.ret.is_none())
+            .map(|op| PendingOp {
+                pid: op.pid,
+                invocation: op.invocation.clone(),
+                t_invoke: op.t_invoke,
+                // An operation invoked at or after its process's crash was
+                // never executed by the node — no message, timer, or state
+                // change can stem from it, so it provably took no effect.
+                may_have_effect: crash_at(op.pid).is_none_or(|at| op.t_invoke < at),
+            })
+            .collect();
+        Ok(PendingHistory { complete: Self::from_run_lossy(run), pending, horizon: run.last_time })
+    }
+
     /// The precedence matrix: `prec[i]` lists (in ascending index order) the
     /// indices that must come before op `i` in any linearization.
     ///
@@ -128,6 +169,42 @@ impl History {
         }
         prec
     }
+}
+
+/// A pending (open-interval) operation: invoked, never responded.
+///
+/// Linearizability over histories with pending operations (Herlihy–Wing)
+/// quantifies over *completions*: each pending operation is either removed
+/// (it never took effect) or completed with some response. [`PendingOp`]
+/// carries the information the checker needs to enumerate completions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingOp {
+    /// Invoking process.
+    pub pid: Pid,
+    /// The invocation (no return value exists).
+    pub invocation: Invocation,
+    /// Real invocation time.
+    pub t_invoke: Time,
+    /// Whether the operation could have taken effect before the run ended.
+    /// `false` is a *proof* of no effect (e.g. the invoking process crashed
+    /// before the invocation executed), letting the checker drop the
+    /// operation unconditionally instead of trying both completions.
+    pub may_have_effect: bool,
+}
+
+/// A history with its pending operations preserved, extracted by
+/// [`History::from_run_with_pending`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PendingHistory {
+    /// The completed operations.
+    pub complete: History,
+    /// The pending ones.
+    pub pending: Vec<PendingOp>,
+    /// The run's end time: fabricated responses for included pending
+    /// operations are placed here, which (being ≥ every other event) imposes
+    /// the fewest real-time precedence constraints — the most permissive
+    /// sound choice of completion time.
+    pub horizon: Time,
 }
 
 #[cfg(test)]
@@ -189,5 +266,65 @@ mod tests {
         assert_eq!(h.len(), 1);
         assert_eq!(h.ops[0].pid, Pid(3));
         assert_eq!(h.ops[0].t_invoke, Time(5));
+    }
+
+    #[test]
+    fn pending_extraction_classifies_crash_effects() {
+        use lintime_adt::value::Value;
+        use lintime_sim::run::OpRecord;
+        use lintime_sim::time::ModelParams;
+
+        let params = ModelParams::default_experiment();
+        let pending = |pid: usize, t: i64| OpRecord {
+            pid: Pid(pid),
+            invocation: lintime_adt::spec::Invocation::nullary("read"),
+            ret: None,
+            t_invoke: Time(t),
+            t_respond: None,
+        };
+        let run = Run {
+            params,
+            offsets: vec![Time(0); params.n],
+            ops: vec![
+                OpRecord {
+                    pid: Pid(0),
+                    invocation: lintime_adt::spec::Invocation::new("write", 1),
+                    ret: Some(Value::Unit),
+                    t_invoke: Time(0),
+                    t_respond: Some(Time(10)),
+                },
+                // Invoked before p1's crash: may have taken effect.
+                pending(1, 5),
+                // Invoked after p2's crash: provably effect-free.
+                pending(2, 50),
+                // No crash for p3: conservatively may have effect.
+                pending(3, 60),
+            ],
+            msgs: vec![],
+            views: vec![],
+            last_time: Time(100),
+            events: 4,
+            errors: vec![],
+            delay_violations: 0,
+            truncated: false,
+            crashed_pending: 2,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            faults: vec![
+                InjectedFault::Crashed { pid: Pid(1), at: Time(20) },
+                InjectedFault::Crashed { pid: Pid(2), at: Time(20) },
+            ],
+            suspect: vec![],
+        };
+        let ph = History::from_run_with_pending(&run).unwrap();
+        assert_eq!(ph.complete.len(), 1);
+        assert_eq!(ph.horizon, Time(100));
+        assert_eq!(ph.pending.len(), 3);
+        assert!(ph.pending[0].may_have_effect, "invoked before crash");
+        assert!(!ph.pending[1].may_have_effect, "invoked after crash");
+        assert!(ph.pending[2].may_have_effect, "no crash recorded");
+
+        let truncated = Run { truncated: true, ..run };
+        assert!(History::from_run_with_pending(&truncated).is_err());
     }
 }

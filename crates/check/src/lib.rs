@@ -32,7 +32,10 @@ pub mod wing_gong;
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::compositional::{check_components, ComponentVerdicts};
-    pub use crate::history::{History, TimedOp};
-    pub use crate::monitor::{check_fast, check_fast_with, verify_witness, MonitorOutcome};
+    pub use crate::history::{History, PendingHistory, PendingOp, TimedOp};
+    pub use crate::monitor::{
+        check_fast, check_fast_pending, check_fast_pending_with, check_fast_with, verify_witness,
+        MonitorOutcome,
+    };
     pub use crate::wing_gong::{check, check_with, CheckConfig, Verdict};
 }

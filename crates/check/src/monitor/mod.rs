@@ -35,9 +35,9 @@ pub mod keyed;
 pub mod queue_like;
 pub mod register;
 
-use crate::history::History;
+use crate::history::{History, PendingHistory, TimedOp};
 use crate::wing_gong::{self, CheckConfig, Verdict, FRONTIER_BUCKETS};
-use lintime_adt::spec::{ObjectSpec, SpecKind};
+use lintime_adt::spec::{ObjectSpec, OpClass, OpInstance, SpecKind};
 use lintime_obs::{EventCategory, Obs};
 use lintime_sim::time::Time;
 use std::sync::Arc;
@@ -104,6 +104,105 @@ pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: Check
         }
         MonitorOutcome::Violation => Verdict::NotLinearizable,
         MonitorOutcome::Deferred => wing_gong::check_with(spec, history, cfg),
+    }
+}
+
+/// Pending completions tried exhaustively up to this many candidate
+/// operations (2^8 = 256 sub-checks); beyond it the checker degrades to
+/// `Unknown` rather than silently guessing.
+const MAX_PENDING_CANDIDATES: usize = 8;
+
+/// Decide linearizability of a history *with pending operations*
+/// (Herlihy–Wing completions): a pending-aware [`check_fast`].
+///
+/// A history with pending operations is linearizable iff **some completion**
+/// is — where a completion removes each pending operation or extends it with
+/// a response. The enumeration is kept sound and small:
+///
+/// * pending ops with `may_have_effect == false` are removed outright (their
+///   absence of effect is proven, e.g. invoked at/after the process crash);
+/// * pending **pure accessors** are removed: they never change state, so
+///   including them can neither enable nor break any other operation;
+/// * pending **pure mutators** are tried both removed and included. An
+///   included one gets its class-constant return value (a pure mutator's
+///   response carries no state information) and responds at the history
+///   horizon, the most permissive choice;
+/// * pending **mixed** (or unknown) operations cannot be soundly completed
+///   — their response value depends on unknowable state — so if no
+///   enumerated completion linearizes, the verdict degrades to
+///   [`Verdict::Unknown`] instead of claiming a violation.
+///
+/// `Linearizable` therefore always carries a replay-verified witness of a
+/// genuine completion, and `NotLinearizable` is only returned when *every*
+/// completion was enumerated and refuted.
+pub fn check_fast_pending(spec: &Arc<dyn ObjectSpec>, ph: &PendingHistory) -> Verdict {
+    check_fast_pending_with(spec, ph, CheckConfig::default())
+}
+
+/// [`check_fast_pending`] with an explicit fallback node budget.
+pub fn check_fast_pending_with(
+    spec: &Arc<dyn ObjectSpec>,
+    ph: &PendingHistory,
+    cfg: CheckConfig,
+) -> Verdict {
+    // Candidates that must be *tried* as included: possibly-effective
+    // mutators (unknown operations conservatively count as mutators).
+    let candidates: Vec<_> = ph
+        .pending
+        .iter()
+        .filter(|p| {
+            p.may_have_effect && spec.op_meta(p.invocation.op).is_none_or(|m| m.class.is_mutator())
+        })
+        .collect();
+
+    if candidates.len() > MAX_PENDING_CANDIDATES {
+        // Too many completions to enumerate: only the all-removed one is
+        // tried, so a positive verdict survives but refutation cannot.
+        return match check_fast_with(spec, &ph.complete, cfg) {
+            Verdict::Linearizable(w) => Verdict::Linearizable(w),
+            _ => Verdict::Unknown,
+        };
+    }
+
+    let mut any_unknown = false;
+    for mask in 0u32..(1 << candidates.len()) {
+        let mut h = ph.complete.clone();
+        let mut completable = true;
+        for (i, p) in candidates.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let is_pure_mutator =
+                spec.op_meta(p.invocation.op).is_some_and(|m| m.class == OpClass::PureMutator);
+            if !is_pure_mutator {
+                // No sound return value can be fabricated for this op.
+                completable = false;
+                break;
+            }
+            // A pure mutator's return is state-independent: read it off a
+            // fresh object.
+            let ret = spec.new_object().apply(p.invocation.op, &p.invocation.arg);
+            h.ops.push(TimedOp {
+                pid: p.pid,
+                instance: OpInstance { op: p.invocation.op, arg: p.invocation.arg.clone(), ret },
+                t_invoke: p.t_invoke,
+                t_respond: ph.horizon.max(p.t_invoke),
+            });
+        }
+        if !completable {
+            any_unknown = true;
+            continue;
+        }
+        match check_fast_with(spec, &h, cfg) {
+            Verdict::Linearizable(w) => return Verdict::Linearizable(w),
+            Verdict::Unknown => any_unknown = true,
+            Verdict::NotLinearizable => {}
+        }
+    }
+    if any_unknown {
+        Verdict::Unknown
+    } else {
+        Verdict::NotLinearizable
     }
 }
 
@@ -478,6 +577,101 @@ mod tests {
         let off = Obs::off();
         assert!(check_fast_observed(&reg, &fast, cfg, &off).is_linearizable());
         assert_eq!(off.metrics.counter("check.monitor.witnesses").get(), 0);
+    }
+
+    #[test]
+    fn pending_checker_enumerates_completions() {
+        use crate::history::{PendingHistory, PendingOp};
+        use lintime_sim::time::Pid;
+
+        let spec = erase(Register::new(0));
+        // Completed: a read that saw 5. Pending: the write(5) whose response
+        // was lost. Dropping the write refutes the read; including it (the
+        // only other completion) linearizes.
+        let ph = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 5), 10, 20)]),
+            pending: vec![PendingOp {
+                pid: Pid(0),
+                invocation: Invocation::new("write", 5),
+                t_invoke: Time(0),
+                may_have_effect: true,
+            }],
+            horizon: Time(30),
+        };
+        assert!(check_fast_pending(&spec, &ph).is_linearizable());
+
+        // Same history, but the write provably never executed: the read of 5
+        // is unexplainable and the verdict is a sound refutation.
+        let mut dead = ph.clone();
+        dead.pending[0].may_have_effect = false;
+        assert_eq!(check_fast_pending(&spec, &dead), Verdict::NotLinearizable);
+
+        // A pending *mixed* op cannot be soundly completed: when dropping it
+        // fails, the checker degrades to Unknown instead of refuting.
+        let rmw_spec = erase(RmwRegister::new(0));
+        let mixed = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 5), 10, 20)]),
+            pending: vec![PendingOp {
+                pid: Pid(0),
+                invocation: Invocation::new("rmw", 5),
+                t_invoke: Time(0),
+                may_have_effect: true,
+            }],
+            horizon: Time(30),
+        };
+        assert_eq!(check_fast_pending(&rmw_spec, &mixed), Verdict::Unknown);
+
+        // No pending ops at all: plain check_fast semantics.
+        let clean = PendingHistory {
+            complete: h(vec![
+                (0, OpInstance::new("write", 7, ()), 0, 5),
+                (1, OpInstance::new("read", (), 7), 6, 9),
+            ]),
+            pending: vec![],
+            horizon: Time(9),
+        };
+        assert!(check_fast_pending(&spec, &clean).is_linearizable());
+    }
+
+    #[test]
+    fn pending_checker_caps_enumeration() {
+        use crate::history::{PendingHistory, PendingOp};
+        use lintime_sim::time::Pid;
+
+        let spec = erase(Register::new(0));
+        let many = |k: usize| -> Vec<PendingOp> {
+            (0..k)
+                .map(|i| PendingOp {
+                    pid: Pid(0),
+                    invocation: Invocation::new("write", i as i64 + 100),
+                    t_invoke: Time(i as i64),
+                    may_have_effect: true,
+                })
+                .collect()
+        };
+        // Over the cap with an un-refutable complete part: Linearizable via
+        // the all-removed completion, no enumeration needed.
+        let ok = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 0), 50, 60)]),
+            pending: many(9),
+            horizon: Time(60),
+        };
+        assert!(check_fast_pending(&spec, &ok).is_linearizable());
+        // Over the cap with a complete part that *needs* a pending write:
+        // must degrade to Unknown, never claim a violation.
+        let needs = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 100), 50, 60)]),
+            pending: many(9),
+            horizon: Time(60),
+        };
+        assert_eq!(check_fast_pending(&spec, &needs), Verdict::Unknown);
+        // At the cap it enumerates and finds the completing subset.
+        let at_cap = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 100), 50, 60)]),
+            pending: many(8),
+            horizon: Time(60),
+        };
+        assert!(check_fast_pending(&spec, &at_cap).is_linearizable());
     }
 
     #[test]

@@ -51,6 +51,17 @@ pub struct BcastMsg {
     pub payload: Payload,
 }
 
+impl BcastMsg {
+    /// Estimated serialized size in bytes: 8-byte sequence number, tag,
+    /// 8-byte Lamport clock, and the invocation for requests.
+    pub fn wire_bytes(&self) -> usize {
+        9 + match &self.payload {
+            Payload::Request { inv, .. } => 8 + inv.wire_bytes(),
+            Payload::Ack { .. } => 8,
+        }
+    }
+}
+
 /// Timer type (the broadcast algorithm needs no timers).
 #[derive(Clone, Debug, PartialEq)]
 pub enum NoTimer {}
@@ -152,6 +163,10 @@ impl BroadcastNode {
 impl Node for BroadcastNode {
     type Msg = BcastMsg;
     type Timer = NoTimer;
+
+    fn msg_wire_bytes(msg: &BcastMsg) -> usize {
+        msg.wire_bytes()
+    }
 
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<BcastMsg, NoTimer>) {
         // The broadcast baseline totally orders every class uniformly; it

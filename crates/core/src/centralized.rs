@@ -24,6 +24,16 @@ pub enum CentralMsg {
     Reply(Value),
 }
 
+impl CentralMsg {
+    /// Estimated serialized size in bytes: tag plus payload.
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            CentralMsg::Request(inv) => inv.wire_bytes(),
+            CentralMsg::Reply(v) => v.wire_bytes(),
+        }
+    }
+}
+
 /// Timer type (the centralized algorithm needs no timers).
 #[derive(Clone, Debug, PartialEq)]
 pub enum NoTimer {}
@@ -46,6 +56,10 @@ impl CentralizedNode {
 impl Node for CentralizedNode {
     type Msg = CentralMsg;
     type Timer = NoTimer;
+
+    fn msg_wire_bytes(msg: &CentralMsg) -> usize {
+        msg.wire_bytes()
+    }
 
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<CentralMsg, NoTimer>) {
         if self.pid == COORDINATOR {

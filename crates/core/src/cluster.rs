@@ -4,10 +4,13 @@
 
 use crate::broadcast::{BcastMsg, BroadcastNode};
 use crate::centralized::{CentralMsg, CentralizedNode};
+use crate::mr_register::{MrMsg, MrNode};
 use crate::naive::{NaiveLocalNode, NaiveMsg, NaiveTimer};
+use crate::reliable::{RecoveryConfig, RelMsg, RelTimer, ReliableWtlwNode};
 use crate::wtlw::{Waits, WtlwMsg, WtlwNode, WtlwTimer};
 use lintime_adt::spec::{Invocation, ObjectSpec, OpClass};
-use lintime_sim::engine::{simulate, SimConfig};
+use lintime_obs::Obs;
+use lintime_sim::engine::SimConfig;
 use lintime_sim::node::{Effects, Node};
 use lintime_sim::run::Run;
 use lintime_sim::time::{Pid, Time};
@@ -28,6 +31,16 @@ pub enum Algorithm {
     Centralized,
     /// Folklore baseline 2: Lamport total-order broadcast (≈ `2d`).
     Broadcast,
+    /// Majority-quorum read/write register (Mostéfaoui–Raynal style):
+    /// crash-tolerant up to `⌊(n−1)/2⌋` failures.
+    MrRegister,
+    /// Algorithm 1 behind the reliable-delivery recovery wrapper.
+    ReliableWtlw {
+        /// Tradeoff parameter `X ∈ [0, d − ε]` for the inner node.
+        x: Time,
+        /// Retransmission/detection policy.
+        recovery: RecoveryConfig,
+    },
     /// Incorrect optimistic replication responding after the given wait.
     NaiveLocal(Time),
 }
@@ -40,6 +53,8 @@ impl Algorithm {
             Algorithm::WtlwWaits(_) => "wtlw(custom waits)".to_string(),
             Algorithm::Centralized => "centralized".to_string(),
             Algorithm::Broadcast => "broadcast".to_string(),
+            Algorithm::MrRegister => "mr-register".to_string(),
+            Algorithm::ReliableWtlw { x, .. } => format!("reliable-wtlw(X={x})"),
             Algorithm::NaiveLocal(w) => format!("naive(wait={w})"),
         }
     }
@@ -54,8 +69,27 @@ pub enum AnyMsg {
     Central(CentralMsg),
     /// Broadcast-baseline message.
     Bcast(BcastMsg),
+    /// Quorum-register phase message.
+    Mr(MrMsg),
+    /// Recovery-wrapped announcement or acknowledgement.
+    Rel(RelMsg),
     /// Naive gossip.
     Naive(NaiveMsg),
+}
+
+impl AnyMsg {
+    /// Estimated serialized size in bytes: algorithm tag plus the inner
+    /// message's own estimate.
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            AnyMsg::Wtlw(m) => m.wire_bytes(),
+            AnyMsg::Central(m) => m.wire_bytes(),
+            AnyMsg::Bcast(m) => m.wire_bytes(),
+            AnyMsg::Mr(m) => m.wire_bytes(),
+            AnyMsg::Rel(m) => m.wire_bytes(),
+            AnyMsg::Naive(m) => m.wire_bytes(),
+        }
+    }
 }
 
 /// Unified timer type for [`AnyNode`].
@@ -63,6 +97,8 @@ pub enum AnyMsg {
 pub enum AnyTimer {
     /// Algorithm 1 timer.
     Wtlw(WtlwTimer),
+    /// Recovery-wrapper timer (inner Algorithm 1 or retransmit).
+    Rel(RelTimer),
     /// Naive respond timer.
     Naive(NaiveTimer),
 }
@@ -76,6 +112,10 @@ pub enum AnyNode {
     Central(CentralizedNode),
     /// Broadcast baseline.
     Bcast(BroadcastNode),
+    /// Quorum register.
+    Mr(MrNode),
+    /// Recovery-wrapped Algorithm 1.
+    Rel(ReliableWtlwNode),
     /// Naive strawman.
     Naive(NaiveLocalNode),
 }
@@ -89,11 +129,29 @@ impl AnyNode {
         spec: Arc<dyn ObjectSpec>,
         params: lintime_sim::time::ModelParams,
     ) -> AnyNode {
+        Self::build_observed(algo, pid, spec, params, &Obs::off())
+    }
+
+    /// [`AnyNode::build`] with an observability bundle attached to the
+    /// algorithms that export metrics (quorum register, recovery wrapper).
+    pub fn build_observed(
+        algo: Algorithm,
+        pid: Pid,
+        spec: Arc<dyn ObjectSpec>,
+        params: lintime_sim::time::ModelParams,
+        obs: &Obs,
+    ) -> AnyNode {
         match algo {
             Algorithm::Wtlw { x } => AnyNode::Wtlw(WtlwNode::new(pid, spec, params, x)),
             Algorithm::WtlwWaits(waits) => AnyNode::Wtlw(WtlwNode::with_waits(pid, spec, waits)),
             Algorithm::Centralized => AnyNode::Central(CentralizedNode::new(pid, spec)),
             Algorithm::Broadcast => AnyNode::Bcast(BroadcastNode::new(pid, params.n, spec)),
+            Algorithm::MrRegister => {
+                AnyNode::Mr(MrNode::new(pid, spec, params.n).with_obs(obs.clone()))
+            }
+            Algorithm::ReliableWtlw { x, recovery } => AnyNode::Rel(
+                ReliableWtlwNode::new(pid, spec, params, x, recovery).with_obs(obs.clone()),
+            ),
             Algorithm::NaiveLocal(wait) => AnyNode::Naive(NaiveLocalNode::new(spec, wait)),
         }
     }
@@ -115,6 +173,10 @@ impl Node for AnyNode {
     type Msg = AnyMsg;
     type Timer = AnyTimer;
 
+    fn msg_wire_bytes(msg: &AnyMsg) -> usize {
+        msg.wire_bytes()
+    }
+
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<AnyMsg, AnyTimer>) {
         match self {
             AnyNode::Wtlw(n) => {
@@ -134,6 +196,16 @@ impl Node for AnyNode {
                 AnyMsg::Bcast,
                 |t: crate::broadcast::NoTimer| match t {}
             ),
+            AnyNode::Mr(n) => dispatch!(
+                fx,
+                ifx,
+                n.on_invoke(inv, ifx),
+                AnyMsg::Mr,
+                |t: crate::mr_register::NoTimer| match t {}
+            ),
+            AnyNode::Rel(n) => {
+                dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Rel, AnyTimer::Rel)
+            }
             AnyNode::Naive(n) => {
                 dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Naive, AnyTimer::Naive)
             }
@@ -159,6 +231,16 @@ impl Node for AnyNode {
                 AnyMsg::Bcast,
                 |t: crate::broadcast::NoTimer| match t {}
             ),
+            (AnyNode::Mr(n), AnyMsg::Mr(m)) => dispatch!(
+                fx,
+                ifx,
+                n.on_deliver(from, m, ifx),
+                AnyMsg::Mr,
+                |t: crate::mr_register::NoTimer| match t {}
+            ),
+            (AnyNode::Rel(n), AnyMsg::Rel(m)) => {
+                dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Rel, AnyTimer::Rel)
+            }
             (AnyNode::Naive(n), AnyMsg::Naive(m)) => {
                 dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Naive, AnyTimer::Naive)
             }
@@ -171,6 +253,9 @@ impl Node for AnyNode {
             (AnyNode::Wtlw(n), AnyTimer::Wtlw(t)) => {
                 dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Wtlw, AnyTimer::Wtlw)
             }
+            (AnyNode::Rel(n), AnyTimer::Rel(t)) => {
+                dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Rel, AnyTimer::Rel)
+            }
             (AnyNode::Naive(n), AnyTimer::Naive(t)) => {
                 dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Naive, AnyTimer::Naive)
             }
@@ -180,8 +265,12 @@ impl Node for AnyNode {
 }
 
 /// Run `algo` over `spec` under `cfg`.
+///
+/// Delegates to [`crate::backend::run_backend`], so algorithm-level
+/// bookkeeping (recovery-layer suspects folded into [`Run::suspect`],
+/// quorum metrics) is applied uniformly no matter which entry point is used.
 pub fn run_algorithm(algo: Algorithm, spec: &Arc<dyn ObjectSpec>, cfg: &SimConfig) -> Run {
-    simulate(cfg, |pid| AnyNode::build(algo, pid, Arc::clone(spec), cfg.params))
+    crate::backend::run_backend(&algo, spec, cfg).run
 }
 
 /// Latency statistics for one operation name.

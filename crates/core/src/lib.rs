@@ -16,8 +16,14 @@
 //! * [`reliable`] — recovery layer: acks + retransmission + duplicate
 //!   suppression keep Algorithm 1 linearizable on a lossy network, and a
 //!   violation detector flags runs the recovery budget could not save;
+//! * [`mr_register`] — crash-tolerant majority-quorum register
+//!   (Mostéfaoui–Raynal): survives any minority of crashes, fast
+//!   one-round-trip reads when quorums agree;
 //! * [`timestamp`] — `(local time, pid)` lexicographic timestamps;
-//! * [`cluster`] — uniform driver + latency statistics over all of the above.
+//! * [`cluster`] — uniform driver + latency statistics over all of the above;
+//! * [`backend`] — the [`backend::Backend`] trait: fault-tolerance claims and
+//!   uniform construction for every backend, driven by the cross-backend
+//!   availability matrix.
 //!
 //! ## Quick example
 //!
@@ -44,10 +50,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod broadcast;
 pub mod centralized;
 pub mod cluster;
 pub mod construction;
+pub mod mr_register;
 pub mod naive;
 pub mod reliable;
 pub mod timestamp;
@@ -55,11 +63,13 @@ pub mod wtlw;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
+    pub use crate::backend::{run_backend, Backend, BackendRun, FaultTolerance};
     pub use crate::broadcast::BroadcastNode;
     pub use crate::centralized::CentralizedNode;
     pub use crate::cluster::{
         op_stats, run_algorithm, Algorithm, AnyMsg, AnyNode, AnyTimer, OpStats,
     };
+    pub use crate::mr_register::{MrMsg, MrNode, MrTs};
     pub use crate::naive::NaiveLocalNode;
     pub use crate::reliable::{run_reliable, RecoveryConfig, RelMsg, RelTimer, ReliableWtlwNode};
     pub use crate::timestamp::Timestamp;

@@ -26,6 +26,13 @@ pub struct NaiveMsg {
     pub inv: Invocation,
 }
 
+impl NaiveMsg {
+    /// Estimated serialized size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.inv.wire_bytes()
+    }
+}
+
 /// Timer: respond to the pending operation with a precomputed value.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NaiveTimer {
@@ -56,6 +63,10 @@ impl NaiveLocalNode {
 impl Node for NaiveLocalNode {
     type Msg = NaiveMsg;
     type Timer = NaiveTimer;
+
+    fn msg_wire_bytes(msg: &NaiveMsg) -> usize {
+        msg.wire_bytes()
+    }
 
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<NaiveMsg, NaiveTimer>) {
         let class = self.spec.op_meta(inv.op).expect("unknown operation").class;

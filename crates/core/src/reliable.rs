@@ -101,6 +101,17 @@ pub enum RelMsg {
     },
 }
 
+impl RelMsg {
+    /// Estimated serialized size in bytes: tag plus the wrapped
+    /// announcement, or tag plus a 12-byte timestamp for acks.
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            RelMsg::Data(m) => m.wire_bytes(),
+            RelMsg::Ack { .. } => 12,
+        }
+    }
+}
+
 /// Timer tags of the recovery layer.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RelTimer {
@@ -250,6 +261,10 @@ impl ReliableWtlwNode {
 impl Node for ReliableWtlwNode {
     type Msg = RelMsg;
     type Timer = RelTimer;
+
+    fn msg_wire_bytes(msg: &RelMsg) -> usize {
+        msg.wire_bytes()
+    }
 
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<RelMsg, RelTimer>) {
         self.dispatch(fx, |inner, ifx| inner.on_invoke(inv, ifx));

@@ -107,6 +107,14 @@ pub struct WtlwMsg {
     pub ts: Timestamp,
 }
 
+impl WtlwMsg {
+    /// Estimated serialized size in bytes: a 12-byte timestamp (8-byte time
+    /// plus 4-byte pid) plus the invocation.
+    pub fn wire_bytes(&self) -> usize {
+        12 + self.inv.wire_bytes()
+    }
+}
+
 /// Timer tags of Algorithm 1.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WtlwTimer {
@@ -249,6 +257,10 @@ impl WtlwNode {
 impl Node for WtlwNode {
     type Msg = WtlwMsg;
     type Timer = WtlwTimer;
+
+    fn msg_wire_bytes(msg: &WtlwMsg) -> usize {
+        msg.wire_bytes()
+    }
 
     fn on_invoke(&mut self, inv: Invocation, fx: &mut Effects<WtlwMsg, WtlwTimer>) {
         let class = self

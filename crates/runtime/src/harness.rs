@@ -114,6 +114,9 @@ pub fn run_live<N: Node + 'static>(
             errors: vec![format!("invalid configuration: {e}")],
             delay_violations: 0,
             truncated: true,
+            crashed_pending: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
             faults: Vec::new(),
             suspect: Vec::new(),
         };
@@ -272,6 +275,11 @@ pub fn run_live<N: Node + 'static>(
         errors,
         delay_violations: 0,
         truncated,
+        crashed_pending: 0,
+        // The router counts routed messages; byte-level wire accounting is a
+        // simulator-only refinement (the live router never inspects payloads).
+        msgs_sent: events,
+        bytes_sent: 0,
         faults: injected,
         suspect: Vec::new(),
     }

@@ -244,6 +244,7 @@ struct EngineMetrics {
     delay_overrides: lintime_obs::Counter,
     stall_deferrals: lintime_obs::Counter,
     crash_discards: lintime_obs::Counter,
+    msg_bytes: lintime_obs::Counter,
     delay_draw: lintime_obs::Histogram,
     op_latency: lintime_obs::Histogram,
 }
@@ -264,6 +265,7 @@ impl EngineMetrics {
             delay_overrides: r.counter("sim.fault.delay_overrides"),
             stall_deferrals: r.counter("sim.fault.stall_deferrals"),
             crash_discards: r.counter("sim.fault.crash_discards"),
+            msg_bytes: r.counter("sim.msg.bytes"),
             delay_draw: r.histogram("sim.msg.delay_ticks", &[750, 1500, 3000, 6000, 12000, 24000]),
             op_latency: r
                 .histogram("sim.op.latency_ticks", &[1500, 3000, 6000, 12000, 24000, 48000]),
@@ -306,6 +308,8 @@ pub fn simulate_full<N: Node>(
     let mut last_time = Time::ZERO;
     let mut events: u64 = 0;
     let mut truncated = false;
+    let mut msgs_sent: u64 = 0;
+    let mut bytes_sent: u64 = 0;
     let mut faults: Vec<InjectedFault> = Vec::new();
     // Which (pid, stall-window-end) deferrals were already recorded, and
     // which crashes were already recorded, to log each fault once.
@@ -330,6 +334,9 @@ pub fn simulate_full<N: Node>(
             errors,
             delay_violations,
             truncated: true,
+            crashed_pending: 0,
+            msgs_sent,
+            bytes_sent,
             faults,
             suspect: Vec::new(),
         };
@@ -503,6 +510,15 @@ pub fn simulate_full<N: Node>(
                 *c += 1;
                 v
             };
+            // Communication cost is charged at the send: the protocol paid
+            // for the message whether or not the network later drops it
+            // (fault-injected duplicates are the network's doing, not cost).
+            let wire_bytes = N::msg_wire_bytes(&msg) as u64;
+            msgs_sent += 1;
+            bytes_sent += wire_bytes;
+            if let Some(m) = &metrics {
+                m.msg_bytes.add(wire_bytes);
+            }
             let mut delay = config.delay.delay(params, pid, to, k);
             if let Some(plan) = &config.faults {
                 if let Some(override_delay) = plan.delay_override(pid, to, k) {
@@ -645,6 +661,25 @@ pub fn simulate_full<N: Node>(
         }
     }
 
+    // Crash honesty accounting: make every crash that took effect during the
+    // run visible in `faults` (even if no event of the crashed process ever
+    // needed discarding), and count the pending operations attributable to a
+    // crash of their invoking process.
+    let mut crashed_pending: u64 = 0;
+    if let Some(plan) = &config.faults {
+        for i in 0..n {
+            let Some(at) = plan.crashed_at(Pid(i)) else { continue };
+            if !crashes_recorded.contains(&i) && at > last_time {
+                continue; // the run never reached the crash time
+            }
+            if crashes_recorded.insert(i) {
+                faults.push(InjectedFault::Crashed { pid: Pid(i), at });
+            }
+            crashed_pending +=
+                ops.iter().filter(|o| o.pid == Pid(i) && o.ret.is_none()).count() as u64;
+        }
+    }
+
     let run = Run {
         params,
         offsets: config.offsets.clone(),
@@ -656,6 +691,9 @@ pub fn simulate_full<N: Node>(
         errors,
         delay_violations,
         truncated,
+        crashed_pending,
+        msgs_sent,
+        bytes_sent,
         faults,
         suspect: Vec::new(),
     };
@@ -858,6 +896,47 @@ mod tests {
         assert_eq!(m[0][1], Time(5800));
         assert_eq!(m[1][0], Time(6200));
         assert_eq!(m[2][3], Time(6000));
+    }
+
+    #[test]
+    fn crash_during_inflight_op_counts_as_crashed_pending() {
+        use crate::faults::FaultPlan;
+        // p0 invokes at t=0 and would respond at t=50 via timer; the crash at
+        // t=10 discards the response. p1's identical op is unaffected. The
+        // pending op must be attributed to the crash in the honesty flags.
+        let plan = FaultPlan::new(1).crash(Pid(0), Time(10));
+        let cfg = config()
+            .with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("echo", 5)).at(
+                Pid(1),
+                Time(0),
+                Invocation::new("echo", 6),
+            ))
+            .with_faults(plan);
+        let run = simulate(&cfg, |_| EchoNode { wait: Time(50), ping_peers: false });
+        assert!(!run.complete());
+        assert_eq!(run.pending().count(), 1);
+        assert_eq!(run.crashed_pending, 1);
+        assert!(
+            run.faults
+                .iter()
+                .any(|f| matches!(f, InjectedFault::Crashed { pid: Pid(0), at: Time(10) })),
+            "crash must be recorded even though only a timer was discarded: {:?}",
+            run.faults
+        );
+    }
+
+    #[test]
+    fn send_accounting_counts_messages_and_bytes() {
+        let cfg =
+            config().with_schedule(Schedule::new().at(Pid(0), Time(0), Invocation::new("echo", 1)));
+        let (obs, _ring) = Obs::ring(64);
+        let run =
+            simulate(&cfg.with_obs(obs.clone()), |_| EchoNode { wait: Time(1), ping_peers: true });
+        // One broadcast to 3 peers; Msg = u32 → 4 bytes each by default.
+        assert_eq!(run.msgs_sent, 3);
+        assert_eq!(run.bytes_sent, 12);
+        assert_eq!(obs.metrics.counter("sim.msg.bytes").get(), 12);
+        assert_eq!(run.msgs_per_completed_op(), Some(3.0));
     }
 
     #[test]

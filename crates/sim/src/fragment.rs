@@ -238,6 +238,9 @@ impl Fragment {
             errors: prefix.errors.clone(),
             delay_violations,
             truncated: prefix.truncated,
+            crashed_pending: prefix.crashed_pending,
+            msgs_sent: prefix.msgs_sent,
+            bytes_sent: prefix.bytes_sent,
             faults: prefix.faults.clone(),
             suspect: prefix.suspect.clone(),
         })
@@ -274,6 +277,9 @@ mod tests {
             errors: Vec::new(),
             delay_violations: 0,
             truncated: false,
+            crashed_pending: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
             faults: Vec::new(),
             suspect: Vec::new(),
         }

@@ -30,6 +30,15 @@ pub trait Node: Send {
     fn on_deliver(&mut self, from: Pid, msg: Self::Msg, fx: &mut Effects<Self::Msg, Self::Timer>);
     /// A previously-set timer expired.
     fn on_timer(&mut self, timer: Self::Timer, fx: &mut Effects<Self::Msg, Self::Timer>);
+
+    /// Estimated serialized size of `msg` in bytes, used by the engine for
+    /// communication-cost accounting ([`crate::run::Run::bytes_sent`]). The
+    /// default — the in-memory size of the payload type — is a coarse but
+    /// deterministic proxy; implementations exchanging variable-size payloads
+    /// should override it.
+    fn msg_wire_bytes(msg: &Self::Msg) -> usize {
+        std::mem::size_of_val(msg)
+    }
 }
 
 /// Effect sink handed to [`Node`] handlers: collects sends, timer operations,

@@ -119,6 +119,18 @@ pub struct Run {
     /// invalid configuration). Truncated runs must never be certified
     /// linearizable: operations and messages past the cutoff are missing.
     pub truncated: bool,
+    /// Number of pending (never-responded) operations attributable to an
+    /// injected crash of their invoking process. Part of the run honesty
+    /// flags: a run with `pending ops == crashed_pending` lost responses
+    /// *only* to crashes, not to protocol bugs or truncation.
+    pub crashed_pending: u64,
+    /// Protocol messages sent by nodes (each `Effects::send` counts once,
+    /// whether or not the network later dropped it; fault-injected duplicates
+    /// are not protocol cost and are excluded).
+    pub msgs_sent: u64,
+    /// Total estimated wire bytes of all protocol messages sent (see
+    /// [`crate::node::Node::msg_wire_bytes`]).
+    pub bytes_sent: u64,
     /// Faults injected by the configured [`crate::faults::FaultPlan`], in
     /// injection order. Empty for fault-free runs.
     pub faults: Vec<InjectedFault>,
@@ -164,6 +176,25 @@ impl Run {
     /// All completed operations with their instances and intervals.
     pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
         self.ops.iter().filter(|op| op.ret.is_some())
+    }
+
+    /// All pending (never-responded) operations.
+    pub fn pending(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|op| op.ret.is_none())
+    }
+
+    /// Protocol messages sent per completed operation (`None` if nothing
+    /// completed). The communication-cost figure of merit alongside latency.
+    pub fn msgs_per_completed_op(&self) -> Option<f64> {
+        let done = self.completed().count();
+        (done > 0).then(|| self.msgs_sent as f64 / done as f64)
+    }
+
+    /// Estimated wire bytes sent per completed operation (`None` if nothing
+    /// completed).
+    pub fn bytes_per_completed_op(&self) -> Option<f64> {
+        let done = self.completed().count();
+        (done > 0).then(|| self.bytes_sent as f64 / done as f64)
     }
 
     /// Latencies of all completed instances of operation `op` (all, if `None`).
@@ -238,6 +269,9 @@ impl Run {
             errors: self.errors.clone(),
             delay_violations,
             truncated: self.truncated,
+            crashed_pending: self.crashed_pending,
+            msgs_sent: self.msgs_sent,
+            bytes_sent: self.bytes_sent,
             faults: self.faults.clone(),
             suspect: self.suspect.clone(),
         }
@@ -255,14 +289,20 @@ impl fmt::Display for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "run: {} ops ({} complete), {} msgs, last_time {}, admissible: {}{}{}{}",
+            "run: {} ops ({} complete), {} sends ({} bytes), last_time {}, admissible: {}{}{}{}{}",
             self.ops.len(),
             self.completed().count(),
-            self.msgs.len(),
+            self.msgs_sent,
+            self.bytes_sent,
             self.last_time,
             self.is_admissible(),
             if self.truncated { ", TRUNCATED" } else { "" },
             if self.is_suspect() { ", SUSPECT" } else { "" },
+            if self.crashed_pending > 0 {
+                format!(", {} crashed-pending", self.crashed_pending)
+            } else {
+                String::new()
+            },
             if self.faults.is_empty() {
                 String::new()
             } else {
@@ -321,6 +361,9 @@ mod tests {
             errors: Vec::new(),
             delay_violations: 0,
             truncated: false,
+            crashed_pending: 0,
+            msgs_sent: 1,
+            bytes_sent: 24,
             faults: Vec::new(),
             suspect: Vec::new(),
         }
@@ -371,6 +414,18 @@ mod tests {
         assert_eq!(shifted.msgs, run.msgs);
         assert_eq!(shifted.offsets, run.offsets);
         assert!(shifted.is_admissible());
+    }
+
+    #[test]
+    fn comm_cost_per_completed_op() {
+        let mut run = sample_run();
+        assert_eq!(run.msgs_per_completed_op(), Some(0.5));
+        assert_eq!(run.bytes_per_completed_op(), Some(12.0));
+        assert_eq!(run.pending().count(), 0);
+        run.ops[1].ret = None;
+        run.ops[1].t_respond = None;
+        assert_eq!(run.pending().count(), 1);
+        assert_eq!(run.msgs_per_completed_op(), Some(1.0));
     }
 
     #[test]

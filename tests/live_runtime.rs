@@ -113,3 +113,33 @@ fn live_baselines_work_too() {
         }
     }
 }
+
+#[test]
+fn live_crash_tolerant_backends_work_too() {
+    // The quorum register and the recovery wrapper route through the same
+    // AnyNode dispatch, so they run unchanged on threads as well.
+    use lintime_core::cluster::{Algorithm, AnyNode};
+    use lintime_core::reliable::RecoveryConfig;
+    let (p, tick) = live_params();
+    let mut cfg = LiveConfig::new(p, tick, DelaySpec::AllMin);
+    // The recovery wrapper stretches its inner timers by the retransmission
+    // backoff budget, so give in-flight operations a longer settle window.
+    cfg.settle = p.d * 10;
+    let spec = erase(Register::new(0));
+    let schedule = vec![
+        TimedInvocation { pid: Pid(1), at: Time(10), inv: Invocation::new("write", 6) },
+        TimedInvocation { pid: Pid(2), at: Time(2500), inv: Invocation::nullary("read") },
+    ];
+    let algos = [
+        Algorithm::MrRegister,
+        Algorithm::ReliableWtlw { x: Time::ZERO, recovery: RecoveryConfig::standard(p) },
+    ];
+    for algo in algos {
+        let run = run_live(&cfg, &schedule, |pid| AnyNode::build(algo, pid, Arc::clone(&spec), p));
+        assert!(run.complete(), "{algo:?}: {run}");
+        assert!(run.errors.is_empty(), "{algo:?}: {:?}", run.errors);
+        assert_eq!(run.ops[1].ret, Some(Value::Int(6)), "{algo:?}");
+        let history = History::from_run(&run).unwrap();
+        assert!(check(&spec, &history).is_linearizable());
+    }
+}

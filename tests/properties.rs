@@ -201,6 +201,9 @@ fn chop_satisfies_lemma_2() {
             errors: Vec::new(),
             delay_violations: 1,
             truncated: false,
+            crashed_pending: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
             faults: Vec::new(),
             suspect: Vec::new(),
         };
