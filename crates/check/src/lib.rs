@@ -34,8 +34,8 @@ pub mod prelude {
     pub use crate::compositional::{check_components, ComponentVerdicts};
     pub use crate::history::{History, PendingHistory, PendingOp, TimedOp};
     pub use crate::monitor::{
-        check_fast, check_fast_pending, check_fast_pending_with, check_fast_with, verify_witness,
-        MonitorOutcome,
+        check_fast, check_fast_pending, check_fast_pending_observed, check_fast_pending_with,
+        check_fast_with, verify_witness, MonitorOutcome,
     };
-    pub use crate::wing_gong::{check, check_with, CheckConfig, Verdict};
+    pub use crate::wing_gong::{check, check_free_with, check_with, CheckConfig, Verdict};
 }

@@ -107,11 +107,6 @@ pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: Check
     }
 }
 
-/// Pending completions tried exhaustively up to this many candidate
-/// operations (2^8 = 256 sub-checks); beyond it the checker degrades to
-/// `Unknown` rather than silently guessing.
-const MAX_PENDING_CANDIDATES: usize = 8;
-
 /// Decide linearizability of a history *with pending operations*
 /// (Herlihy–Wing completions): a pending-aware [`check_fast`].
 ///
@@ -127,14 +122,26 @@ const MAX_PENDING_CANDIDATES: usize = 8;
 ///   included one gets its class-constant return value (a pure mutator's
 ///   response carries no state information) and responds at the history
 ///   horizon, the most permissive choice;
-/// * pending **mixed** (or unknown) operations cannot be soundly completed
-///   — their response value depends on unknowable state — so if no
-///   enumerated completion linearizes, the verdict degrades to
-///   [`Verdict::Unknown`] instead of claiming a violation.
+/// * pending **mixed** (or unknown) operations are tried both removed and
+///   included with a **free** response: the general search
+///   ([`wing_gong::check_free_with`]) accepts whatever response the
+///   specification produces at each tried position, which exhaustively covers
+///   every concrete response value a completion could assign. With
+///   [`CheckConfig::mixed_completion`] off, these ops fall back to the old
+///   pure-mutator-only rule and force [`Verdict::Unknown`] when dropping
+///   them fails.
 ///
-/// `Linearizable` therefore always carries a replay-verified witness of a
-/// genuine completion, and `NotLinearizable` is only returned when *every*
-/// completion was enumerated and refuted.
+/// The enumeration is bounded by [`CheckConfig::max_pending_candidates`]
+/// (`2^k` sub-checks); beyond it only the all-removed completion is tried, so
+/// a positive verdict survives but refutation degrades to
+/// [`Verdict::Unknown`].
+///
+/// `Linearizable` carries a witness into the chosen completion's operation
+/// array (completed ops first, then included pending ops in candidate
+/// order); a free-completed op's fabricated `ret` is a placeholder — its
+/// actual response is whatever replaying the witness order yields.
+/// `NotLinearizable` is only returned when *every* completion was enumerated
+/// and refuted.
 pub fn check_fast_pending(spec: &Arc<dyn ObjectSpec>, ph: &PendingHistory) -> Verdict {
     check_fast_pending_with(spec, ph, CheckConfig::default())
 }
@@ -145,6 +152,34 @@ pub fn check_fast_pending_with(
     ph: &PendingHistory,
     cfg: CheckConfig,
 ) -> Verdict {
+    check_fast_pending_impl(spec, ph, cfg, None)
+}
+
+/// [`check_fast_pending_with`] with checker observability: in addition to
+/// everything [`check_fast_observed`] records for each enumerated
+/// completion, the counter `check.pending.budget_exhausted` is bumped
+/// whenever [`CheckConfig::max_pending_candidates`] forces an
+/// [`Verdict::Unknown`] that full enumeration might have decided — making
+/// silent budget degradation visible in metrics snapshots.
+pub fn check_fast_pending_observed(
+    spec: &Arc<dyn ObjectSpec>,
+    ph: &PendingHistory,
+    cfg: CheckConfig,
+    obs: &Obs,
+) -> Verdict {
+    check_fast_pending_impl(spec, ph, cfg, obs.is_active().then_some(obs))
+}
+
+fn check_fast_pending_impl(
+    spec: &Arc<dyn ObjectSpec>,
+    ph: &PendingHistory,
+    cfg: CheckConfig,
+    obs: Option<&Obs>,
+) -> Verdict {
+    let check_complete = |h: &History| match obs {
+        Some(o) => check_fast_observed(spec, h, cfg, o),
+        None => check_fast_with(spec, h, cfg),
+    };
     // Candidates that must be *tried* as included: possibly-effective
     // mutators (unknown operations conservatively count as mutators).
     let candidates: Vec<_> = ph
@@ -155,18 +190,26 @@ pub fn check_fast_pending_with(
         })
         .collect();
 
-    if candidates.len() > MAX_PENDING_CANDIDATES {
+    if candidates.len() > cfg.max_pending_candidates {
         // Too many completions to enumerate: only the all-removed one is
         // tried, so a positive verdict survives but refutation cannot.
-        return match check_fast_with(spec, &ph.complete, cfg) {
+        return match check_complete(&ph.complete) {
             Verdict::Linearizable(w) => Verdict::Linearizable(w),
-            _ => Verdict::Unknown,
+            _ => {
+                if let Some(o) = obs {
+                    o.metrics.counter("check.pending.budget_exhausted").inc();
+                }
+                Verdict::Unknown
+            }
         };
     }
 
     let mut any_unknown = false;
-    for mask in 0u32..(1 << candidates.len()) {
+    for mask in 0u64..(1 << candidates.len()) {
         let mut h = ph.complete.clone();
+        // Free-response marks for the ops appended by this completion
+        // (parallel to `h.ops[ph.complete.len()..]`).
+        let mut appended_free = Vec::new();
         let mut completable = true;
         for (i, p) in candidates.iter().enumerate() {
             if mask & (1 << i) == 0 {
@@ -174,13 +217,15 @@ pub fn check_fast_pending_with(
             }
             let is_pure_mutator =
                 spec.op_meta(p.invocation.op).is_some_and(|m| m.class == OpClass::PureMutator);
-            if !is_pure_mutator {
-                // No sound return value can be fabricated for this op.
+            if !is_pure_mutator && !cfg.mixed_completion {
+                // Legacy rule: no sound return value can be fabricated.
                 completable = false;
                 break;
             }
             // A pure mutator's return is state-independent: read it off a
-            // fresh object.
+            // fresh object. For a mixed/unknown op the same value is a mere
+            // placeholder — the op is marked free and the search accepts
+            // whatever the specification returns at each tried position.
             let ret = spec.new_object().apply(p.invocation.op, &p.invocation.arg);
             h.ops.push(TimedOp {
                 pid: p.pid,
@@ -188,12 +233,22 @@ pub fn check_fast_pending_with(
                 t_invoke: p.t_invoke,
                 t_respond: ph.horizon.max(p.t_invoke),
             });
+            appended_free.push(!is_pure_mutator);
         }
         if !completable {
             any_unknown = true;
             continue;
         }
-        match check_fast_with(spec, &h, cfg) {
+        let verdict = if appended_free.contains(&true) {
+            // Free ops bypass the monitors (their placeholder responses would
+            // mislead witness construction): decide with the general search.
+            let mut free = vec![false; ph.complete.len()];
+            free.extend_from_slice(&appended_free);
+            wing_gong::check_free_with(spec, &h, &free, cfg)
+        } else {
+            check_complete(&h)
+        };
+        match verdict {
             Verdict::Linearizable(w) => return Verdict::Linearizable(w),
             Verdict::Unknown => any_unknown = true,
             Verdict::NotLinearizable => {}
@@ -606,8 +661,8 @@ mod tests {
         dead.pending[0].may_have_effect = false;
         assert_eq!(check_fast_pending(&spec, &dead), Verdict::NotLinearizable);
 
-        // A pending *mixed* op cannot be soundly completed: when dropping it
-        // fails, the checker degrades to Unknown instead of refuting.
+        // A pending *mixed* op is completed through the free-response
+        // search: including the rmw(5) (fetch-add on 0) explains read -> 5.
         let rmw_spec = erase(RmwRegister::new(0));
         let mixed = PendingHistory {
             complete: h(vec![(1, OpInstance::new("read", (), 5), 10, 20)]),
@@ -619,7 +674,25 @@ mod tests {
             }],
             horizon: Time(30),
         };
-        assert_eq!(check_fast_pending(&rmw_spec, &mixed), Verdict::Unknown);
+        assert!(check_fast_pending(&rmw_spec, &mixed).is_linearizable());
+        // With mixed completion off (the legacy pure-mutator-only rule), the
+        // same history degrades to Unknown instead of deciding.
+        let legacy = CheckConfig { mixed_completion: false, ..CheckConfig::default() };
+        assert_eq!(check_fast_pending_with(&rmw_spec, &mixed, legacy), Verdict::Unknown);
+        // An unexplainable read stays a sound refutation even when the free
+        // search gets to try the mixed op at every position: rmw(2) on any
+        // reachable state never leaves the register at 5.
+        let refuted = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 5), 10, 20)]),
+            pending: vec![PendingOp {
+                pid: Pid(0),
+                invocation: Invocation::new("rmw", 2),
+                t_invoke: Time(0),
+                may_have_effect: true,
+            }],
+            horizon: Time(30),
+        };
+        assert_eq!(check_fast_pending(&rmw_spec, &refuted), Verdict::NotLinearizable);
 
         // No pending ops at all: plain check_fast semantics.
         let clean = PendingHistory {
@@ -672,6 +745,41 @@ mod tests {
             horizon: Time(60),
         };
         assert!(check_fast_pending(&spec, &at_cap).is_linearizable());
+        // The cap is configuration, not a constant: raising it lets the
+        // checker decide the history the default budget gave up on.
+        let raised = CheckConfig { max_pending_candidates: 9, ..CheckConfig::default() };
+        assert!(check_fast_pending_with(&spec, &needs, raised).is_linearizable());
+    }
+
+    #[test]
+    fn pending_budget_exhaustion_is_counted() {
+        use crate::history::{PendingHistory, PendingOp};
+        use lintime_sim::time::Pid;
+
+        let spec = erase(Register::new(0));
+        let ph = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 100), 50, 60)]),
+            pending: (0..9)
+                .map(|i| PendingOp {
+                    pid: Pid(0),
+                    invocation: Invocation::new("write", i + 100),
+                    t_invoke: Time(i),
+                    may_have_effect: true,
+                })
+                .collect(),
+            horizon: Time(60),
+        };
+        let (obs, _ring) = Obs::ring(16);
+        let cfg = CheckConfig::default();
+        // 9 candidates > budget 8, and the all-removed completion is refuted:
+        // the forced Unknown bumps the budget counter.
+        assert_eq!(check_fast_pending_observed(&spec, &ph, cfg, &obs), Verdict::Unknown);
+        assert_eq!(obs.metrics.counter("check.pending.budget_exhausted").get(), 1);
+        // Within budget, nothing is counted even when the verdict is Unknown
+        // for other reasons elsewhere; here the decided verdict counts 0.
+        let raised = CheckConfig { max_pending_candidates: 9, ..cfg };
+        assert!(check_fast_pending_observed(&spec, &ph, raised, &obs).is_linearizable());
+        assert_eq!(obs.metrics.counter("check.pending.budget_exhausted").get(), 1);
     }
 
     #[test]

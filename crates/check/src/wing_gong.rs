@@ -65,11 +65,22 @@ pub struct CheckConfig {
     /// Maximum number of search nodes before giving up with
     /// [`Verdict::Unknown`].
     pub max_nodes: u64,
+    /// Pending completions are enumerated exhaustively for up to this many
+    /// candidate operations (`2^k` sub-checks); beyond it the pending-aware
+    /// checker degrades to [`Verdict::Unknown`] rather than silently
+    /// guessing. See [`crate::monitor::check_fast_pending`].
+    pub max_pending_candidates: usize,
+    /// Complete pending *mixed* operations (CAS, dequeue, pop) through the
+    /// free-response search ([`check_free_with`]) instead of bailing to
+    /// [`Verdict::Unknown`]. On by default; turning it off restores the
+    /// pure-mutator-only completion rule (useful for measuring how much of
+    /// the `Unknown` bucket the search empties).
+    pub mixed_completion: bool,
 }
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { max_nodes: 5_000_000 }
+        CheckConfig { max_nodes: 5_000_000, max_pending_candidates: 8, mixed_completion: true }
     }
 }
 
@@ -145,7 +156,29 @@ fn node_key(done: &BitSet, state_hash: u64) -> u64 {
 /// [`check`] with an explicit node budget.
 pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) -> Verdict {
     // STATS = false compiles every stats update out of the hot loop.
-    search::<false>(spec, history, cfg).0
+    search::<false>(spec, history, None, cfg).0
+}
+
+/// [`check_with`] over a history whose marked operations have **free**
+/// responses: `free[i] == true` means op `i`'s recorded return value is a
+/// placeholder and any response the specification produces is accepted.
+///
+/// This decides Herlihy–Wing completions of pending operations whose
+/// response value depends on unknowable state (mixed ops like CAS, dequeue,
+/// pop): a completion with *some* concrete response linearizes iff this
+/// search finds an order, because a deterministic specification produces
+/// exactly one response per (state, op) pair and the search tries every
+/// admissible position. `NotLinearizable` therefore refutes **every**
+/// response assignment for the marked ops, and a returned witness's free-op
+/// responses are whatever replaying the witness order yields.
+pub fn check_free_with(
+    spec: &Arc<dyn ObjectSpec>,
+    history: &History,
+    free: &[bool],
+    cfg: CheckConfig,
+) -> Verdict {
+    assert_eq!(free.len(), history.len(), "free mask must cover the history");
+    search::<false>(spec, history, Some(free), cfg).0
 }
 
 /// [`check_with`] plus [`SearchStats`] describing the search that produced
@@ -157,12 +190,13 @@ pub fn check_with_stats(
     history: &History,
     cfg: CheckConfig,
 ) -> (Verdict, SearchStats) {
-    search::<true>(spec, history, cfg)
+    search::<true>(spec, history, None, cfg)
 }
 
 fn search<const STATS: bool>(
     spec: &Arc<dyn ObjectSpec>,
     history: &History,
+    free: Option<&[bool]>,
     cfg: CheckConfig,
 ) -> (Verdict, SearchStats) {
     let mut stats = SearchStats::default();
@@ -241,7 +275,10 @@ fn search<const STATS: bool>(
         }
         let op = &history.ops[i];
         let mut child_obj = stack[top].obj.clone_box();
-        if child_obj.apply(op.instance.op, &op.instance.arg) != op.instance.ret {
+        let ret = child_obj.apply(op.instance.op, &op.instance.arg);
+        // A free op accepts whatever the specification returned here; a bound
+        // op must reproduce its recorded response.
+        if !free.is_some_and(|f| f[i]) && ret != op.instance.ret {
             continue; // this op cannot go here
         }
         done.set(i);
@@ -420,8 +457,56 @@ mod tests {
         // Many concurrent enqueues with no observers: hugely permutable.
         let ops: Vec<_> = (0..12).map(|i| (i as usize, inst("enqueue", i, ()), 0, 1000)).collect();
         let h = History::from_tuples(ops);
-        let v = check_with(&spec, &h, CheckConfig { max_nodes: 3 });
+        let v = check_with(&spec, &h, CheckConfig { max_nodes: 3, ..CheckConfig::default() });
         assert_eq!(v, Verdict::Unknown);
+    }
+
+    #[test]
+    fn free_response_search_accepts_any_return() {
+        let spec = erase(FifoQueue::new());
+        // dequeue's recorded ret (99) is a placeholder: marked free, the
+        // search accepts the spec's actual response (1).
+        let h = History::from_tuples(vec![
+            (0, inst("enqueue", 1, ()), 0, 10),
+            (1, inst("dequeue", (), 99), 20, 30),
+        ]);
+        assert_eq!(check(&spec, &h), Verdict::NotLinearizable);
+        let free = [false, true];
+        assert!(check_free_with(&spec, &h, &free, CheckConfig::default()).is_linearizable());
+        // A free op still cannot repair an unrelated contradiction.
+        let bad = History::from_tuples(vec![
+            (0, inst("enqueue", 1, ()), 0, 10),
+            (1, inst("dequeue", (), 99), 20, 30),
+            (2, inst("peek", (), 7), 40, 50), // queue is empty after dequeue
+        ]);
+        let free = [false, true, false];
+        assert_eq!(
+            check_free_with(&spec, &bad, &free, CheckConfig::default()),
+            Verdict::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn free_response_search_tries_every_position() {
+        let spec = erase(RmwRegister::new(0));
+        // Completed read -> 5 concurrent with a free rmw(5): the search must
+        // place the rmw first (yielding read -> 5), not just append it.
+        let h = History::from_tuples(vec![
+            (0, inst("rmw", 5, 0), 0, 100),
+            (1, inst("read", (), 5), 10, 20),
+        ]);
+        let free = [true, false];
+        assert!(check_free_with(&spec, &h, &free, CheckConfig::default()).is_linearizable());
+        // Bound, with the wrong recorded ret, it is refuted.
+        let bound = [false, false];
+        let h2 = History::from_tuples(vec![
+            (0, inst("rmw", 5, 1), 0, 100), // rmw on 0 returns 0, not 1
+            (1, inst("read", (), 5), 10, 20),
+        ]);
+        assert_eq!(
+            check_free_with(&spec, &h2, &bound, CheckConfig::default()),
+            Verdict::NotLinearizable
+        );
     }
 
     #[test]

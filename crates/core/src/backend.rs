@@ -21,6 +21,7 @@ use lintime_obs::Obs;
 use lintime_sim::engine::{simulate_full, SimConfig};
 use lintime_sim::run::Run;
 use lintime_sim::time::{ModelParams, Pid};
+use std::fmt;
 use std::sync::Arc;
 
 /// The fault classes a backend claims to survive *without* losing
@@ -128,11 +129,21 @@ impl Backend for Algorithm {
             }
             // Majority quorums: up to ⌊(n−1)/2⌋ crashes; duplicate replies
             // are idempotent (quorums are sets); message-driven, so stalls
-            // only delay.
-            Algorithm::MrRegister => FaultTolerance {
+            // only delay. The per-key composition inherits the register's
+            // envelope wholesale.
+            Algorithm::MrRegister | Algorithm::AbdKv => FaultTolerance {
                 crashes: params.n.saturating_sub(1) / 2,
                 duplication: true,
                 stalls: true,
+                ..FaultTolerance::NONE
+            },
+            // Same quorum machinery, but the response values of mixed ops
+            // and accessors come from a *stability* wait whose delivery
+            // bound a stalled client's delayed commit broadcast violates —
+            // so no stall claim.
+            Algorithm::QuorumSm => FaultTolerance {
+                crashes: params.n.saturating_sub(1) / 2,
+                duplication: true,
                 ..FaultTolerance::NONE
             },
             // Retransmission recovers drops; the dedup layer suppresses
@@ -150,10 +161,34 @@ impl Backend for Algorithm {
             Algorithm::MrRegister if spec.kind() != SpecKind::Register => {
                 Err(format!("mr-register implements a read/write register, not {:?}", spec.kind()))
             }
+            Algorithm::AbdKv if spec.kind() != SpecKind::KvStore => {
+                Err(format!("abd-kv implements a kv-store, not {:?}", spec.kind()))
+            }
             _ => Ok(()),
         }
     }
 }
+
+/// A backend × spec combination the backend cannot implement, reported by
+/// [`run_backend`] instead of running. The availability matrix renders these
+/// as honest `n/a` cells rather than crashing the whole sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsupportedSpec {
+    /// The refusing backend's label.
+    pub backend: String,
+    /// The spec's type name.
+    pub spec: String,
+    /// The backend's own explanation.
+    pub why: String,
+}
+
+impl fmt::Display for UnsupportedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend {} cannot run {}: {}", self.backend, self.spec, self.why)
+    }
+}
+
+impl std::error::Error for UnsupportedSpec {}
 
 /// A [`run_backend`] result: the recorded run plus backend-specific
 /// aggregates (zero for backends without them).
@@ -162,7 +197,9 @@ pub struct BackendRun {
     /// The simulated run. For [`Algorithm::ReliableWtlw`], every node's
     /// detected violations have been folded into [`Run::suspect`].
     pub run: Run,
-    /// Completed quorum phases across all [`Algorithm::MrRegister`] nodes.
+    /// Completed quorum phases across all quorum-backend nodes
+    /// ([`Algorithm::MrRegister`], [`Algorithm::QuorumSm`],
+    /// [`Algorithm::AbdKv`]).
     pub quorum_round_trips: u64,
     /// Reads answered in one round trip (uniform quorum timestamps).
     pub fast_reads: u64,
@@ -173,15 +210,20 @@ pub struct BackendRun {
 /// Run `backend` over `spec` under `cfg`: simulate, then fold
 /// backend-specific node state into the result uniformly.
 ///
-/// Panics if `backend.supports(spec)` fails — callers probing arbitrary
-/// backend × type combinations should check `supports` first.
+/// Returns [`UnsupportedSpec`] (without simulating anything) when
+/// `backend.supports(spec)` fails, so callers probing arbitrary
+/// backend × type combinations can render honest `n/a` cells.
 pub fn run_backend(
     backend: &dyn Backend,
     spec: &Arc<dyn ObjectSpec>,
     cfg: &SimConfig,
-) -> BackendRun {
+) -> Result<BackendRun, UnsupportedSpec> {
     if let Err(why) = backend.supports(spec) {
-        panic!("backend {} cannot run this spec: {why}", backend.label());
+        return Err(UnsupportedSpec {
+            backend: backend.label(),
+            spec: spec.name().to_string(),
+            why,
+        });
     }
     let (mut run, nodes) =
         simulate_full(cfg, |pid| backend.make_node(pid, spec, cfg.params, &cfg.obs));
@@ -196,10 +238,20 @@ pub fn run_backend(
                 fast_reads += n.fast_reads();
                 read_writebacks += n.read_writebacks();
             }
+            AnyNode::Qsm(n) => {
+                quorum_round_trips += n.round_trips();
+                fast_reads += n.fast_reads();
+                read_writebacks += n.read_writebacks();
+            }
+            AnyNode::Abd(n) => {
+                quorum_round_trips += n.round_trips();
+                fast_reads += n.fast_reads();
+                read_writebacks += n.read_writebacks();
+            }
             _ => {}
         }
     }
-    BackendRun { run, quorum_round_trips, fast_reads, read_writebacks }
+    Ok(BackendRun { run, quorum_round_trips, fast_reads, read_writebacks })
 }
 
 #[cfg(test)]
@@ -232,6 +284,10 @@ mod tests {
         assert!(rel.omission && rel.duplication && !rel.stalls);
         assert_eq!(mr.summary(), "crashes≤2 +dup +stall");
         assert_eq!(FaultTolerance::NONE.summary(), "none");
+        let qsm = Algorithm::QuorumSm.tolerance(p);
+        assert_eq!(qsm.crashes, 2);
+        assert!(qsm.duplication && !qsm.stalls && !qsm.omission);
+        assert_eq!(Algorithm::AbdKv.tolerance(p), mr);
     }
 
     #[test]
@@ -241,6 +297,29 @@ mod tests {
         let reg = erase(Register::new(0));
         assert!(Algorithm::MrRegister.supports(&reg).is_ok());
         assert!(Algorithm::Centralized.supports(&queue).is_ok());
+        // The state machine supports everything; the composition only kv.
+        assert!(Algorithm::QuorumSm.supports(&queue).is_ok());
+        assert!(Algorithm::QuorumSm.supports(&reg).is_ok());
+        assert!(Algorithm::AbdKv.supports(&queue).is_err());
+        assert!(Algorithm::AbdKv.supports(&erase(lintime_adt::types::KvStore::new())).is_ok());
+    }
+
+    #[test]
+    fn unsupported_combos_return_structured_errors() {
+        let p = params5();
+        let queue = erase(FifoQueue::new());
+        let cfg = SimConfig::new(p, DelaySpec::AllMax).with_schedule(Schedule::new().at(
+            Pid(0),
+            Time(0),
+            Invocation::new("enqueue", 1),
+        ));
+        let err = run_backend(&Algorithm::MrRegister, &queue, &cfg)
+            .expect_err("a queue is not a register");
+        assert_eq!(err.backend, "mr-register");
+        assert_eq!(err.spec, "fifo-queue");
+        assert!(err.to_string().contains("cannot run"), "{err}");
+        let err = run_backend(&Algorithm::AbdKv, &queue, &cfg).expect_err("a queue is not a kv");
+        assert_eq!(err.backend, "abd-kv");
     }
 
     #[test]
@@ -254,7 +333,7 @@ mod tests {
                 Invocation::nullary("read"),
             ),
         );
-        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg);
+        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg).expect("register supported");
         assert!(out.run.complete(), "{}", out.run);
         assert_eq!(out.run.ops[1].ret, Some(Value::Int(9)));
         // Write = 2 phases, quiescent read = 1 fast phase.
@@ -277,7 +356,7 @@ mod tests {
             ))
             .with_faults(FaultPlan::new(1).crash(Pid(3), Time(10)).crash(Pid(4), Time(10)));
         assert_eq!(crashes, 2);
-        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg);
+        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg).expect("register supported");
         assert!(out.run.complete(), "{}", out.run);
         assert_eq!(out.run.ops[1].ret, Some(Value::Int(3)));
     }

@@ -2,10 +2,12 @@
 //! [`Algorithm`], a data type, and a [`SimConfig`], get a recorded run and
 //! per-class latency statistics. Used by the table binaries and benches.
 
+use crate::abd_kv::{AbdKvNode, AbdMsg};
 use crate::broadcast::{BcastMsg, BroadcastNode};
 use crate::centralized::{CentralMsg, CentralizedNode};
 use crate::mr_register::{MrMsg, MrNode};
 use crate::naive::{NaiveLocalNode, NaiveMsg, NaiveTimer};
+use crate::quorum_sm::{QsmMsg, QsmNode, QsmTimer};
 use crate::reliable::{RecoveryConfig, RelMsg, RelTimer, ReliableWtlwNode};
 use crate::wtlw::{Waits, WtlwMsg, WtlwNode, WtlwTimer};
 use lintime_adt::spec::{Invocation, ObjectSpec, OpClass};
@@ -34,6 +36,13 @@ pub enum Algorithm {
     /// Majority-quorum read/write register (Mostéfaoui–Raynal style):
     /// crash-tolerant up to `⌊(n−1)/2⌋` failures.
     MrRegister,
+    /// Majority-quorum replicated state machine over a timestamp-ordered
+    /// operation log: crash-tolerant up to `⌊(n−1)/2⌋` failures for
+    /// **arbitrary** data types.
+    QuorumSm,
+    /// Per-key composition of majority-quorum registers implementing the
+    /// kv-store at register cost; crash-tolerant up to `⌊(n−1)/2⌋` failures.
+    AbdKv,
     /// Algorithm 1 behind the reliable-delivery recovery wrapper.
     ReliableWtlw {
         /// Tradeoff parameter `X ∈ [0, d − ε]` for the inner node.
@@ -54,6 +63,8 @@ impl Algorithm {
             Algorithm::Centralized => "centralized".to_string(),
             Algorithm::Broadcast => "broadcast".to_string(),
             Algorithm::MrRegister => "mr-register".to_string(),
+            Algorithm::QuorumSm => "quorum-sm".to_string(),
+            Algorithm::AbdKv => "abd-kv".to_string(),
             Algorithm::ReliableWtlw { x, .. } => format!("reliable-wtlw(X={x})"),
             Algorithm::NaiveLocal(w) => format!("naive(wait={w})"),
         }
@@ -71,6 +82,10 @@ pub enum AnyMsg {
     Bcast(BcastMsg),
     /// Quorum-register phase message.
     Mr(MrMsg),
+    /// Quorum state-machine phase message.
+    Qsm(QsmMsg),
+    /// Per-key quorum kv-store phase message.
+    Abd(AbdMsg),
     /// Recovery-wrapped announcement or acknowledgement.
     Rel(RelMsg),
     /// Naive gossip.
@@ -86,6 +101,8 @@ impl AnyMsg {
             AnyMsg::Central(m) => m.wire_bytes(),
             AnyMsg::Bcast(m) => m.wire_bytes(),
             AnyMsg::Mr(m) => m.wire_bytes(),
+            AnyMsg::Qsm(m) => m.wire_bytes(),
+            AnyMsg::Abd(m) => m.wire_bytes(),
             AnyMsg::Rel(m) => m.wire_bytes(),
             AnyMsg::Naive(m) => m.wire_bytes(),
         }
@@ -101,6 +118,8 @@ pub enum AnyTimer {
     Rel(RelTimer),
     /// Naive respond timer.
     Naive(NaiveTimer),
+    /// Quorum state-machine stability timer.
+    Qsm(QsmTimer),
 }
 
 /// A node of any of the supported algorithms, with unified message/timer
@@ -114,6 +133,10 @@ pub enum AnyNode {
     Bcast(BroadcastNode),
     /// Quorum register.
     Mr(MrNode),
+    /// Quorum state machine.
+    Qsm(QsmNode),
+    /// Per-key quorum kv-store.
+    Abd(AbdKvNode),
     /// Recovery-wrapped Algorithm 1.
     Rel(ReliableWtlwNode),
     /// Naive strawman.
@@ -148,6 +171,12 @@ impl AnyNode {
             Algorithm::Broadcast => AnyNode::Bcast(BroadcastNode::new(pid, params.n, spec)),
             Algorithm::MrRegister => {
                 AnyNode::Mr(MrNode::new(pid, spec, params.n).with_obs(obs.clone()))
+            }
+            Algorithm::QuorumSm => {
+                AnyNode::Qsm(QsmNode::new(pid, spec, params).with_obs(obs.clone()))
+            }
+            Algorithm::AbdKv => {
+                AnyNode::Abd(AbdKvNode::new(pid, spec, params.n).with_obs(obs.clone()))
             }
             Algorithm::ReliableWtlw { x, recovery } => AnyNode::Rel(
                 ReliableWtlwNode::new(pid, spec, params, x, recovery).with_obs(obs.clone()),
@@ -203,6 +232,16 @@ impl Node for AnyNode {
                 AnyMsg::Mr,
                 |t: crate::mr_register::NoTimer| match t {}
             ),
+            AnyNode::Qsm(n) => {
+                dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Qsm, AnyTimer::Qsm)
+            }
+            AnyNode::Abd(n) => dispatch!(
+                fx,
+                ifx,
+                n.on_invoke(inv, ifx),
+                AnyMsg::Abd,
+                |t: crate::mr_register::NoTimer| match t {}
+            ),
             AnyNode::Rel(n) => {
                 dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Rel, AnyTimer::Rel)
             }
@@ -238,6 +277,16 @@ impl Node for AnyNode {
                 AnyMsg::Mr,
                 |t: crate::mr_register::NoTimer| match t {}
             ),
+            (AnyNode::Qsm(n), AnyMsg::Qsm(m)) => {
+                dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Qsm, AnyTimer::Qsm)
+            }
+            (AnyNode::Abd(n), AnyMsg::Abd(m)) => dispatch!(
+                fx,
+                ifx,
+                n.on_deliver(from, m, ifx),
+                AnyMsg::Abd,
+                |t: crate::mr_register::NoTimer| match t {}
+            ),
             (AnyNode::Rel(n), AnyMsg::Rel(m)) => {
                 dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Rel, AnyTimer::Rel)
             }
@@ -259,6 +308,9 @@ impl Node for AnyNode {
             (AnyNode::Naive(n), AnyTimer::Naive(t)) => {
                 dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Naive, AnyTimer::Naive)
             }
+            (AnyNode::Qsm(n), AnyTimer::Qsm(t)) => {
+                dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Qsm, AnyTimer::Qsm)
+            }
             _ => panic!("timer type does not match node algorithm"),
         }
     }
@@ -270,7 +322,7 @@ impl Node for AnyNode {
 /// bookkeeping (recovery-layer suspects folded into [`Run::suspect`],
 /// quorum metrics) is applied uniformly no matter which entry point is used.
 pub fn run_algorithm(algo: Algorithm, spec: &Arc<dyn ObjectSpec>, cfg: &SimConfig) -> Run {
-    crate::backend::run_backend(&algo, spec, cfg).run
+    crate::backend::run_backend(&algo, spec, cfg).unwrap_or_else(|err| panic!("{err}")).run
 }
 
 /// Latency statistics for one operation name.

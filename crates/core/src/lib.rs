@@ -19,6 +19,11 @@
 //! * [`mr_register`] — crash-tolerant majority-quorum register
 //!   (Mostéfaoui–Raynal): survives any minority of crashes, fast
 //!   one-round-trip reads when quorums agree;
+//! * [`quorum_sm`] — crash-tolerant majority-quorum replicated state
+//!   machine for **arbitrary** data types: a timestamp-ordered op log with
+//!   clock-driven stability, generalizing [`mr_register`];
+//! * [`abd_kv`] — per-key composition of quorum registers implementing the
+//!   kv-store at register cost per key (locality of linearizability);
 //! * [`timestamp`] — `(local time, pid)` lexicographic timestamps;
 //! * [`cluster`] — uniform driver + latency statistics over all of the above;
 //! * [`backend`] — the [`backend::Backend`] trait: fault-tolerance claims and
@@ -50,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod abd_kv;
 pub mod backend;
 pub mod broadcast;
 pub mod centralized;
@@ -57,13 +63,15 @@ pub mod cluster;
 pub mod construction;
 pub mod mr_register;
 pub mod naive;
+pub mod quorum_sm;
 pub mod reliable;
 pub mod timestamp;
 pub mod wtlw;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
-    pub use crate::backend::{run_backend, Backend, BackendRun, FaultTolerance};
+    pub use crate::abd_kv::{AbdKvNode, AbdMsg};
+    pub use crate::backend::{run_backend, Backend, BackendRun, FaultTolerance, UnsupportedSpec};
     pub use crate::broadcast::BroadcastNode;
     pub use crate::centralized::CentralizedNode;
     pub use crate::cluster::{
@@ -71,6 +79,7 @@ pub mod prelude {
     };
     pub use crate::mr_register::{MrMsg, MrNode, MrTs};
     pub use crate::naive::NaiveLocalNode;
+    pub use crate::quorum_sm::{QsmMsg, QsmNode, QsmTimer};
     pub use crate::reliable::{run_reliable, RecoveryConfig, RelMsg, RelTimer, ReliableWtlwNode};
     pub use crate::timestamp::Timestamp;
     pub use crate::wtlw::{predicted_latency, Waits, WtlwNode};

@@ -56,7 +56,7 @@ pub mod prelude {
     pub use crate::fragment::{apply_cuts, chop, shortest_paths, Fragment};
     pub use crate::node::{EffectParts, Effects, Node};
     pub use crate::rng::SplitMix64;
-    pub use crate::run::{MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
+    pub use crate::run::{CrashedPendingByClass, MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
     pub use crate::schedule::{Schedule, Script, TimedInvocation};
     pub use crate::time::{ModelParams, Pid, Time};
     pub use crate::workload::{Mix, Workload};

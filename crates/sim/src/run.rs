@@ -3,7 +3,7 @@
 
 use crate::faults::InjectedFault;
 use crate::time::{ModelParams, Pid, Time};
-use lintime_adt::spec::{Invocation, OpInstance};
+use lintime_adt::spec::{Invocation, ObjectSpec, OpClass, OpInstance};
 use lintime_adt::value::Value;
 use std::fmt;
 
@@ -277,11 +277,66 @@ impl Run {
         }
     }
 
+    /// Break [`Run::crashed_pending`] down by operation class: how many of
+    /// the crash-attributable pending operations were pure mutators, pure
+    /// accessors, or mixed under `spec`. Operations the spec does not know
+    /// are counted as mixed (the conservative bucket — they may both have
+    /// taken effect and carry an unobserved response value, exactly the
+    /// completions the pending-aware checker must enumerate).
+    pub fn crashed_pending_by_class(&self, spec: &dyn ObjectSpec) -> CrashedPendingByClass {
+        let crashed = |pid: Pid| {
+            self.faults
+                .iter()
+                .any(|f| matches!(f, InjectedFault::Crashed { pid: p, .. } if *p == pid))
+        };
+        let mut by_class = CrashedPendingByClass::default();
+        for op in self.pending() {
+            // Same attribution rule as the engine's `crashed_pending`: every
+            // pending op of a crashed invoker, so `total()` matches it.
+            if !crashed(op.pid) {
+                continue;
+            }
+            match spec.op_meta(op.invocation.op).map(|m| m.class) {
+                Some(OpClass::PureMutator) => by_class.mutators += 1,
+                Some(OpClass::PureAccessor) => by_class.accessors += 1,
+                Some(OpClass::Mixed) | None => by_class.mixed += 1,
+            }
+        }
+        by_class
+    }
+
     /// Compare per-process views with another run (both must have view
     /// recording enabled). Used to validate the shifting theorem: a run and
     /// its re-executed shift must have identical views.
     pub fn views_equal(&self, other: &Run) -> bool {
         self.views == other.views
+    }
+}
+
+/// [`Run::crashed_pending`] broken down by the pending operation's class
+/// (see [`Run::crashed_pending_by_class`]). Pure-mutator losses are cheap
+/// for the checker (their completions are ret-free); mixed losses are the
+/// expensive bucket (every completion response value must be enumerated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashedPendingByClass {
+    /// Crash-attributable pending pure mutators.
+    pub mutators: u64,
+    /// Crash-attributable pending pure accessors.
+    pub accessors: u64,
+    /// Crash-attributable pending mixed (or unclassifiable) operations.
+    pub mixed: u64,
+}
+
+impl CrashedPendingByClass {
+    /// Total across all classes (equals [`Run::crashed_pending`]).
+    pub fn total(&self) -> u64 {
+        self.mutators + self.accessors + self.mixed
+    }
+}
+
+impl fmt::Display for CrashedPendingByClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}m/{}a/{}x", self.mutators, self.accessors, self.mixed)
     }
 }
 
@@ -426,6 +481,30 @@ mod tests {
         run.ops[1].t_respond = None;
         assert_eq!(run.pending().count(), 1);
         assert_eq!(run.msgs_per_completed_op(), Some(1.0));
+    }
+
+    #[test]
+    fn crashed_pending_breaks_down_by_class() {
+        let mut run = sample_run();
+        // The reader crashed mid-operation; the writer's pending op is NOT
+        // crash-attributable (no fault for its pid) and must not be counted.
+        run.ops[0].ret = None;
+        run.ops[0].t_respond = None;
+        run.ops[1].ret = None;
+        run.ops[1].t_respond = None;
+        run.faults.push(InjectedFault::Crashed { pid: Pid(1), at: Time(2500) });
+        let spec = lintime_adt::spec::erase(lintime_adt::types::Register::new(0));
+        let by_class = run.crashed_pending_by_class(spec.as_ref());
+        assert_eq!(by_class.accessors, 1);
+        assert_eq!(by_class.mutators, 0);
+        assert_eq!(by_class.mixed, 0);
+        assert_eq!(by_class.total(), 1);
+        assert_eq!(by_class.to_string(), "0m/1a/0x");
+        // Once the writer's crash is recorded too, its pure-mutator pending
+        // op joins the breakdown — matching the engine's attribution.
+        run.faults.push(InjectedFault::Crashed { pid: Pid(0), at: Time(50) });
+        let both = run.crashed_pending_by_class(spec.as_ref());
+        assert_eq!((both.mutators, both.accessors, both.total()), (1, 1, 2));
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn mr_register_survives_two_crashes_on_fifty_seeds() {
         let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed })
             .with_faults(plan)
             .with_schedule(register_workload(p, seed));
-        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg);
+        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg).expect("register supported");
         let run = &out.run;
         assert!(!run.truncated, "seed {seed}: truncated: {run}");
         assert!(!run.is_suspect(), "seed {seed}: suspect: {run}");
@@ -103,7 +103,7 @@ fn mr_quorum_reads_race_concurrent_writes() {
             .at(Pid(2), Time(60_000), Invocation::nullary("read"))
             .at(Pid(3), Time(60_100), Invocation::nullary("read"));
         let cfg = SimConfig::new(p, DelaySpec::UniformRandom { seed }).with_schedule(schedule);
-        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg);
+        let out = run_backend(&Algorithm::MrRegister, &spec, &cfg).expect("register supported");
         assert!(out.run.complete(), "seed {seed}: {}", out.run);
         let history = History::from_run(&out.run).unwrap();
         assert!(
