@@ -83,6 +83,18 @@ pub fn combine(a: u64, b: u64) -> u64 {
     (a.rotate_left(5) ^ b).wrapping_mul(SEED)
 }
 
+/// The SplitMix64 finalizer: a full-avalanche 64-bit mixer. Used to derive
+/// per-element Zobrist values for incrementally-maintained set hashes (XOR
+/// of `mix64(i)` over members), where the order-sensitive [`combine`] would
+/// not work.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

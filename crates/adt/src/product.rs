@@ -83,6 +83,19 @@ impl ObjState for ProductState {
         self.objects[idx].apply(inner, arg)
     }
 
+    fn apply_if(&mut self, op: &'static str, arg: &Value, expected: &Value) -> bool {
+        let (prefix, inner) = ProductSpec::split(op)
+            .unwrap_or_else(|| panic!("product operation {op:?} lacks a 'prefix/' namespace"));
+        let idx = self
+            .prefixes
+            .iter()
+            .position(|p| *p == prefix)
+            .unwrap_or_else(|| panic!("unknown component {prefix:?}"));
+        // Only the addressed component can change, so its own conditional
+        // apply is the product's: a rejection leaves every component intact.
+        self.objects[idx].apply_if(inner, arg, expected)
+    }
+
     fn clone_box(&self) -> Box<dyn ObjState> {
         Box::new(ProductState {
             prefixes: self.prefixes.clone(),

@@ -216,6 +216,43 @@ pub trait DataType: Send + Sync + 'static {
     /// return value.
     fn apply(&self, state: &Self::State, op: &'static str, arg: &Value) -> (Self::State, Value);
 
+    /// Apply one operation *in place*, returning the response. Semantically
+    /// `(state, ret) = apply(state, op, arg)`; the default routes through
+    /// [`DataType::apply`] (one full state clone inside `apply` plus a move).
+    /// Concrete container types override this with the O(1)/O(log n) direct
+    /// mutation, which is what makes the linearizability checker's replay
+    /// paths linear instead of quadratic in the history size.
+    fn apply_inplace(&self, state: &mut Self::State, op: &'static str, arg: &Value) -> Value {
+        let (next, ret) = self.apply(state, op, arg);
+        *state = next;
+        ret
+    }
+
+    /// Apply one operation in place **iff** its response equals `expected`;
+    /// on mismatch the state is left untouched and `false` is returned.
+    ///
+    /// This is the checker's candidate probe: the Wing–Gong search asks "can
+    /// op `i` with its recorded response go here?" at every node, and a
+    /// rejected candidate must leave the object ready for the next one.
+    /// Overrides can usually *peek* the response (front of a queue, top of a
+    /// stack) and only then commit, making rejection O(1) with no state
+    /// clone; the default pays one `apply` (which clones internally).
+    fn apply_if(
+        &self,
+        state: &mut Self::State,
+        op: &'static str,
+        arg: &Value,
+        expected: &Value,
+    ) -> bool {
+        let (next, ret) = self.apply(state, op, arg);
+        if ret == *expected {
+            *state = next;
+            true
+        } else {
+            false
+        }
+    }
+
     /// A canonical [`Value`] encoding of a state, used for memoization keys in
     /// the linearizability checker. Must be injective on reachable states.
     fn canonical(&self, state: &Self::State) -> Value;
@@ -316,6 +353,22 @@ pub trait ObjState: Send {
     /// Apply one operation, mutating the state and returning the unique legal
     /// return value.
     fn apply(&mut self, op: &'static str, arg: &Value) -> Value;
+    /// Apply one operation **iff** its response equals `expected`; on
+    /// mismatch the state must be left observably unchanged and `false`
+    /// returned. The checker probes every search candidate through this, so
+    /// a rejection must not require the caller to re-clone the object. The
+    /// default trial-runs a snapshot (correct for any implementation, since
+    /// `apply` is deterministic, but pays a clone); [`Erased`] objects
+    /// forward to the typed [`DataType::apply_if`] instead.
+    fn apply_if(&mut self, op: &'static str, arg: &Value, expected: &Value) -> bool {
+        let mut trial = self.clone_box();
+        if trial.apply(op, arg) == *expected {
+            self.apply(op, arg);
+            true
+        } else {
+            false
+        }
+    }
     /// Clone the object (state snapshot).
     fn clone_box(&self) -> Box<dyn ObjState>;
     /// Canonical encoding of the current state (injective on reachable states).
@@ -366,9 +419,11 @@ struct ErasedState<T: DataType> {
 
 impl<T: DataType> ObjState for ErasedState<T> {
     fn apply(&mut self, op: &'static str, arg: &Value) -> Value {
-        let (next, ret) = self.spec.apply(&self.state, op, arg);
-        self.state = next;
-        ret
+        self.spec.apply_inplace(&mut self.state, op, arg)
+    }
+
+    fn apply_if(&mut self, op: &'static str, arg: &Value, expected: &Value) -> bool {
+        self.spec.apply_if(&mut self.state, op, arg, expected)
     }
 
     fn clone_box(&self) -> Box<dyn ObjState> {
@@ -454,6 +509,16 @@ impl ObjState for HistoryObject {
         self.spec.run_history(&self.history).pop().expect("non-empty history")
     }
 
+    fn apply_if(&mut self, op: &'static str, arg: &Value, expected: &Value) -> bool {
+        if self.apply(op, arg) == *expected {
+            true
+        } else {
+            // Un-append: the history representation makes rollback a pop.
+            self.history.pop();
+            false
+        }
+    }
+
     fn clone_box(&self) -> Box<dyn ObjState> {
         Box::new(HistoryObject { spec: Arc::clone(&self.spec), history: self.history.clone() })
     }
@@ -527,6 +592,59 @@ mod tests {
         assert!(erased.is_legal(&legal));
         let illegal = vec![OpInstance::new("enqueue", 5, ()), OpInstance::new("peek", (), 6)];
         assert_eq!(erased.first_illegal(&illegal), Some(1));
+    }
+
+    #[test]
+    fn erased_apply_if_commits_iff_response_matches() {
+        let erased = erase(FifoQueue::new());
+        let mut obj = erased.new_object();
+        assert!(obj.apply_if("enqueue", &Value::Int(1), &Value::Unit));
+        // Wrong expected response: rejected, state untouched.
+        assert!(!obj.apply_if("dequeue", &Value::Unit, &Value::Int(9)));
+        assert_eq!(obj.canonical(), Value::list([Value::Int(1)]));
+        assert!(obj.apply_if("dequeue", &Value::Unit, &Value::Int(1)));
+        assert!(obj.apply_if("dequeue", &Value::Unit, &Value::Unit));
+    }
+
+    #[test]
+    fn inplace_apply_matches_pure_apply_across_types() {
+        use crate::types::{GrowSet, KvStore, PriorityQueue, Stack};
+        // Replay every type's suggested mutator/accessor mix two ways: the
+        // pure `apply` (via `run`) and the erased in-place object (which uses
+        // `apply_inplace`). Responses and final canonical states must agree.
+        let specs: Vec<Arc<dyn ObjectSpec>> = vec![
+            erase(FifoQueue::new()),
+            erase(Stack::new()),
+            erase(PriorityQueue::new()),
+            erase(GrowSet::new()),
+            erase(KvStore::new()),
+        ];
+        for spec in specs {
+            let mut invs = Vec::new();
+            for round in 0..3 {
+                for m in spec.ops() {
+                    for arg in spec.suggested_args(m.name).into_iter().skip(round).take(2) {
+                        invs.push(Invocation { op: m.name, arg });
+                    }
+                }
+            }
+            let rets = spec.run_history(&invs); // in-place path
+            let mut obj = spec.new_object();
+            let mut via_if = Vec::new();
+            for inv in &invs {
+                // The conditional path must accept the known-legal response…
+                let mut probe = obj.clone_box();
+                assert!(
+                    probe.apply_if(inv.op, &inv.arg, &rets[via_if.len()]),
+                    "{}: apply_if rejected the legal response of {inv:?}",
+                    spec.name()
+                );
+                // …and its committed state must match the plain apply.
+                via_if.push(obj.apply(inv.op, &inv.arg));
+                assert_eq!(probe.canonical(), obj.canonical(), "{}: {inv:?}", spec.name());
+            }
+            assert_eq!(rets, via_if, "{}", spec.name());
+        }
     }
 
     #[test]

@@ -93,6 +93,52 @@ impl DataType for KvStore {
         }
     }
 
+    fn apply_inplace(
+        &self,
+        state: &mut BTreeMap<i64, i64>,
+        op: &'static str,
+        arg: &Value,
+    ) -> Value {
+        match op {
+            ops::PUT => {
+                let (k, v) = arg
+                    .as_pair()
+                    .and_then(|(a, b)| Some((a.as_int()?, b.as_int()?)))
+                    .expect("put requires a (key, value) pair of integers");
+                state.insert(k, v);
+                Value::Unit
+            }
+            ops::GET => {
+                let k = arg.as_int().expect("get requires an integer key");
+                state.get(&k).map_or(Value::Unit, |v| Value::Int(*v))
+            }
+            ops::DEL => {
+                state.remove(&arg.as_int().expect("del requires an integer key"));
+                Value::Unit
+            }
+            other => panic!("kv-store: unknown operation {other:?}"),
+        }
+    }
+
+    fn apply_if(
+        &self,
+        state: &mut BTreeMap<i64, i64>,
+        op: &'static str,
+        arg: &Value,
+        expected: &Value,
+    ) -> bool {
+        match op {
+            ops::PUT | ops::DEL => {
+                *expected == Value::Unit && {
+                    self.apply_inplace(state, op, arg);
+                    true
+                }
+            }
+            ops::GET => self.apply_inplace(state, op, arg) == *expected,
+            other => panic!("kv-store: unknown operation {other:?}"),
+        }
+    }
+
     fn canonical(&self, state: &BTreeMap<i64, i64>) -> Value {
         Value::list(state.iter().map(|(k, v)| Value::pair(*k, *v)))
     }

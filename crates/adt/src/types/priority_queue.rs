@@ -84,6 +84,58 @@ impl DataType for PriorityQueue {
         }
     }
 
+    fn apply_inplace(&self, state: &mut Vec<i64>, op: &'static str, arg: &Value) -> Value {
+        match op {
+            ops::INSERT => {
+                let v = arg.as_int().expect("insert requires an integer argument");
+                let pos = state.partition_point(|x| *x < v);
+                state.insert(pos, v);
+                Value::Unit
+            }
+            ops::EXTRACT_MIN => {
+                if state.is_empty() {
+                    Value::Unit
+                } else {
+                    Value::Int(state.remove(0))
+                }
+            }
+            ops::MIN => state.first().map_or(Value::Unit, |v| Value::Int(*v)),
+            other => panic!("priority-queue: unknown operation {other:?}"),
+        }
+    }
+
+    fn apply_if(
+        &self,
+        state: &mut Vec<i64>,
+        op: &'static str,
+        arg: &Value,
+        expected: &Value,
+    ) -> bool {
+        let ret = match op {
+            ops::INSERT => Value::Unit,
+            ops::EXTRACT_MIN | ops::MIN => state.first().map_or(Value::Unit, |v| Value::Int(*v)),
+            other => panic!("priority-queue: unknown operation {other:?}"),
+        };
+        if ret != *expected {
+            return false;
+        }
+        match op {
+            ops::INSERT => {
+                let v = arg.as_int().expect("insert requires an integer argument");
+                let pos = state.partition_point(|x| *x < v);
+                state.insert(pos, v);
+            }
+            ops::EXTRACT_MIN => {
+                if !state.is_empty() {
+                    state.remove(0);
+                }
+            }
+            ops::MIN => {}
+            _ => unreachable!(),
+        }
+        true
+    }
+
     fn canonical(&self, state: &Vec<i64>) -> Value {
         Value::list(state.iter().map(|v| Value::Int(*v)))
     }

@@ -83,6 +83,47 @@ impl DataType for FifoQueue {
         }
     }
 
+    fn apply_inplace(&self, state: &mut VecDeque<i64>, op: &'static str, arg: &Value) -> Value {
+        match op {
+            ops::ENQUEUE => {
+                state.push_back(arg.as_int().expect("enqueue requires an integer argument"));
+                Value::Unit
+            }
+            ops::DEQUEUE => state.pop_front().map_or(Value::Unit, Value::Int),
+            ops::PEEK => state.front().map_or(Value::Unit, |v| Value::Int(*v)),
+            other => panic!("fifo-queue: unknown operation {other:?}"),
+        }
+    }
+
+    fn apply_if(
+        &self,
+        state: &mut VecDeque<i64>,
+        op: &'static str,
+        arg: &Value,
+        expected: &Value,
+    ) -> bool {
+        // Peek the response first; mutate only on a match.
+        let ret = match op {
+            ops::ENQUEUE => Value::Unit,
+            ops::DEQUEUE | ops::PEEK => state.front().map_or(Value::Unit, |v| Value::Int(*v)),
+            other => panic!("fifo-queue: unknown operation {other:?}"),
+        };
+        if ret != *expected {
+            return false;
+        }
+        match op {
+            ops::ENQUEUE => {
+                state.push_back(arg.as_int().expect("enqueue requires an integer argument"));
+            }
+            ops::DEQUEUE => {
+                state.pop_front();
+            }
+            ops::PEEK => {}
+            _ => unreachable!(),
+        }
+        true
+    }
+
     fn canonical(&self, state: &VecDeque<i64>) -> Value {
         Value::list(state.iter().map(|v| Value::Int(*v)))
     }

@@ -83,6 +83,45 @@ impl DataType for GrowSet {
         }
     }
 
+    fn apply_inplace(&self, state: &mut BTreeSet<i64>, op: &'static str, arg: &Value) -> Value {
+        match op {
+            ops::ADD => {
+                state.insert(arg.as_int().expect("add requires an integer argument"));
+                Value::Unit
+            }
+            ops::REMOVE => {
+                state.remove(&arg.as_int().expect("remove requires an integer argument"));
+                Value::Unit
+            }
+            ops::CONTAINS => {
+                let v = arg.as_int().expect("contains requires an integer argument");
+                Value::Bool(state.contains(&v))
+            }
+            other => panic!("set: unknown operation {other:?}"),
+        }
+    }
+
+    fn apply_if(
+        &self,
+        state: &mut BTreeSet<i64>,
+        op: &'static str,
+        arg: &Value,
+        expected: &Value,
+    ) -> bool {
+        match op {
+            // add/remove always ack; contains never mutates. Either way the
+            // response is known before touching the state.
+            ops::ADD | ops::REMOVE => {
+                *expected == Value::Unit && {
+                    self.apply_inplace(state, op, arg);
+                    true
+                }
+            }
+            ops::CONTAINS => self.apply_inplace(state, op, arg) == *expected,
+            other => panic!("set: unknown operation {other:?}"),
+        }
+    }
+
     fn canonical(&self, state: &BTreeSet<i64>) -> Value {
         Value::list(state.iter().map(|v| Value::Int(*v)))
     }

@@ -78,6 +78,44 @@ impl DataType for Stack {
         }
     }
 
+    fn apply_inplace(&self, state: &mut Vec<i64>, op: &'static str, arg: &Value) -> Value {
+        match op {
+            ops::PUSH => {
+                state.push(arg.as_int().expect("push requires an integer argument"));
+                Value::Unit
+            }
+            ops::POP => state.pop().map_or(Value::Unit, Value::Int),
+            ops::PEEK => state.last().map_or(Value::Unit, |v| Value::Int(*v)),
+            other => panic!("stack: unknown operation {other:?}"),
+        }
+    }
+
+    fn apply_if(
+        &self,
+        state: &mut Vec<i64>,
+        op: &'static str,
+        arg: &Value,
+        expected: &Value,
+    ) -> bool {
+        let ret = match op {
+            ops::PUSH => Value::Unit,
+            ops::POP | ops::PEEK => state.last().map_or(Value::Unit, |v| Value::Int(*v)),
+            other => panic!("stack: unknown operation {other:?}"),
+        };
+        if ret != *expected {
+            return false;
+        }
+        match op {
+            ops::PUSH => state.push(arg.as_int().expect("push requires an integer argument")),
+            ops::POP => {
+                state.pop();
+            }
+            ops::PEEK => {}
+            _ => unreachable!(),
+        }
+        true
+    }
+
     fn canonical(&self, state: &Vec<i64>) -> Value {
         Value::list(state.iter().map(|v| Value::Int(*v)))
     }

@@ -58,6 +58,29 @@ fn stack_history(n_ops: usize, window: usize) -> History {
     History::from_tuples(tuples)
 }
 
+/// A linearizable priority-queue history: `n_ops` inserts in `window`-wide
+/// concurrent batches followed by sequential `extract_min`s in ascending
+/// order. Priority queues have no specialized monitor, so both variants
+/// exercise the general search — and concurrent inserts commute on the
+/// sorted-multiset state, which stresses the memo table rather than the
+/// frontier.
+fn priority_queue_history(n_ops: usize, window: usize) -> History {
+    let mut tuples: Vec<(usize, OpInstance, i64, i64)> = Vec::new();
+    let mut t = 0i64;
+    for batch in 0..(n_ops / window) {
+        for k in 0..window {
+            let v = (batch * window + k) as i64;
+            tuples.push((k, OpInstance::new("insert", v, ()), t, t + 100));
+        }
+        t += 200;
+    }
+    for v in 0..n_ops as i64 {
+        tuples.push((0, OpInstance::new("extract_min", (), v), t, t + 10));
+        t += 20;
+    }
+    History::from_tuples(tuples)
+}
+
 struct Case {
     adt: &'static str,
     n_ops: usize,
@@ -84,6 +107,13 @@ fn bench_checker(report: &mut JsonReport) -> Registry {
                     window,
                     spec: erase(Stack::new()),
                     history: stack_history(n_ops, window),
+                },
+                Case {
+                    adt: "priority_queue",
+                    n_ops,
+                    window,
+                    spec: erase(PriorityQueue::new()),
+                    history: priority_queue_history(n_ops, window),
                 },
             ]
         })

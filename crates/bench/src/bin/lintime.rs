@@ -14,6 +14,7 @@
 //!     --seed <s>           workload + delay seed (default 42)
 //!     --delay <d>          random | max | min (default random)
 //!     --n/--d/--u <v>      model parameters (default 4 / 6000 / 2400)
+//!     --check-threads <t>  checker worker threads, 0 = auto (default 0)
 //!     --timeline           draw the run as ASCII timelines
 //! lintime trace <scenario> [flags]       replay a scenario with tracing on
 //!     scenarios: table5 (fault-free queue), faults (recovery under drops)
@@ -253,9 +254,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         if run.is_suspect() { format!("yes {:?}", run.suspect) } else { "no".to_string() }
     );
 
+    // 0 = auto (std::thread::available_parallelism); 1 forces the
+    // sequential search.
+    let check_threads = int("check-threads", 0)?;
+    if check_threads < 0 {
+        return Err("--check-threads expects a non-negative integer".into());
+    }
+    let check_cfg = lintime_check::wing_gong::CheckConfig {
+        threads: check_threads as usize,
+        ..lintime_check::wing_gong::CheckConfig::default()
+    };
     let history = lintime_check::history::History::from_run(&run)
         .map_err(|e| format!("cannot check: {e}"))?;
-    match lintime_check::monitor::check_fast(&spec, &history) {
+    match lintime_check::monitor::check_fast_with(&spec, &history, check_cfg) {
         lintime_check::wing_gong::Verdict::Linearizable(_) => {
             println!("\nlinearizable ✓ ({} ops, {} events)", run.ops.len(), run.events);
             Ok(())

@@ -1,0 +1,171 @@
+//! A cache-conscious struct-of-arrays **history arena**.
+//!
+//! [`crate::history::History`] stores one `TimedOp` per operation — an
+//! array-of-structs whose `Value` payloads sit between the timestamps the
+//! checker actually scans. The arena transposes that layout: operation name,
+//! argument, response, process, and the two timestamps live in separate
+//! dense vectors indexed by `u32`, with the two sort orders the Wing–Gong
+//! search needs (`by_invoke`, `by_respond`) precomputed once. It is built a
+//! single time per decision — by [`crate::monitor::check_fast_with`] before
+//! dispatch, or by the [`crate::wing_gong`] entry points themselves — and
+//! then shared read-only by every search the decision spawns, including all
+//! parallel workers (the arena is `Sync`; workers never touch anything but
+//! `&HistoryArena`).
+//!
+//! Timestamp scans (frontier thresholds, predecessor prefixes) thus walk
+//! contiguous `i64` arrays the prefetcher can stream, and the done-set
+//! machinery operates on [`BitSet`] words instead of per-op edge lists.
+
+use crate::bitset::BitSet;
+use crate::history::History;
+use lintime_adt::value::Value;
+
+/// The struct-of-arrays form of a concurrent history. All columns have the
+/// same length and are indexed by the operation's position in the source
+/// [`History::ops`] vector, cast to `u32` (histories are capped at `u32::MAX`
+/// operations, far beyond what any search could visit).
+#[derive(Clone, Debug, Default)]
+pub struct HistoryArena {
+    /// Operation names.
+    pub op: Vec<&'static str>,
+    /// Argument values.
+    pub arg: Vec<Value>,
+    /// Recorded responses.
+    pub ret: Vec<Value>,
+    /// Invoking processes.
+    pub pid: Vec<u32>,
+    /// Invocation times.
+    pub t_invoke: Vec<i64>,
+    /// Response times.
+    pub t_respond: Vec<i64>,
+    /// Indices sorted by `(t_invoke, index)`: the schedulable frontier at any
+    /// search node is a prefix of this array.
+    pub by_invoke: Vec<u32>,
+    /// `t_invoke[by_invoke[k]]`, so frontier bounds are one `partition_point`
+    /// over a contiguous array.
+    pub invokes_sorted: Vec<i64>,
+    /// Indices sorted by `(t_respond, index)`: the earliest not-yet-done
+    /// entry bounds the frontier.
+    pub by_respond: Vec<u32>,
+}
+
+impl HistoryArena {
+    /// Transpose a history into arena form (one `O(n log n)` pass; the only
+    /// allocation the checker performs per decision besides its own stack).
+    pub fn from_history(history: &History) -> HistoryArena {
+        let n = history.ops.len();
+        assert!(u32::try_from(n).is_ok(), "history too large for u32 arena indices");
+        let mut arena = HistoryArena {
+            op: Vec::with_capacity(n),
+            arg: Vec::with_capacity(n),
+            ret: Vec::with_capacity(n),
+            pid: Vec::with_capacity(n),
+            t_invoke: Vec::with_capacity(n),
+            t_respond: Vec::with_capacity(n),
+            by_invoke: (0..n as u32).collect(),
+            invokes_sorted: Vec::with_capacity(n),
+            by_respond: (0..n as u32).collect(),
+        };
+        for op in &history.ops {
+            arena.op.push(op.instance.op);
+            arena.arg.push(op.instance.arg.clone());
+            arena.ret.push(op.instance.ret.clone());
+            arena.pid.push(op.pid.0 as u32);
+            arena.t_invoke.push(op.t_invoke.0);
+            arena.t_respond.push(op.t_respond.0);
+        }
+        arena.by_invoke.sort_unstable_by_key(|&i| (arena.t_invoke[i as usize], i));
+        arena.invokes_sorted.extend(arena.by_invoke.iter().map(|&i| arena.t_invoke[i as usize]));
+        arena.by_respond.sort_unstable_by_key(|&i| (arena.t_respond[i as usize], i));
+        arena
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.op.len()
+    }
+
+    /// True iff the arena holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.op.is_empty()
+    }
+
+    /// The real-time predecessor sets: bit `j` of entry `i` is set iff op `j`
+    /// responded strictly before op `i` was invoked (so `j` must precede `i`
+    /// in every linearization).
+    ///
+    /// Computed with a two-pointer sweep over the precomputed sort orders:
+    /// ops are visited in invocation order while a running "responded so far"
+    /// [`BitSet`] absorbs everything whose response is behind the sweep, and
+    /// each op's predecessor set is a word-level copy of that accumulator.
+    /// No per-edge work: `O(n²/64)` words moved in the worst case, and the
+    /// accumulator updates are single bit sets.
+    pub fn predecessor_sets(&self) -> Vec<BitSet> {
+        let n = self.len();
+        let mut sets: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut responded = BitSet::new(n);
+        let mut rp = 0usize;
+        for &i in &self.by_invoke {
+            let t = self.t_invoke[i as usize];
+            while rp < n && self.t_respond[self.by_respond[rp] as usize] < t {
+                responded.set(self.by_respond[rp] as usize);
+                rp += 1;
+            }
+            // An op never responds strictly before its own invocation, so the
+            // accumulator cannot contain `i` itself.
+            sets[i as usize].union_with(&responded);
+        }
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lintime_adt::spec::OpInstance;
+
+    fn inst(op: &'static str) -> OpInstance {
+        OpInstance::new(op, 0, 0)
+    }
+
+    #[test]
+    fn columns_and_sort_orders() {
+        let h = History::from_tuples(vec![
+            (2, inst("b"), 10, 40),
+            (0, inst("a"), 0, 5),
+            (1, inst("c"), 10, 20),
+        ]);
+        let a = HistoryArena::from_history(&h);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.op, vec!["b", "a", "c"]);
+        assert_eq!(a.pid, vec![2, 0, 1]);
+        assert_eq!(a.by_invoke, vec![1, 0, 2], "invoke ties break by index");
+        assert_eq!(a.invokes_sorted, vec![0, 10, 10]);
+        assert_eq!(a.by_respond, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn predecessor_sets_match_definition() {
+        let h = History::from_tuples(vec![
+            (0, inst("a"), 0, 10),
+            (1, inst("b"), 5, 40),
+            (2, inst("c"), 12, 20),
+            (3, inst("d"), 25, 30),
+            (4, inst("e"), 25, 35),
+            (5, inst("f"), 50, 60),
+        ]);
+        let sets = HistoryArena::from_history(&h).predecessor_sets();
+        for (i, set) in sets.iter().enumerate() {
+            let naive: Vec<usize> =
+                (0..h.len()).filter(|&j| j != i && h.ops[j].precedes(&h.ops[i])).collect();
+            assert_eq!(set.ones().collect::<Vec<_>>(), naive, "op {i}");
+        }
+    }
+
+    #[test]
+    fn empty_arena() {
+        let a = HistoryArena::from_history(&History::default());
+        assert!(a.is_empty());
+        assert!(a.predecessor_sets().is_empty());
+    }
+}

@@ -47,6 +47,47 @@ impl BitSet {
     pub fn full(&self) -> bool {
         self.count() == self.len
     }
+
+    /// The backing words (64 bits each, little-endian bit order; trailing
+    /// bits beyond `capacity()` are zero). Exposed so callers can run
+    /// word-at-a-time scans and merges instead of per-bit loops.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits among the first `n` (word-at-a-time popcount over
+    /// the prefix, one masked partial word at the boundary).
+    pub fn count_prefix(&self, n: usize) -> usize {
+        debug_assert!(n <= self.len);
+        let full_words = n / 64;
+        let mut c: usize = self.words[..full_words].iter().map(|w| w.count_ones() as usize).sum();
+        let rem = n % 64;
+        if rem != 0 {
+            c += (self.words[full_words] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        c
+    }
+
+    /// In-place union: `self |= other`. Capacities must match.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate the indices of set bits in ascending order, consuming one
+    /// word at a time (each word costs one trailing-zero count per set bit,
+    /// not 64 probes).
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |rest| {
+                let rest = rest & (rest - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |rest| wi * 64 + rest.trailing_zeros() as usize)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +118,33 @@ mod tests {
         b.set(2);
         assert!(b.full());
         assert!(BitSet::new(0).full());
+    }
+
+    #[test]
+    fn prefix_counts_and_ones_iteration() {
+        let mut b = BitSet::new(200);
+        let set = [0usize, 3, 63, 64, 127, 128, 199];
+        for &i in &set {
+            b.set(i);
+        }
+        assert_eq!(b.ones().collect::<Vec<_>>(), set);
+        assert_eq!(b.count_prefix(0), 0);
+        assert_eq!(b.count_prefix(64), 3);
+        assert_eq!(b.count_prefix(65), 4);
+        assert_eq!(b.count_prefix(200), 7);
+        assert_eq!(b.count_prefix(200), b.count());
+    }
+
+    #[test]
+    fn union_merges_words() {
+        let mut a = BitSet::new(100);
+        a.set(1);
+        a.set(70);
+        let mut b = BitSet::new(100);
+        b.set(70);
+        b.set(99);
+        a.union_with(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![1, 70, 99]);
     }
 
     #[test]

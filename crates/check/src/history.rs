@@ -58,24 +58,48 @@ impl History {
         Ok(Self::from_run_lossy(run))
     }
 
-    /// Extract a history from a run, silently dropping pending operations.
-    /// Sound for *refuting* linearizability only if the dropped operations
-    /// could not have helped; prefer [`History::from_run`].
+    /// Extract a history from a run, dropping operations that are not fully
+    /// recorded. Sound for *refuting* linearizability only if the dropped
+    /// operations could not have helped; prefer [`History::from_run`], or
+    /// [`History::from_run_lossy_counted`] when the caller needs to know
+    /// what was lost.
     pub fn from_run_lossy(run: &Run) -> History {
-        History {
-            ops: run
-                .ops
-                .iter()
-                .filter_map(|op| {
-                    Some(TimedOp {
-                        pid: op.pid,
-                        instance: op.instance()?,
-                        t_invoke: op.t_invoke,
-                        t_respond: op.t_respond?,
-                    })
-                })
-                .collect(),
-        }
+        Self::from_run_lossy_counted(run).0
+    }
+
+    /// [`History::from_run_lossy`] plus an accounting of everything dropped.
+    ///
+    /// Two distinct kinds of records are excluded, and conflating them hides
+    /// recorder bugs behind crash semantics:
+    ///
+    /// * **pending** — invoked, never responded (`ret` and `t_respond` both
+    ///   absent). Legitimate under crashes; the pending-aware pipeline
+    ///   re-admits these via [`History::from_run_with_pending`].
+    /// * **malformed** — exactly one of `ret` / `t_respond` is present. Such
+    ///   a record is neither a completed operation nor a well-formed pending
+    ///   one; it can only come from a corrupted or buggy recorder, so it is
+    ///   surfaced separately (and the pending-aware checker refuses to
+    ///   certify a refutation over it).
+    pub fn from_run_lossy_counted(run: &Run) -> (History, LossyDrops) {
+        let mut drops = LossyDrops::default();
+        let ops = run
+            .ops
+            .iter()
+            .filter_map(|op| match (op.instance(), op.t_respond) {
+                (Some(instance), Some(t_respond)) => {
+                    Some(TimedOp { pid: op.pid, instance, t_invoke: op.t_invoke, t_respond })
+                }
+                (None, None) => {
+                    drops.pending += 1;
+                    None
+                }
+                _ => {
+                    drops.malformed += 1;
+                    None
+                }
+            })
+            .collect();
+        (History { ops }, drops)
     }
 
     /// Build a history from explicit tuples (for tests):
@@ -130,7 +154,7 @@ impl History {
         let pending = run
             .ops
             .iter()
-            .filter(|op| op.ret.is_none())
+            .filter(|op| op.ret.is_none() && op.t_respond.is_none())
             .map(|op| PendingOp {
                 pid: op.pid,
                 invocation: op.invocation.clone(),
@@ -141,33 +165,42 @@ impl History {
                 may_have_effect: crash_at(op.pid).is_none_or(|at| op.t_invoke < at),
             })
             .collect();
-        Ok(PendingHistory { complete: Self::from_run_lossy(run), pending, horizon: run.last_time })
+        let (complete, drops) = Self::from_run_lossy_counted(run);
+        Ok(PendingHistory { complete, pending, horizon: run.last_time, malformed: drops.malformed })
     }
 
     /// The precedence matrix: `prec[i]` lists (in ascending index order) the
     /// indices that must come before op `i` in any linearization.
     ///
-    /// Built with an interval sweep instead of the all-pairs loop: the
-    /// predecessors of op `i` are exactly the ops with `t_respond <
-    /// t_invoke(i)`, which form a prefix of the respond-sorted index array.
-    /// One sort plus a binary search per op gives O(n log n) construction
-    /// (plus the unavoidable O(|E|) to materialize the edge lists).
+    /// Built on the struct-of-arrays arena: one transposition, then a
+    /// word-at-a-time bitset sweep ([`crate::arena::HistoryArena::
+    /// predecessor_sets`]) whose per-op cost is a word-level copy rather
+    /// than per-edge pushes. The bit order makes the ascending-index edge
+    /// lists fall out of the set iteration for free.
     pub fn predecessors(&self) -> Vec<Vec<usize>> {
-        let n = self.ops.len();
-        // Indices sorted by response time; `responds[k]` mirrors the sort key
-        // so the per-op prefix bound is a plain `partition_point`.
-        let mut by_respond: Vec<usize> = (0..n).collect();
-        by_respond.sort_unstable_by_key(|&j| (self.ops[j].t_respond, j));
-        let responds: Vec<_> = by_respond.iter().map(|&j| self.ops[j].t_respond).collect();
-        let mut prec = vec![Vec::new(); n];
-        for (i, slot) in prec.iter_mut().enumerate() {
-            let cut = responds.partition_point(|&r| r < self.ops[i].t_invoke);
-            slot.extend(by_respond[..cut].iter().copied().filter(|&j| j != i));
-            // Keep the historical ascending-index order for deterministic
-            // downstream iteration.
-            slot.sort_unstable();
-        }
-        prec
+        crate::arena::HistoryArena::from_history(self)
+            .predecessor_sets()
+            .iter()
+            .map(|set| set.ones().collect())
+            .collect()
+    }
+}
+
+/// A count of the operation records [`History::from_run_lossy_counted`]
+/// excluded from the completed history, by reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LossyDrops {
+    /// Well-formed pending operations (no response value, no response time).
+    pub pending: usize,
+    /// Ill-formed records with exactly one of response value / response time
+    /// recorded — evidence of recorder corruption, never of a crash.
+    pub malformed: usize,
+}
+
+impl LossyDrops {
+    /// Total records dropped.
+    pub fn total(&self) -> usize {
+        self.pending + self.malformed
     }
 }
 
@@ -205,6 +238,11 @@ pub struct PendingHistory {
     /// the fewest real-time precedence constraints — the most permissive
     /// sound choice of completion time.
     pub horizon: Time,
+    /// Ill-formed operation records dropped during extraction (see
+    /// [`LossyDrops::malformed`]). When non-zero the record of the run is
+    /// incomplete in a way crashes cannot explain, so the pending-aware
+    /// checker degrades refutations to `Unknown` instead of certifying them.
+    pub malformed: usize,
 }
 
 #[cfg(test)]
@@ -258,6 +296,55 @@ mod tests {
                 (0..h.len()).filter(|&j| j != i && h.ops[j].precedes(&h.ops[i])).collect();
             assert_eq!(*slot, naive);
         }
+    }
+
+    #[test]
+    fn lossy_extraction_counts_pending_and_malformed_separately() {
+        use lintime_adt::value::Value;
+        use lintime_sim::run::OpRecord;
+        use lintime_sim::time::ModelParams;
+
+        let params = ModelParams::default_experiment();
+        let rec = |ret: Option<Value>, t_respond: Option<Time>| OpRecord {
+            pid: Pid(0),
+            invocation: lintime_adt::spec::Invocation::nullary("read"),
+            ret,
+            t_invoke: Time(0),
+            t_respond,
+        };
+        let run = Run {
+            params,
+            offsets: vec![Time(0); params.n],
+            ops: vec![
+                rec(Some(Value::Int(1)), Some(Time(5))), // complete
+                rec(None, None),                         // pending
+                rec(None, None),                         // pending
+                rec(Some(Value::Int(2)), None),          // malformed: ret without time
+                rec(None, Some(Time(9))),                // malformed: time without ret
+            ],
+            msgs: vec![],
+            views: vec![],
+            last_time: Time(100),
+            events: 5,
+            errors: vec![],
+            delay_violations: 0,
+            truncated: false,
+            crashed_pending: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            faults: vec![],
+            suspect: vec![],
+        };
+        let (h, drops) = History::from_run_lossy_counted(&run);
+        assert_eq!(h.len(), 1);
+        assert_eq!(drops, LossyDrops { pending: 2, malformed: 2 });
+        assert_eq!(drops.total(), 4);
+        // The pending-aware pipeline surfaces the malformed count and keeps
+        // ill-formed records out of the pending (completable) list.
+        let ph = History::from_run_with_pending(&run).unwrap();
+        assert_eq!(ph.complete.len(), 1);
+        assert_eq!(ph.pending.len(), 2);
+        assert_eq!(ph.malformed, 2);
     }
 
     #[test]
@@ -318,6 +405,7 @@ mod tests {
         };
         let ph = History::from_run_with_pending(&run).unwrap();
         assert_eq!(ph.complete.len(), 1);
+        assert_eq!(ph.malformed, 0);
         assert_eq!(ph.horizon, Time(100));
         assert_eq!(ph.pending.len(), 3);
         assert!(ph.pending[0].may_have_effect, "invoked before crash");

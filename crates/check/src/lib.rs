@@ -7,6 +7,8 @@
 //! of non-overlapping operations.
 //!
 //! * [`history`] — concurrent histories extracted from runs;
+//! * [`arena`] — the struct-of-arrays history arena every checker shares
+//!   read-only (timestamps, sort orders, and payload columns built once);
 //! * [`wing_gong`] — the decision procedure (Wing–Gong search with Lowe's
 //!   state memoization);
 //! * [`monitor`] — type-specialized fast-path monitors (register, queue,
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod bitset;
 pub mod compositional;
 pub mod history;
@@ -31,8 +34,9 @@ pub mod wing_gong;
 
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
+    pub use crate::arena::HistoryArena;
     pub use crate::compositional::{check_components, ComponentVerdicts};
-    pub use crate::history::{History, PendingHistory, PendingOp, TimedOp};
+    pub use crate::history::{History, LossyDrops, PendingHistory, PendingOp, TimedOp};
     pub use crate::monitor::{
         check_fast, check_fast_pending, check_fast_pending_observed, check_fast_pending_with,
         check_fast_with, verify_witness, MonitorOutcome,

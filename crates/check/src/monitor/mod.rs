@@ -35,12 +35,15 @@ pub mod keyed;
 pub mod queue_like;
 pub mod register;
 
-use crate::history::{History, PendingHistory, TimedOp};
+use crate::arena::HistoryArena;
+use crate::history::{History, PendingHistory, PendingOp, TimedOp};
 use crate::wing_gong::{self, CheckConfig, Verdict, FRONTIER_BUCKETS};
 use lintime_adt::spec::{ObjectSpec, OpClass, OpInstance, SpecKind};
 use lintime_obs::{EventCategory, Obs};
 use lintime_sim::time::Time;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
 
 /// What a specialized monitor concluded about a history.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,11 +102,18 @@ pub fn check_fast_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: Check
                 // A monitor bug, not a verdict: never certify an unchecked
                 // witness. Decide with the general search instead.
                 debug_assert!(false, "monitor produced an invalid witness");
-                wing_gong::check_with(spec, history, cfg)
+                let arena = HistoryArena::from_history(history);
+                wing_gong::check_arena_with(spec, &arena, cfg)
             }
         }
         MonitorOutcome::Violation => Verdict::NotLinearizable,
-        MonitorOutcome::Deferred => wing_gong::check_with(spec, history, cfg),
+        MonitorOutcome::Deferred => {
+            // Transpose once and hand the arena straight to the search: the
+            // decision — including every parallel worker it spawns — shares
+            // this single read-only extraction.
+            let arena = HistoryArena::from_history(history);
+            wing_gong::check_arena_with(spec, &arena, cfg)
+        }
     }
 }
 
@@ -176,13 +186,22 @@ fn check_fast_pending_impl(
     cfg: CheckConfig,
     obs: Option<&Obs>,
 ) -> Verdict {
-    let check_complete = |h: &History| match obs {
-        Some(o) => check_fast_observed(spec, h, cfg, o),
-        None => check_fast_with(spec, h, cfg),
+    // Ill-formed records (see `PendingHistory::malformed`) were dropped from
+    // the complete part but are neither completed nor completable pending
+    // ops; a refutation over the remainder could be an artifact of the loss,
+    // so it degrades to Unknown at the end.
+    let taint = |verdict: Verdict| match verdict {
+        Verdict::NotLinearizable if ph.malformed > 0 => {
+            if let Some(o) = obs {
+                o.metrics.counter("check.pending.malformed_degraded").inc();
+            }
+            Verdict::Unknown
+        }
+        v => v,
     };
     // Candidates that must be *tried* as included: possibly-effective
     // mutators (unknown operations conservatively count as mutators).
-    let candidates: Vec<_> = ph
+    let candidates: Vec<&PendingOp> = ph
         .pending
         .iter()
         .filter(|p| {
@@ -193,7 +212,11 @@ fn check_fast_pending_impl(
     if candidates.len() > cfg.max_pending_candidates {
         // Too many completions to enumerate: only the all-removed one is
         // tried, so a positive verdict survives but refutation cannot.
-        return match check_complete(&ph.complete) {
+        let check_complete = match obs {
+            Some(o) => check_fast_observed(spec, &ph.complete, cfg, o),
+            None => check_fast_with(spec, &ph.complete, cfg),
+        };
+        return match check_complete {
             Verdict::Linearizable(w) => Verdict::Linearizable(w),
             _ => {
                 if let Some(o) = obs {
@@ -204,51 +227,57 @@ fn check_fast_pending_impl(
         };
     }
 
-    let mut any_unknown = false;
-    for mask in 0u64..(1 << candidates.len()) {
-        let mut h = ph.complete.clone();
-        // Free-response marks for the ops appended by this completion
-        // (parallel to `h.ops[ph.complete.len()..]`).
-        let mut appended_free = Vec::new();
-        let mut completable = true;
-        for (i, p) in candidates.iter().enumerate() {
-            if mask & (1 << i) == 0 {
-                continue;
+    let masks: u64 = 1 << candidates.len();
+    let threads = cfg.effective_threads().min(masks as usize);
+    // Each completion is an independent sub-check, so the mask sweep is an
+    // embarrassingly parallel unit of work: distribute masks across workers
+    // (each running the inner search single-threaded) and combine verdicts
+    // order-independently — any Linearizable wins, else any Unknown taints,
+    // else every completion was refuted. Observed checks stay sequential so
+    // per-completion metrics remain deterministic.
+    if obs.is_none() && threads > 1 && masks > 1 {
+        let inner = CheckConfig { threads: 1, ..cfg };
+        let next_mask = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let any_unknown = AtomicBool::new(false);
+        let witness: Mutex<Option<Vec<usize>>> = Mutex::new(None);
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let (next_mask, cancel, any_unknown, witness, candidates) =
+                    (&next_mask, &cancel, &any_unknown, &witness, &candidates);
+                s.spawn(move || {
+                    while !cancel.load(Ordering::Relaxed) {
+                        let mask = next_mask.fetch_add(1, Ordering::Relaxed);
+                        if mask >= masks {
+                            break;
+                        }
+                        match eval_completion(spec, ph, inner, None, candidates, mask) {
+                            Verdict::Linearizable(w) => {
+                                let mut slot = witness.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(w);
+                                }
+                                drop(slot);
+                                cancel.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            Verdict::Unknown => any_unknown.store(true, Ordering::Relaxed),
+                            Verdict::NotLinearizable => {}
+                        }
+                    }
+                });
             }
-            let is_pure_mutator =
-                spec.op_meta(p.invocation.op).is_some_and(|m| m.class == OpClass::PureMutator);
-            if !is_pure_mutator && !cfg.mixed_completion {
-                // Legacy rule: no sound return value can be fabricated.
-                completable = false;
-                break;
-            }
-            // A pure mutator's return is state-independent: read it off a
-            // fresh object. For a mixed/unknown op the same value is a mere
-            // placeholder — the op is marked free and the search accepts
-            // whatever the specification returns at each tried position.
-            let ret = spec.new_object().apply(p.invocation.op, &p.invocation.arg);
-            h.ops.push(TimedOp {
-                pid: p.pid,
-                instance: OpInstance { op: p.invocation.op, arg: p.invocation.arg.clone(), ret },
-                t_invoke: p.t_invoke,
-                t_respond: ph.horizon.max(p.t_invoke),
-            });
-            appended_free.push(!is_pure_mutator);
-        }
-        if !completable {
-            any_unknown = true;
-            continue;
-        }
-        let verdict = if appended_free.contains(&true) {
-            // Free ops bypass the monitors (their placeholder responses would
-            // mislead witness construction): decide with the general search.
-            let mut free = vec![false; ph.complete.len()];
-            free.extend_from_slice(&appended_free);
-            wing_gong::check_free_with(spec, &h, &free, cfg)
-        } else {
-            check_complete(&h)
+        });
+        return match witness.into_inner().unwrap() {
+            Some(w) => Verdict::Linearizable(w),
+            None if any_unknown.load(Ordering::Relaxed) => Verdict::Unknown,
+            None => taint(Verdict::NotLinearizable),
         };
-        match verdict {
+    }
+
+    let mut any_unknown = false;
+    for mask in 0..masks {
+        match eval_completion(spec, ph, cfg, obs, &candidates, mask) {
             Verdict::Linearizable(w) => return Verdict::Linearizable(w),
             Verdict::Unknown => any_unknown = true,
             Verdict::NotLinearizable => {}
@@ -257,7 +286,61 @@ fn check_fast_pending_impl(
     if any_unknown {
         Verdict::Unknown
     } else {
-        Verdict::NotLinearizable
+        taint(Verdict::NotLinearizable)
+    }
+}
+
+/// Decide one completion of the pending history: include exactly the
+/// candidates selected by `mask`, fabricate their responses, and check the
+/// extended history. Returns [`Verdict::Unknown`] for completions the
+/// configuration refuses to fabricate (mixed ops with
+/// [`CheckConfig::mixed_completion`] off).
+fn eval_completion(
+    spec: &Arc<dyn ObjectSpec>,
+    ph: &PendingHistory,
+    cfg: CheckConfig,
+    obs: Option<&Obs>,
+    candidates: &[&PendingOp],
+    mask: u64,
+) -> Verdict {
+    let mut h = ph.complete.clone();
+    // Free-response marks for the ops appended by this completion
+    // (parallel to `h.ops[ph.complete.len()..]`).
+    let mut appended_free = Vec::new();
+    for (i, p) in candidates.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        let is_pure_mutator =
+            spec.op_meta(p.invocation.op).is_some_and(|m| m.class == OpClass::PureMutator);
+        if !is_pure_mutator && !cfg.mixed_completion {
+            // Legacy rule: no sound return value can be fabricated.
+            return Verdict::Unknown;
+        }
+        // A pure mutator's return is state-independent: read it off a
+        // fresh object. For a mixed/unknown op the same value is a mere
+        // placeholder — the op is marked free and the search accepts
+        // whatever the specification returns at each tried position.
+        let ret = spec.new_object().apply(p.invocation.op, &p.invocation.arg);
+        h.ops.push(TimedOp {
+            pid: p.pid,
+            instance: OpInstance { op: p.invocation.op, arg: p.invocation.arg.clone(), ret },
+            t_invoke: p.t_invoke,
+            t_respond: ph.horizon.max(p.t_invoke),
+        });
+        appended_free.push(!is_pure_mutator);
+    }
+    if appended_free.contains(&true) {
+        // Free ops bypass the monitors (their placeholder responses would
+        // mislead witness construction): decide with the general search.
+        let mut free = vec![false; ph.complete.len()];
+        free.extend_from_slice(&appended_free);
+        wing_gong::check_free_with(spec, &h, &free, cfg)
+    } else {
+        match obs {
+            Some(o) => check_fast_observed(spec, &h, cfg, o),
+            None => check_fast_with(spec, &h, cfg),
+        }
     }
 }
 
@@ -335,12 +418,17 @@ fn observed_fallback(
     obs: &Obs,
     t_end: i64,
 ) -> Verdict {
-    let (verdict, stats) = wing_gong::check_with_stats(spec, history, cfg);
+    let arena = HistoryArena::from_history(history);
+    let (verdict, stats) = wing_gong::check_arena_with_stats(spec, &arena, cfg);
     let r = &obs.metrics;
     r.counter("check.fallback.runs").inc();
     r.counter("check.fallback.nodes").add(stats.nodes);
     r.counter("check.fallback.memo_hits").add(stats.memo_hits);
     r.counter("check.fallback.memo_inserts").add(stats.memo_inserts);
+    r.counter("check.par.workers").add(stats.workers);
+    r.counter("check.par.steals").add(stats.steals);
+    r.counter("check.par.memo_shards").add(stats.memo_shards);
+    r.counter("check.par.cancelled").add(stats.cancelled);
     let frontier = r.histogram("check.frontier_size", &FRONTIER_BUCKETS);
     for (i, &n) in stats.frontier_sizes.iter().enumerate() {
         // Fold pre-bucketed counts in at each bucket's upper bound (overflow
@@ -652,6 +740,7 @@ mod tests {
                 may_have_effect: true,
             }],
             horizon: Time(30),
+            malformed: 0,
         };
         assert!(check_fast_pending(&spec, &ph).is_linearizable());
 
@@ -673,6 +762,7 @@ mod tests {
                 may_have_effect: true,
             }],
             horizon: Time(30),
+            malformed: 0,
         };
         assert!(check_fast_pending(&rmw_spec, &mixed).is_linearizable());
         // With mixed completion off (the legacy pure-mutator-only rule), the
@@ -691,6 +781,7 @@ mod tests {
                 may_have_effect: true,
             }],
             horizon: Time(30),
+            malformed: 0,
         };
         assert_eq!(check_fast_pending(&rmw_spec, &refuted), Verdict::NotLinearizable);
 
@@ -702,6 +793,7 @@ mod tests {
             ]),
             pending: vec![],
             horizon: Time(9),
+            malformed: 0,
         };
         assert!(check_fast_pending(&spec, &clean).is_linearizable());
     }
@@ -728,6 +820,7 @@ mod tests {
             complete: h(vec![(1, OpInstance::new("read", (), 0), 50, 60)]),
             pending: many(9),
             horizon: Time(60),
+            malformed: 0,
         };
         assert!(check_fast_pending(&spec, &ok).is_linearizable());
         // Over the cap with a complete part that *needs* a pending write:
@@ -736,6 +829,7 @@ mod tests {
             complete: h(vec![(1, OpInstance::new("read", (), 100), 50, 60)]),
             pending: many(9),
             horizon: Time(60),
+            malformed: 0,
         };
         assert_eq!(check_fast_pending(&spec, &needs), Verdict::Unknown);
         // At the cap it enumerates and finds the completing subset.
@@ -743,6 +837,7 @@ mod tests {
             complete: h(vec![(1, OpInstance::new("read", (), 100), 50, 60)]),
             pending: many(8),
             horizon: Time(60),
+            malformed: 0,
         };
         assert!(check_fast_pending(&spec, &at_cap).is_linearizable());
         // The cap is configuration, not a constant: raising it lets the
@@ -768,6 +863,7 @@ mod tests {
                 })
                 .collect(),
             horizon: Time(60),
+            malformed: 0,
         };
         let (obs, _ring) = Obs::ring(16);
         let cfg = CheckConfig::default();
@@ -780,6 +876,83 @@ mod tests {
         let raised = CheckConfig { max_pending_candidates: 9, ..cfg };
         assert!(check_fast_pending_observed(&spec, &ph, raised, &obs).is_linearizable());
         assert_eq!(obs.metrics.counter("check.pending.budget_exhausted").get(), 1);
+    }
+
+    #[test]
+    fn pending_refutations_degrade_over_malformed_records() {
+        use crate::history::PendingHistory;
+
+        let spec = erase(Register::new(0));
+        // read -> 5 with nothing pending is a sound refutation...
+        let mut ph = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 5), 10, 20)]),
+            pending: vec![],
+            horizon: Time(30),
+            malformed: 0,
+        };
+        assert_eq!(check_fast_pending(&spec, &ph), Verdict::NotLinearizable);
+        // ...unless the extraction also dropped an ill-formed record: the
+        // lost op might have explained the read, so only Unknown is sound.
+        ph.malformed = 1;
+        assert_eq!(check_fast_pending(&spec, &ph), Verdict::Unknown);
+        let (obs, _ring) = Obs::ring(16);
+        assert_eq!(
+            check_fast_pending_observed(&spec, &ph, CheckConfig::default(), &obs),
+            Verdict::Unknown
+        );
+        assert_eq!(obs.metrics.counter("check.pending.malformed_degraded").get(), 1);
+        // Positive verdicts stand: the witness is over the recorded ops.
+        let good = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 0), 10, 20)]),
+            pending: vec![],
+            horizon: Time(30),
+            malformed: 1,
+        };
+        assert!(check_fast_pending(&spec, &good).is_linearizable());
+    }
+
+    #[test]
+    fn pending_mask_sweep_parallel_matches_sequential() {
+        use crate::history::{PendingHistory, PendingOp};
+        use lintime_sim::time::Pid;
+
+        let spec = erase(Register::new(0));
+        let pending_writes = |k: i64| -> Vec<PendingOp> {
+            (0..k)
+                .map(|i| PendingOp {
+                    pid: Pid(0),
+                    invocation: Invocation::new("write", i + 100),
+                    t_invoke: Time(i),
+                    may_have_effect: true,
+                })
+                .collect()
+        };
+        // Linearizable only via the completion that includes write(103).
+        let ok = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 103), 50, 60)]),
+            pending: pending_writes(5),
+            horizon: Time(60),
+            malformed: 0,
+        };
+        // Refuted by every one of the 2^5 completions.
+        let bad = PendingHistory {
+            complete: h(vec![(1, OpInstance::new("read", (), 999), 50, 60)]),
+            pending: pending_writes(5),
+            horizon: Time(60),
+            malformed: 0,
+        };
+        for threads in [1, 2, 4] {
+            let cfg = CheckConfig { threads, ..CheckConfig::default() };
+            assert!(
+                check_fast_pending_with(&spec, &ok, cfg).is_linearizable(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                check_fast_pending_with(&spec, &bad, cfg),
+                Verdict::NotLinearizable,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

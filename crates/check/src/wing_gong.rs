@@ -14,32 +14,77 @@
 //!
 //! ## Hot-path engineering
 //!
-//! Three optimizations keep the per-node cost flat:
+//! The search runs over the shared read-only [`HistoryArena`] (struct-of-
+//! arrays columns plus precomputed sort orders) and keeps the per-node cost
+//! flat:
 //!
-//! * **No precedence lists.** The predecessors of op `i` are exactly the ops
-//!   that respond before `i` invokes, so `i` is schedulable iff
-//!   `t_invoke(i) ≤ min t_respond` over the not-yet-linearized ops. The
-//!   candidate set at every node is therefore a *prefix* of the
-//!   invoke-sorted index array, bounded by the earliest pending response —
-//!   maintained incrementally along the search path instead of materializing
-//!   `History::predecessors` (O(|E|) memory) and rescanning it per node.
-//! * **Hash-compacted memoization.** The memo key is a single 64-bit
-//!   FxHash combining the done-set bits and the object state
-//!   ([`lintime_adt::spec::ObjState::state_hash`]), replacing a cloned
-//!   `(BitSet, Value)` allocation per node (Lowe's hash-compaction variant;
-//!   a 64-bit collision could in principle prune a viable branch, which is
-//!   why the differential and brute-force suites cross-validate verdicts).
-//! * **Explicit stack.** The recursion is converted to an iterative
-//!   depth-first loop with explicit frames, so deep histories cannot
-//!   overflow the thread stack and backtracking restores the frontier in
-//!   O(1).
+//! * **Prefix frontiers, no precedence lists.** The predecessors of op `i`
+//!   are exactly the ops that respond before `i` invokes, so the candidate
+//!   set at every node is a *prefix* of the invoke-sorted index array,
+//!   bounded by the earliest pending response — one `partition_point` over a
+//!   contiguous `i64` column per node. Frames carry resume pointers past the
+//!   done prefixes of both sort orders (`Frame::resp_ptr` / `inv_ptr`), so
+//!   neither the threshold scan nor the candidate scan ever re-walks ops
+//!   linearized further up the path.
+//! * **In-place conditional apply.** Instead of cloning the object per
+//!   candidate, the search keeps ONE live object and probes candidates with
+//!   [`lintime_adt::spec::ObjState::apply_if`], which commits the operation
+//!   iff the specification's response matches the recorded one and leaves
+//!   the state untouched otherwise (O(1) for the container types).
+//!   Backtracking restores the object from interval snapshots (one clone
+//!   every [`SNAP_INTERVAL`] accepted ops) plus a bounded replay — and the
+//!   snapshots themselves are *lazy*: nothing is cloned until the first
+//!   restore, so a straight-line search clones no state at all.
+//! * **Incremental hash-compacted memoization.** The memo key is a single
+//!   64-bit value combining a Zobrist-style done-set hash (maintained
+//!   incrementally: `h ^= mix64(i)` on set/clear) with the object state hash
+//!   (Lowe's hash-compaction variant; a 64-bit collision could in principle
+//!   prune a viable branch, which is why the differential and brute-force
+//!   suites cross-validate verdicts). The table is an open-addressing
+//!   [`U64Set`] — no `HashSet` bucket metadata, no re-hash on growth.
+//! * **Memo arming.** Until the search backtracks for the first time, no
+//!   state can possibly be revisited (a revisit needs two paths to the same
+//!   done set, and the second is only taken after the first was abandoned),
+//!   so the memo — including the object state hashing feeding it — is
+//!   skipped entirely. Straight-line searches over well-behaved histories
+//!   therefore do *zero* hashing. After arming, each node skipped while
+//!   unarmed is re-entered at most once more (its first post-arming entry
+//!   inserts it). Children of *forced* frames (schedulable frontier of size
+//!   one) also skip the memo: a singleton frontier admits a single
+//!   continuation, so the entry could never be reached a second way except
+//!   through its (memoized) ancestor.
+//! * **Explicit stack.** The recursion is an iterative depth-first loop with
+//!   12-byte frames, so deep histories cannot overflow the thread stack and
+//!   backtracking restores the frontier in O(1).
+//!
+//! ## Parallel search
+//!
+//! With [`CheckConfig::threads`] > 1 (or left at 0 = auto on a multi-core
+//! host) and more than [`PARALLEL_MIN_OPS`] operations, the search is split
+//! across OS threads: a breadth-first seeding pass expands the root into
+//! disjoint frontier branches (deduplicated per layer by `(done set, state)`
+//! key), which become jobs in a shared work queue that idle workers steal
+//! from. Workers share a lock-striped [`ShardedMemo`] and a global node
+//! budget, and cooperatively cancel as soon as any worker finds a witness.
+//!
+//! Cross-worker memo pruning is sound because the state graph is *graded*:
+//! every edge strictly grows the done set, so two in-flight explorations can
+//! never prune against each other cyclically, and under a `NotLinearizable`
+//! verdict (all workers exhausted, no cancellation, budget intact) every
+//! memo entry is backed by a completed exhaustive exploration — shown by
+//! induction downward on the done-set size. Workers stopped by the budget
+//! force the weaker [`Verdict::Unknown`] instead, so an incompletely
+//! explored entry can never support a refutation.
 
+use crate::arena::HistoryArena;
 use crate::bitset::BitSet;
 use crate::history::History;
-use lintime_adt::fxhash::{self, FxBuildHasher};
+use lintime_adt::fxhash;
 use lintime_adt::spec::{ObjState, ObjectSpec};
-use std::collections::HashSet;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
 
 /// The checker's verdict.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,7 +108,8 @@ impl Verdict {
 #[derive(Clone, Copy, Debug)]
 pub struct CheckConfig {
     /// Maximum number of search nodes before giving up with
-    /// [`Verdict::Unknown`].
+    /// [`Verdict::Unknown`]. Shared across all workers when the search runs
+    /// in parallel.
     pub max_nodes: u64,
     /// Pending completions are enumerated exhaustively for up to this many
     /// candidate operations (`2^k` sub-checks); beyond it the pending-aware
@@ -76,13 +122,41 @@ pub struct CheckConfig {
     /// pure-mutator-only completion rule (useful for measuring how much of
     /// the `Unknown` bucket the search empties).
     pub mixed_completion: bool,
+    /// Worker threads for the parallel search. `0` (the default) resolves to
+    /// [`std::thread::available_parallelism`]; `1` forces the sequential
+    /// search. Parallelism only engages for histories longer than
+    /// [`PARALLEL_MIN_OPS`] — below that the seeding overhead dwarfs the
+    /// search.
+    pub threads: usize,
 }
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { max_nodes: 5_000_000, max_pending_candidates: 8, mixed_completion: true }
+        CheckConfig {
+            max_nodes: 5_000_000,
+            max_pending_candidates: 8,
+            mixed_completion: true,
+            threads: 0,
+        }
     }
 }
+
+impl CheckConfig {
+    /// The number of worker threads this configuration resolves to (`0`
+    /// means "ask the OS").
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Histories at most this long are always checked sequentially, regardless
+/// of [`CheckConfig::threads`]: job seeding and thread startup cost more
+/// than the whole search.
+pub const PARALLEL_MIN_OPS: usize = 8;
 
 /// Check whether `history` is linearizable with respect to `spec`.
 pub fn check(spec: &Arc<dyn ObjectSpec>, history: &History) -> Verdict {
@@ -96,12 +170,13 @@ pub const FRONTIER_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Search statistics collected by [`check_with_stats`].
 ///
-/// These are plain local counters — no atomics, no locks — so collecting
-/// them costs a handful of register increments per node; [`check_with`]
-/// compiles them out entirely via a const-generic flag.
+/// These are plain local counters — no atomics, no locks (parallel workers
+/// each keep their own copy, merged after the search) — so collecting them
+/// costs a handful of register increments per node; [`check_with`] compiles
+/// them out entirely via a const-generic flag.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Search nodes expanded (memoized states entered).
+    /// Search nodes expanded (states entered, summed across workers).
     pub nodes: u64,
     /// Prefixes pruned because `(done set, object state)` was already
     /// proven fruitless.
@@ -115,6 +190,20 @@ pub struct SearchStats {
     pub frontier_sizes: [u64; FRONTIER_BUCKETS.len() + 1],
     /// Largest schedulable frontier seen.
     pub max_frontier: usize,
+    /// Memo-table occupancy when the search finished (entries are never
+    /// removed, so this is also the peak).
+    pub memo_peak: u64,
+    /// Worker threads the search ran on (1 for the sequential path).
+    pub workers: u64,
+    /// Jobs a worker pulled from the shared queue beyond its first — the
+    /// work-stealing traffic. Always 0 for the sequential path.
+    pub steals: u64,
+    /// Lock stripes of the shared memo (1 for the sequential path's
+    /// unsharded table).
+    pub memo_shards: u64,
+    /// 1 iff the parallel search was cooperatively cancelled because a
+    /// worker found a witness before the others finished.
+    pub cancelled: u64,
 }
 
 impl SearchStats {
@@ -122,6 +211,19 @@ impl SearchStats {
         let idx = FRONTIER_BUCKETS.partition_point(|&b| b < size as u64);
         self.frontier_sizes[idx] += 1;
         self.max_frontier = self.max_frontier.max(size);
+    }
+
+    /// Merge a worker's counters into the aggregate.
+    fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.memo_hits += other.memo_hits;
+        self.memo_inserts += other.memo_inserts;
+        self.backtracks += other.backtracks;
+        for (a, b) in self.frontier_sizes.iter_mut().zip(other.frontier_sizes.iter()) {
+            *a += b;
+        }
+        self.max_frontier = self.max_frontier.max(other.max_frontier);
+        self.steals += other.steals;
     }
 
     /// Fraction of memo lookups that hit (pruned a branch); `None` before
@@ -132,31 +234,685 @@ impl SearchStats {
     }
 }
 
-/// One node of the iterative depth-first search: the object state after the
-/// current linearization prefix, plus the schedulable frontier for this node.
+/// An open-addressing set of 64-bit memo keys.
+///
+/// Replaces `HashSet<u64>`: keys are already avalanche-quality hashes, so
+/// the table indexes directly by their **top** bits (the low bits pick the
+/// shard in [`ShardedMemo`], so the two never alias) with linear probing.
+/// One flat `u64` slot array, zero per-entry metadata, and growth re-places
+/// the stored keys without re-hashing — doubling the table just exposes one
+/// more top bit.
+///
+/// Slot value 0 means "empty"; the key 0 itself is tracked out of band.
+pub struct U64Set {
+    slots: Box<[u64]>,
+    /// `64 - log2(slots.len())`: index = `key >> shift`.
+    shift: u32,
+    len: usize,
+    has_zero: bool,
+}
+
+impl U64Set {
+    const MIN_CAP: usize = 16;
+
+    /// An empty set.
+    pub fn new() -> Self {
+        U64Set {
+            slots: vec![0; Self::MIN_CAP].into_boxed_slice(),
+            shift: 64 - Self::MIN_CAP.trailing_zeros(),
+            len: 0,
+            has_zero: false,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff `key` is in the set.
+    pub fn contains(&self, key: u64) -> bool {
+        if key == 0 {
+            return self.has_zero;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key >> self.shift) as usize;
+        loop {
+            let s = self.slots[i];
+            if s == key {
+                return true;
+            }
+            if s == 0 {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `key`; returns true iff it was not already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        if key == 0 {
+            if self.has_zero {
+                return false;
+            }
+            self.has_zero = true;
+            self.len += 1;
+            return true;
+        }
+        // Grow at ~62.5% occupancy, before probing, so the insert below
+        // always finds an empty slot.
+        if (self.len + 1) * 8 > self.slots.len() * 5 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key >> self.shift) as usize;
+        loop {
+            let s = self.slots[i];
+            if s == key {
+                return false;
+            }
+            if s == 0 {
+                self.slots[i] = key;
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![0; new_cap].into_boxed_slice());
+        self.shift -= 1;
+        let mask = new_cap - 1;
+        for &key in old.iter().filter(|&&k| k != 0) {
+            let mut i = (key >> self.shift) as usize;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = key;
+        }
+    }
+}
+
+impl Default for U64Set {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lock stripes in the parallel search's shared memo.
+const MEMO_SHARDS: usize = 64;
+
+/// A lock-striped concurrent memo: [`MEMO_SHARDS`] independently locked
+/// [`U64Set`]s. The shard is picked from the key's folded **low** bits while
+/// the table inside indexes by **top** bits, so striping does not skew the
+/// in-shard distribution.
+struct ShardedMemo {
+    shards: Box<[Mutex<U64Set>]>,
+}
+
+impl ShardedMemo {
+    fn new() -> Self {
+        let shards: Vec<_> = (0..MEMO_SHARDS).map(|_| Mutex::new(U64Set::new())).collect();
+        ShardedMemo { shards: shards.into_boxed_slice() }
+    }
+
+    fn insert(&self, key: u64) -> bool {
+        let shard = ((key ^ (key >> 32)) as usize) & (MEMO_SHARDS - 1);
+        self.shards[shard].lock().unwrap().insert(key)
+    }
+
+    fn total_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// The search's environment: memoization, node budget, and cooperative
+/// cancellation. Monomorphized so the sequential path pays no atomics.
+trait Ctx {
+    /// Record a node key; false means the state was already known (prune).
+    fn memo_insert(&mut self, key: u64) -> bool;
+    /// Charge one node against the budget; false means the budget is spent.
+    fn try_node(&mut self) -> bool;
+    /// True once the search should abandon work (another worker won).
+    fn should_stop(&self) -> bool;
+}
+
+/// Sequential context: private memo, plain counter budget, never cancelled.
+struct LocalCtx {
+    memo: U64Set,
+    used: u64,
+    max: u64,
+}
+
+impl Ctx for LocalCtx {
+    fn memo_insert(&mut self, key: u64) -> bool {
+        self.memo.insert(key)
+    }
+
+    fn try_node(&mut self) -> bool {
+        if self.used >= self.max {
+            return false;
+        }
+        self.used += 1;
+        true
+    }
+
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// Nodes a parallel worker reserves from the shared budget per CAS, so the
+/// atomic is touched once every `NODE_BATCH` nodes instead of per node.
+const NODE_BATCH: u64 = 256;
+
+/// Shared context for parallel workers: lock-striped memo, batched atomic
+/// budget, cancellation flag.
+struct SharedCtx<'a> {
+    memo: &'a ShardedMemo,
+    remaining: &'a AtomicU64,
+    quota: u64,
+    cancel: &'a AtomicBool,
+}
+
+impl Ctx for SharedCtx<'_> {
+    fn memo_insert(&mut self, key: u64) -> bool {
+        self.memo.insert(key)
+    }
+
+    fn try_node(&mut self) -> bool {
+        if self.quota > 0 {
+            self.quota -= 1;
+            return true;
+        }
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            let take = cur.min(NODE_BATCH);
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.quota = take - 1;
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// How one depth-first exploration ended.
+enum Outcome {
+    /// A complete legal order (includes the job prefix).
+    Found(Vec<u32>),
+    /// Every extension of the prefix was refuted.
+    Exhausted,
+    /// Budget spent or cancelled before the subtree was exhausted.
+    Stopped,
+}
+
+/// One node of the iterative depth-first search. Frames hold no object
+/// state: the search keeps a single live object plus interval snapshots.
 struct Frame {
-    /// Object state after applying `order`.
-    obj: Box<dyn ObjState>,
     /// Next position in the invoke-sorted index array to try.
-    cand: usize,
+    cand: u32,
     /// Frontier bound: candidates are `by_invoke[..cand_end]` (the ops
     /// invoked no later than the earliest response among undone ops).
-    cand_end: usize,
+    cand_end: u32,
     /// First position in the respond-sorted index array whose op is undone;
     /// children resume their scan here (the prefix before it is all done).
-    resp_ptr: usize,
+    resp_ptr: u32,
+    /// First position in the invoke-sorted index array whose op is undone.
+    /// Children resume here too: the done set only grows down a path, so the
+    /// done prefix of `by_invoke` is monotone. Without this pointer every
+    /// frame would rescan the done prefix — O(n) per node once most ops are
+    /// linearized, the dominant cost on long mostly-sequential histories.
+    inv_ptr: u32,
 }
 
-/// Memo key: done-set bits combined with the canonical object state, hash
-/// compacted to 64 bits.
-fn node_key(done: &BitSet, state_hash: u64) -> u64 {
-    fxhash::combine(fxhash::hash64(done), state_hash)
+/// Builds the frontier for a node whose undone scans may start at
+/// `resp_from` / `inv_from`; requires at least one undone op.
+fn make_frame(arena: &HistoryArena, done: &BitSet, resp_from: u32, inv_from: u32) -> Frame {
+    let mut rp = resp_from as usize;
+    while done.get(arena.by_respond[rp] as usize) {
+        rp += 1;
+    }
+    let threshold = arena.t_respond[arena.by_respond[rp] as usize];
+    let cand_end = arena.invokes_sorted.partition_point(|&t| t <= threshold) as u32;
+    // The op at `by_respond[rp]` is undone and invoked before `threshold`,
+    // so the advance stops strictly below `cand_end`.
+    let mut iv = inv_from as usize;
+    while done.get(arena.by_invoke[iv] as usize) {
+        iv += 1;
+    }
+    Frame { cand: iv as u32, cand_end, resp_ptr: rp as u32, inv_ptr: iv as u32 }
 }
 
-/// [`check`] with an explicit node budget.
+/// Accepted ops between object snapshots. Backtracking replays at most
+/// `SNAP_INTERVAL - 1` ops from the nearest snapshot; once the first restore
+/// has materialized the (lazy) snapshot stack, forward progress pays one
+/// `clone_box` per `SNAP_INTERVAL` accepted ops.
+const SNAP_INTERVAL: usize = 8;
+
+/// Depth-first search over all linearizations extending `prefix`.
+///
+/// The object-state invariant: `obj` reflects `order[..obj_depth]`, and
+/// `obj_depth == order.len()` iff `obj` is current for the search path
+/// (every `order.pop()` leaves `obj_depth > order.len()`, which forces a
+/// snapshot restore before the next probe). Once materialized, snapshots
+/// cover the multiples of [`SNAP_INTERVAL`] along the current path up to the
+/// deepest restore so far, so a restore is one clone plus at most
+/// `SNAP_INTERVAL - 1` replays (plus a one-off catch-up of any snapshots the
+/// lazy scheme skipped).
+fn dfs<const STATS: bool, C: Ctx>(
+    spec: &Arc<dyn ObjectSpec>,
+    arena: &HistoryArena,
+    free: Option<&[bool]>,
+    prefix: &[u32],
+    ctx: &mut C,
+    stats: &mut SearchStats,
+) -> Outcome {
+    let n = arena.len();
+    debug_assert!(prefix.len() < n, "callers guarantee at least one undone op");
+    let mut done = BitSet::new(n);
+    let mut done_hash = 0u64;
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut obj = spec.new_object();
+    // Snapshots are lazy: nothing is cloned until the first restore, so a
+    // search that never backtracks (common on long mostly-forced histories)
+    // pays zero snapshot cost. The first restore materializes the stack up
+    // to the current depth; from then on it is maintained eagerly.
+    let mut snaps: Vec<Box<dyn ObjState>> = Vec::with_capacity(n / SNAP_INTERVAL + 1);
+    for &iu in prefix {
+        let i = iu as usize;
+        obj.apply(arena.op[i], &arena.arg[i]);
+        done.set(i);
+        done_hash ^= fxhash::mix64(iu as u64);
+        order.push(iu);
+    }
+    let mut obj_depth = order.len();
+    // The memo stays disarmed until the first backtrack: before one, no
+    // state can be revisited, so neither lookups nor state hashing buy
+    // anything.
+    let mut armed = false;
+
+    if !ctx.try_node() {
+        return Outcome::Stopped;
+    }
+    let mut stack: Vec<Frame> = Vec::with_capacity(n - order.len() + 1);
+    stack.push(make_frame(arena, &done, 0, 0));
+    if STATS {
+        stats.nodes += 1;
+        // Every done op sits inside the cand_end prefix (the respond-time
+        // threshold is monotone along a search path), so the schedulable
+        // frontier is exactly the prefix minus the linearized ops.
+        stats.record_frontier(stack[0].cand_end as usize - order.len());
+    }
+
+    loop {
+        if ctx.should_stop() {
+            return Outcome::Stopped;
+        }
+        let top = stack.len() - 1;
+        let cand = stack[top].cand;
+        if cand >= stack[top].cand_end {
+            // Frontier exhausted: provably no linearization extends this
+            // prefix. Backtrack (undo the op that created this frame).
+            stack.pop();
+            armed = true;
+            if STATS {
+                stats.backtracks += 1;
+            }
+            if stack.is_empty() {
+                return Outcome::Exhausted;
+            }
+            let iu = order.pop().expect("a frame below the root has a linearized op");
+            done.clear(iu as usize);
+            done_hash ^= fxhash::mix64(iu as u64);
+            while snaps.len() > 1 && (snaps.len() - 1) * SNAP_INTERVAL > order.len() {
+                snaps.pop();
+            }
+            continue;
+        }
+        stack[top].cand = cand + 1;
+        let iu = arena.by_invoke[cand as usize];
+        let i = iu as usize;
+        if done.get(i) {
+            continue;
+        }
+        if obj_depth != order.len() {
+            // The object still reflects an abandoned deeper path: restore
+            // from the nearest snapshot at or below the current depth,
+            // materializing any snapshots the lazy scheme skipped.
+            let d = order.len();
+            let k = d / SNAP_INTERVAL;
+            if snaps.is_empty() {
+                snaps.push(spec.new_object());
+            }
+            while snaps.len() <= k {
+                let m = snaps.len();
+                let mut s = snaps[m - 1].clone_box();
+                for &ju in &order[(m - 1) * SNAP_INTERVAL..m * SNAP_INTERVAL] {
+                    s.apply(arena.op[ju as usize], &arena.arg[ju as usize]);
+                }
+                snaps.push(s);
+            }
+            obj = snaps[k].clone_box();
+            for &ju in &order[k * SNAP_INTERVAL..] {
+                obj.apply(arena.op[ju as usize], &arena.arg[ju as usize]);
+            }
+            obj_depth = d;
+        }
+        // A free op accepts whatever the specification returns here; a bound
+        // op commits iff the specification reproduces its recorded response
+        // (`apply_if` leaves the state untouched on mismatch).
+        let committed = if free.is_some_and(|f| f[i]) {
+            obj.apply(arena.op[i], &arena.arg[i]);
+            true
+        } else {
+            obj.apply_if(arena.op[i], &arena.arg[i], &arena.ret[i])
+        };
+        if !committed {
+            continue;
+        }
+        done.set(i);
+        done_hash ^= fxhash::mix64(iu as u64);
+        order.push(iu);
+        obj_depth = order.len();
+        if order.len() == n {
+            return Outcome::Found(order);
+        }
+        // Children of forced frames (singleton frontier) skip the memo: the
+        // only path to them goes through their memoized ancestor.
+        if armed && stack[top].cand_end as usize - (order.len() - 1) >= 2 {
+            let key = fxhash::combine(done_hash, obj.state_hash());
+            if !ctx.memo_insert(key) {
+                // Same done set and object state already proven fruitless.
+                if STATS {
+                    stats.memo_hits += 1;
+                }
+                order.pop();
+                done.clear(i);
+                done_hash ^= fxhash::mix64(iu as u64);
+                // `obj` stays one op deep of `order`; the next accepted
+                // candidate triggers a snapshot restore.
+                continue;
+            }
+            if STATS {
+                stats.memo_inserts += 1;
+            }
+        }
+        if !ctx.try_node() {
+            return Outcome::Stopped;
+        }
+        let resp_from = stack[top].resp_ptr;
+        let inv_from = stack[top].inv_ptr;
+        stack.push(make_frame(arena, &done, resp_from, inv_from));
+        if STATS {
+            stats.nodes += 1;
+            stats.record_frontier(stack[stack.len() - 1].cand_end as usize - order.len());
+        }
+        // Snapshot only *surviving* nodes (after the memo check), so the
+        // snapshot stack always mirrors the current path.
+        if order.len() == snaps.len() * SNAP_INTERVAL {
+            snaps.push(obj.clone_box());
+        }
+    }
+}
+
+/// One breadth-first seeding node: a viable prefix with its replayed state.
+struct SeedNode {
+    prefix: Vec<u32>,
+    done: BitSet,
+    done_hash: u64,
+    obj: Box<dyn ObjState>,
+}
+
+/// Result of job seeding: either the BFS already decided the instance, or a
+/// layer of disjoint viable prefixes to hand to the workers.
+enum Seeded {
+    Done(Verdict),
+    Jobs(Vec<Vec<u32>>),
+}
+
+/// Seeding never descends past this depth; pathological sequential histories
+/// (frontier width 1 forever) otherwise degenerate BFS into the whole
+/// search.
+const SEED_DEPTH_CAP: usize = 64;
+
+/// Expand the root breadth-first until at least `target` distinct viable
+/// prefixes exist (or the instance is decided outright). Each layer is
+/// deduplicated by `(done-set hash, state hash)` — sound because equal
+/// states have equal futures, and complete because the state graph is graded
+/// by done-set size, so equal states can only meet within one layer.
+fn seed_jobs<const STATS: bool>(
+    spec: &Arc<dyn ObjectSpec>,
+    arena: &HistoryArena,
+    free: Option<&[bool]>,
+    target: usize,
+    budget: &mut u64,
+    stats: &mut SearchStats,
+) -> Seeded {
+    let n = arena.len();
+    let mut layer = vec![SeedNode {
+        prefix: Vec::new(),
+        done: BitSet::new(n),
+        done_hash: 0,
+        obj: spec.new_object(),
+    }];
+    let mut depth = 0usize;
+    while layer.len() < target && depth < SEED_DEPTH_CAP {
+        let mut next: Vec<SeedNode> = Vec::new();
+        let mut dedup = U64Set::new();
+        for node in &layer {
+            let frame = make_frame(arena, &node.done, 0, 0);
+            for &iu in &arena.by_invoke[..frame.cand_end as usize] {
+                let i = iu as usize;
+                if node.done.get(i) {
+                    continue;
+                }
+                let mut obj = node.obj.clone_box();
+                let committed = if free.is_some_and(|f| f[i]) {
+                    obj.apply(arena.op[i], &arena.arg[i]);
+                    true
+                } else {
+                    obj.apply_if(arena.op[i], &arena.arg[i], &arena.ret[i])
+                };
+                if !committed {
+                    continue;
+                }
+                if *budget == 0 {
+                    return Seeded::Done(Verdict::Unknown);
+                }
+                *budget -= 1;
+                if STATS {
+                    stats.nodes += 1;
+                }
+                let mut prefix = node.prefix.clone();
+                prefix.push(iu);
+                if prefix.len() == n {
+                    return Seeded::Done(Verdict::Linearizable(
+                        prefix.into_iter().map(|i| i as usize).collect(),
+                    ));
+                }
+                let done_hash = node.done_hash ^ fxhash::mix64(iu as u64);
+                if !dedup.insert(fxhash::combine(done_hash, obj.state_hash())) {
+                    continue;
+                }
+                let mut done = node.done.clone();
+                done.set(i);
+                next.push(SeedNode { prefix, done, done_hash, obj });
+            }
+        }
+        if next.is_empty() {
+            // Every viable prefix at this depth is a dead end, and the
+            // layers cover all viable states: no linearization exists.
+            return Seeded::Done(Verdict::NotLinearizable);
+        }
+        layer = next;
+        depth += 1;
+    }
+    Seeded::Jobs(layer.into_iter().map(|s| s.prefix).collect())
+}
+
+/// Viable prefixes seeded per worker before the parallel search starts; a
+/// few spare jobs per thread keep fast finishers stealing instead of idling.
+const JOBS_PER_WORKER: usize = 4;
+
+/// The parallel driver: seed disjoint jobs, run `threads` workers over a
+/// shared queue with a striped memo and a common budget, cancel on the first
+/// witness.
+fn parallel<const STATS: bool>(
+    spec: &Arc<dyn ObjectSpec>,
+    arena: &HistoryArena,
+    free: Option<&[bool]>,
+    cfg: CheckConfig,
+    threads: usize,
+) -> (Verdict, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut budget = cfg.max_nodes;
+    let jobs = match seed_jobs::<STATS>(
+        spec,
+        arena,
+        free,
+        threads * JOBS_PER_WORKER,
+        &mut budget,
+        &mut stats,
+    ) {
+        Seeded::Done(verdict) => return (verdict, stats),
+        Seeded::Jobs(jobs) => jobs,
+    };
+    let queue: Mutex<VecDeque<Vec<u32>>> = Mutex::new(jobs.into());
+    let remaining = AtomicU64::new(budget);
+    let cancel = AtomicBool::new(false);
+    let stopped = AtomicBool::new(false);
+    let witness: Mutex<Option<Vec<u32>>> = Mutex::new(None);
+    let memo = ShardedMemo::new();
+    let (tx, rx) = mpsc::channel::<SearchStats>();
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (queue, remaining, cancel, stopped, witness, memo) =
+                (&queue, &remaining, &cancel, &stopped, &witness, &memo);
+            s.spawn(move || {
+                let mut local = SearchStats::default();
+                let mut first = true;
+                while !cancel.load(Ordering::Relaxed) {
+                    let Some(prefix) = queue.lock().unwrap().pop_front() else { break };
+                    if !first {
+                        local.steals += 1;
+                    }
+                    first = false;
+                    let mut ctx = SharedCtx { memo, remaining, quota: 0, cancel };
+                    match dfs::<STATS, _>(spec, arena, free, &prefix, &mut ctx, &mut local) {
+                        Outcome::Found(order) => {
+                            let mut w = witness.lock().unwrap();
+                            if w.is_none() {
+                                *w = Some(order);
+                            }
+                            drop(w);
+                            cancel.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        Outcome::Exhausted => {}
+                        Outcome::Stopped => {
+                            // Budget exhaustion taints the verdict; a stop
+                            // caused by cancellation does not (a witness
+                            // already exists).
+                            if !cancel.load(Ordering::Relaxed) {
+                                stopped.store(true, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                    }
+                }
+                let _ = tx.send(local);
+            });
+        }
+        drop(tx);
+        for local in rx.iter() {
+            stats.absorb(&local);
+        }
+    });
+    stats.workers = threads as u64;
+    stats.memo_shards = MEMO_SHARDS as u64;
+    stats.memo_peak = memo.total_len() as u64;
+    stats.cancelled = cancel.load(Ordering::Relaxed) as u64;
+    let verdict = match witness.into_inner().unwrap() {
+        Some(order) => Verdict::Linearizable(order.into_iter().map(|i| i as usize).collect()),
+        None if stopped.load(Ordering::Relaxed) => Verdict::Unknown,
+        None => Verdict::NotLinearizable,
+    };
+    (verdict, stats)
+}
+
+/// Dispatch a decision over an already-built arena: sequential for small
+/// histories or `threads <= 1`, parallel otherwise.
+fn decide<const STATS: bool>(
+    spec: &Arc<dyn ObjectSpec>,
+    arena: &HistoryArena,
+    free: Option<&[bool]>,
+    cfg: CheckConfig,
+) -> (Verdict, SearchStats) {
+    let mut stats = SearchStats::default();
+    let n = arena.len();
+    if n == 0 {
+        return (Verdict::Linearizable(Vec::new()), stats);
+    }
+    if let Some(f) = free {
+        assert_eq!(f.len(), n, "free mask must cover the history");
+    }
+    let threads = cfg.effective_threads();
+    if threads > 1 && n > PARALLEL_MIN_OPS {
+        return parallel::<STATS>(spec, arena, free, cfg, threads);
+    }
+    let mut ctx = LocalCtx { memo: U64Set::new(), used: 0, max: cfg.max_nodes };
+    let outcome = dfs::<STATS, _>(spec, arena, free, &[], &mut ctx, &mut stats);
+    stats.workers = 1;
+    stats.memo_shards = 1;
+    stats.memo_peak = ctx.memo.len() as u64;
+    let verdict = match outcome {
+        Outcome::Found(order) => {
+            Verdict::Linearizable(order.into_iter().map(|i| i as usize).collect())
+        }
+        Outcome::Exhausted => Verdict::NotLinearizable,
+        Outcome::Stopped => Verdict::Unknown,
+    };
+    (verdict, stats)
+}
+
+/// [`check`] with an explicit configuration.
 pub fn check_with(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) -> Verdict {
     // STATS = false compiles every stats update out of the hot loop.
-    search::<false>(spec, history, None, cfg).0
+    decide::<false>(spec, &HistoryArena::from_history(history), None, cfg).0
+}
+
+/// [`check_with`] over a pre-built [`HistoryArena`], so callers that already
+/// transposed the history (e.g. the monitor dispatcher) do not pay a second
+/// extraction.
+pub fn check_arena_with(
+    spec: &Arc<dyn ObjectSpec>,
+    arena: &HistoryArena,
+    cfg: CheckConfig,
+) -> Verdict {
+    decide::<false>(spec, arena, None, cfg).0
 }
 
 /// [`check_with`] over a history whose marked operations have **free**
@@ -178,7 +934,7 @@ pub fn check_free_with(
     cfg: CheckConfig,
 ) -> Verdict {
     assert_eq!(free.len(), history.len(), "free mask must cover the history");
-    search::<false>(spec, history, Some(free), cfg).0
+    decide::<false>(spec, &HistoryArena::from_history(history), Some(free), cfg).0
 }
 
 /// [`check_with`] plus [`SearchStats`] describing the search that produced
@@ -190,124 +946,16 @@ pub fn check_with_stats(
     history: &History,
     cfg: CheckConfig,
 ) -> (Verdict, SearchStats) {
-    search::<true>(spec, history, None, cfg)
+    decide::<true>(spec, &HistoryArena::from_history(history), None, cfg)
 }
 
-fn search<const STATS: bool>(
+/// [`check_with_stats`] over a pre-built [`HistoryArena`].
+pub fn check_arena_with_stats(
     spec: &Arc<dyn ObjectSpec>,
-    history: &History,
-    free: Option<&[bool]>,
+    arena: &HistoryArena,
     cfg: CheckConfig,
 ) -> (Verdict, SearchStats) {
-    let mut stats = SearchStats::default();
-    let n = history.len();
-    if n == 0 {
-        return (Verdict::Linearizable(Vec::new()), stats);
-    }
-
-    // Candidates are tried in invocation order (ties by index), which keeps
-    // the witness deterministic; the schedulable set at any node is a prefix
-    // of this array.
-    let mut by_invoke: Vec<usize> = (0..n).collect();
-    by_invoke.sort_unstable_by_key(|&i| (history.ops[i].t_invoke, i));
-    let invokes: Vec<_> = by_invoke.iter().map(|&i| history.ops[i].t_invoke).collect();
-    // Respond-sorted indices: the earliest undone entry bounds the frontier.
-    let mut by_respond: Vec<usize> = (0..n).collect();
-    by_respond.sort_unstable_by_key(|&i| (history.ops[i].t_respond, i));
-
-    let mut done = BitSet::new(n);
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut memo: HashSet<u64, FxBuildHasher> = HashSet::default();
-    let mut nodes: u64 = 0;
-
-    // Builds the frontier for a node whose undone scan may start at
-    // `resp_from`; requires at least one undone op.
-    let make_frame = |obj: Box<dyn ObjState>, resp_from: usize, done: &BitSet| -> Frame {
-        let mut rp = resp_from;
-        while done.get(by_respond[rp]) {
-            rp += 1;
-        }
-        let threshold = history.ops[by_respond[rp]].t_respond;
-        let cand_end = invokes.partition_point(|&t| t <= threshold);
-        Frame { obj, cand: 0, cand_end, resp_ptr: rp }
-    };
-
-    let root_obj = spec.new_object();
-    memo.insert(node_key(&done, root_obj.state_hash()));
-    nodes += 1;
-    if nodes > cfg.max_nodes {
-        stats.nodes = nodes;
-        return (Verdict::Unknown, stats);
-    }
-    let mut stack: Vec<Frame> = Vec::with_capacity(n + 1);
-    stack.push(make_frame(root_obj, 0, &done));
-    if STATS {
-        stats.memo_inserts += 1;
-        // Every done op sits inside the cand_end prefix (the respond-time
-        // threshold is monotone along a search path), so the schedulable
-        // frontier is exactly the prefix minus the linearized ops.
-        stats.record_frontier(stack[0].cand_end);
-    }
-
-    loop {
-        let top = stack.len() - 1;
-        let cand = stack[top].cand;
-        if cand >= stack[top].cand_end {
-            // Frontier exhausted: provably no linearization extends this
-            // prefix. Backtrack (undo the op that created this frame).
-            stack.pop();
-            if STATS {
-                stats.backtracks += 1;
-            }
-            match order.pop() {
-                Some(i) => done.clear(i),
-                None => {
-                    stats.nodes = nodes;
-                    return (Verdict::NotLinearizable, stats);
-                }
-            }
-            continue;
-        }
-        stack[top].cand += 1;
-        let i = by_invoke[cand];
-        if done.get(i) {
-            continue;
-        }
-        let op = &history.ops[i];
-        let mut child_obj = stack[top].obj.clone_box();
-        let ret = child_obj.apply(op.instance.op, &op.instance.arg);
-        // A free op accepts whatever the specification returned here; a bound
-        // op must reproduce its recorded response.
-        if !free.is_some_and(|f| f[i]) && ret != op.instance.ret {
-            continue; // this op cannot go here
-        }
-        done.set(i);
-        order.push(i);
-        if done.full() {
-            stats.nodes = nodes;
-            return (Verdict::Linearizable(order), stats);
-        }
-        if !memo.insert(node_key(&done, child_obj.state_hash())) {
-            // Same done set and object state already proven fruitless.
-            if STATS {
-                stats.memo_hits += 1;
-            }
-            order.pop();
-            done.clear(i);
-            continue;
-        }
-        nodes += 1;
-        if nodes > cfg.max_nodes {
-            stats.nodes = nodes;
-            return (Verdict::Unknown, stats);
-        }
-        let resp_from = stack[top].resp_ptr;
-        stack.push(make_frame(child_obj, resp_from, &done));
-        if STATS {
-            stats.memo_inserts += 1;
-            stats.record_frontier(stack[stack.len() - 1].cand_end - order.len());
-        }
-    }
+    decide::<true>(spec, arena, None, cfg)
 }
 
 #[cfg(test)]
@@ -459,6 +1107,13 @@ mod tests {
         let h = History::from_tuples(ops);
         let v = check_with(&spec, &h, CheckConfig { max_nodes: 3, ..CheckConfig::default() });
         assert_eq!(v, Verdict::Unknown);
+        // The parallel path must degrade the same way when seeding runs out.
+        let v4 = check_with(
+            &spec,
+            &h,
+            CheckConfig { max_nodes: 3, threads: 4, ..CheckConfig::default() },
+        );
+        assert_eq!(v4, Verdict::Unknown);
     }
 
     #[test]
@@ -509,25 +1164,44 @@ mod tests {
         );
     }
 
+    /// A queue history whose dequeues force at least one backtrack (so the
+    /// memo arms): concurrent enqueues of `0..k`, then sequential dequeues
+    /// returning 1, 0, 2, 3, ... — the greedy index-order path enqueues 0
+    /// first and dead-ends at dequeue -> 1.
+    fn backtracking_queue_history(k: i64) -> History {
+        let mut tuples: Vec<(usize, OpInstance, i64, i64)> =
+            (0..k).map(|i| (0usize, inst("enqueue", i, ()), 0, 1000)).collect();
+        let mut rets: Vec<i64> = (0..k).collect();
+        rets.swap(0, 1);
+        for (slot, ret) in rets.into_iter().enumerate() {
+            let t = 2000 + 10 * slot as i64;
+            tuples.push((1, inst("dequeue", (), ret), t, t + 5));
+        }
+        History::from_tuples(tuples)
+    }
+
     #[test]
     fn stats_variant_agrees_with_plain_search() {
         let spec = erase(FifoQueue::new());
-        let mut tuples: Vec<(usize, OpInstance, i64, i64)> =
-            (0..6i64).map(|i| (0usize, inst("enqueue", i, ()), 0, 1000)).collect();
-        for (k, i) in (0..6i64).enumerate() {
-            tuples.push((1, inst("dequeue", (), i), 2000 + 10 * k as i64, 2005 + 10 * k as i64));
-        }
-        let h = History::from_tuples(tuples);
-        let cfg = CheckConfig::default();
+        let h = backtracking_queue_history(6);
+        let cfg = CheckConfig { threads: 1, ..CheckConfig::default() };
         let (verdict, stats) = check_with_stats(&spec, &h, cfg);
         assert_eq!(verdict, check_with(&spec, &h, cfg), "stats must not change the verdict");
         assert!(verdict.is_linearizable());
         assert!(stats.nodes > 0);
-        assert!(stats.memo_inserts > 0);
-        assert_eq!(stats.frontier_sizes.iter().sum::<u64>(), stats.memo_inserts);
+        assert!(stats.backtracks > 0, "dequeue -> 1 first must force a backtrack");
+        assert!(stats.memo_inserts > 0, "after arming, branchy nodes are memoized");
+        // One frame (and one frontier sample) per expanded node.
+        assert_eq!(stats.frontier_sizes.iter().sum::<u64>(), stats.nodes);
         assert!(stats.max_frontier >= 6, "6 concurrent enqueues are all schedulable at the root");
         let rate = stats.memo_hit_rate().unwrap();
         assert!((0.0..1.0).contains(&rate));
+        // Sequential search: entries are never removed, so peak == inserts.
+        assert_eq!(stats.memo_peak, stats.memo_inserts);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.memo_shards, 1);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.cancelled, 0);
     }
 
     #[test]
@@ -542,5 +1216,114 @@ mod tests {
         }
         let h = History::from_tuples(tuples);
         assert!(check(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn u64set_insert_contains_and_growth() {
+        let mut s = U64Set::new();
+        assert!(s.is_empty());
+        assert!(s.insert(0), "key 0 is representable despite the empty sentinel");
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        let keys: Vec<u64> = (0..5_000u64).map(|i| fxhash::mix64(i + 1)).collect();
+        for &k in &keys {
+            assert!(s.insert(k));
+        }
+        for &k in &keys {
+            assert!(!s.insert(k), "growth must preserve membership");
+            assert!(s.contains(k));
+        }
+        assert_eq!(s.len(), keys.len() + 1);
+        assert!(!s.contains(0xdead_beef));
+    }
+
+    #[test]
+    fn u64set_handles_clustered_keys() {
+        // Small sequential keys all share their top bits, forcing long probe
+        // chains and several growths.
+        let mut s = U64Set::new();
+        for k in 1..=300u64 {
+            assert!(s.insert(k));
+        }
+        for k in 1..=300u64 {
+            assert!(s.contains(k));
+        }
+        assert!(!s.contains(301));
+        assert_eq!(s.len(), 300);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_linearizable_history() {
+        let spec = erase(FifoQueue::new());
+        let mut tuples: Vec<(usize, OpInstance, i64, i64)> =
+            (0..8i64).map(|i| (0usize, inst("enqueue", i, ()), 0, 1000)).collect();
+        for (k, i) in (0..8i64).enumerate() {
+            tuples.push((1, inst("dequeue", (), i), 2000 + 10 * k as i64, 2005 + 10 * k as i64));
+        }
+        let h = History::from_tuples(tuples);
+        assert!(h.len() > PARALLEL_MIN_OPS, "history must be large enough to engage parallelism");
+        for threads in [2, 4] {
+            let cfg = CheckConfig { threads, ..CheckConfig::default() };
+            let Verdict::Linearizable(order) = check_with(&spec, &h, cfg) else {
+                panic!("parallel search must find the witness at {threads} threads");
+            };
+            // The witness may differ from the sequential one (workers race),
+            // but it must be a legal permutation.
+            let mut seen = vec![false; h.len()];
+            for &i in &order {
+                assert!(!seen[i], "witness must be a permutation");
+                seen[i] = true;
+            }
+            let seq: Vec<_> = order.iter().map(|&i| h.ops[i].instance.clone()).collect();
+            assert!(spec.is_legal(&seq), "witness must replay legally");
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_refuted_history() {
+        let spec = erase(FifoQueue::new());
+        // Sequential enqueues 0..6, dequeues in a FIFO-violating order.
+        let mut tuples: Vec<(usize, OpInstance, i64, i64)> =
+            (0..6i64).map(|i| (0usize, inst("enqueue", i, ()), 10 * i, 10 * i + 5)).collect();
+        for (k, i) in [5i64, 0, 1, 2, 3, 4].into_iter().enumerate() {
+            tuples.push((1, inst("dequeue", (), i), 2000 + 10 * k as i64, 2005 + 10 * k as i64));
+        }
+        let h = History::from_tuples(tuples);
+        assert!(h.len() > PARALLEL_MIN_OPS);
+        for threads in [1, 2, 4] {
+            let cfg = CheckConfig { threads, ..CheckConfig::default() };
+            assert_eq!(check_with(&spec, &h, cfg), Verdict::NotLinearizable, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_stats_report_workers_and_shards() {
+        let spec = erase(FifoQueue::new());
+        let h = backtracking_queue_history(8);
+        let cfg = CheckConfig { threads: 2, ..CheckConfig::default() };
+        let (verdict, stats) = check_with_stats(&spec, &h, cfg);
+        assert!(verdict.is_linearizable());
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.memo_shards, MEMO_SHARDS as u64);
+        assert!(stats.nodes > 0);
+    }
+
+    #[test]
+    fn arena_entry_point_matches_history_entry_point() {
+        let spec = erase(FifoQueue::new());
+        for h in [
+            backtracking_queue_history(5),
+            History::from_tuples(vec![
+                (0, inst("enqueue", 1, ()), 0, 10),
+                (1, inst("dequeue", (), 2), 20, 30),
+            ]),
+        ] {
+            let arena = HistoryArena::from_history(&h);
+            let cfg = CheckConfig { threads: 1, ..CheckConfig::default() };
+            assert_eq!(check_arena_with(&spec, &arena, cfg), check_with(&spec, &h, cfg));
+            let (v1, _) = check_arena_with_stats(&spec, &arena, cfg);
+            let (v2, _) = check_with_stats(&spec, &h, cfg);
+            assert_eq!(v1, v2);
+        }
     }
 }

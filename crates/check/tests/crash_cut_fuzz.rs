@@ -176,7 +176,7 @@ fn arb_pending_history(seed: u64) -> PendingHistory {
             may_have_effect: rng.gen_range(0u32..4) != 0,
         });
     }
-    PendingHistory { complete, pending, horizon: Time(100) }
+    PendingHistory { complete, pending, horizon: Time(100), malformed: 0 }
 }
 
 #[test]
@@ -262,6 +262,7 @@ fn crash_cut_forces_the_pending_dequeue_to_take_effect() {
             may_have_effect: true,
         }],
         horizon: Time(60),
+        malformed: 0,
     };
     assert!(check_fast_pending(&spec, &ph).is_linearizable());
     let legacy = CheckConfig { mixed_completion: false, ..CheckConfig::default() };
@@ -288,6 +289,7 @@ fn refutation_requires_every_completion_refuted() {
             may_have_effect: true,
         }],
         horizon: Time(40),
+        malformed: 0,
     };
     assert_eq!(check_fast_pending(&spec, &ph), Verdict::NotLinearizable);
     let legacy = CheckConfig { mixed_completion: false, ..CheckConfig::default() };

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate checker-bench regressions against the committed baselines.
+
+Usage: check_bench_regression.py COMMITTED.json FRESH.json
+
+Both files are `BENCH_checker.json`-shaped: a list of rows with `case`,
+`variant`, and `median_ns` keys. A row regresses when the fresh median is
+more than REGRESSION_FACTOR times the committed median *and* above the
+absolute noise floor — sub-millisecond rows flap with CI scheduling jitter
+(the smoke run takes a single sample per measurement), so tiny cases only
+inform, never gate. Rows present on only one side are reported but never
+fail the gate: new cases land with their first committed baseline, and
+removed cases die with it.
+
+Exits non-zero iff at least one row regresses.
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+NOISE_FLOOR_NS = 2_000_000  # 2 ms
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    table = {}
+    for row in rows:
+        table[(row["case"], row["variant"])] = int(row["median_ns"])
+    return table
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed = load(argv[1])
+    fresh = load(argv[2])
+
+    regressions = []
+    print(f"{'case':<34} {'variant':<12} {'committed':>12} {'fresh':>12} {'ratio':>7}")
+    for key in sorted(committed):
+        case, variant = key
+        base = committed[key]
+        if key not in fresh:
+            print(f"{case:<34} {variant:<12} {base:>12} {'(missing)':>12}")
+            continue
+        now = fresh[key]
+        ratio = now / base if base else float("inf")
+        gated = now > base * REGRESSION_FACTOR and now > NOISE_FLOOR_NS
+        flag = "  REGRESSED" if gated else ""
+        print(f"{case:<34} {variant:<12} {base:>12} {now:>12} {ratio:>6.2f}x{flag}")
+        if gated:
+            regressions.append((case, variant, base, now))
+    for key in sorted(set(fresh) - set(committed)):
+        print(f"{key[0]:<34} {key[1]:<12} {'(new)':>12} {fresh[key]:>12}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} row(s) regressed beyond "
+            f"{REGRESSION_FACTOR}x the committed median "
+            f"(noise floor {NOISE_FLOOR_NS} ns):",
+            file=sys.stderr,
+        )
+        for case, variant, base, now in regressions:
+            print(f"  {case} / {variant}: {base} ns -> {now} ns", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the gate threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
