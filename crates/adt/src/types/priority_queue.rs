@@ -10,6 +10,7 @@
 
 use crate::spec::{DataType, OpClass, OpMeta, SpecKind};
 use crate::value::Value;
+use std::collections::VecDeque;
 
 /// Operation name constants for [`PriorityQueue`].
 pub mod ops {
@@ -39,8 +40,11 @@ impl PriorityQueue {
 }
 
 impl DataType for PriorityQueue {
-    /// Sorted multiset of elements.
-    type State = Vec<i64>;
+    /// Sorted multiset of elements, smallest at the front. A deque rather
+    /// than a `Vec` so `extract_min` is O(1) (pop-front) and in-priority-order
+    /// inserts append in O(1) — the shapes that dominate witness replay in
+    /// the checker fast path and the streaming monitor.
+    type State = VecDeque<i64>;
 
     fn name(&self) -> &'static str {
         "priority-queue"
@@ -54,37 +58,36 @@ impl DataType for PriorityQueue {
         OPS
     }
 
-    fn initial(&self) -> Vec<i64> {
-        Vec::new()
+    fn initial(&self) -> VecDeque<i64> {
+        VecDeque::new()
     }
 
-    fn apply(&self, state: &Vec<i64>, op: &'static str, arg: &Value) -> (Vec<i64>, Value) {
+    fn apply(
+        &self,
+        state: &VecDeque<i64>,
+        op: &'static str,
+        arg: &Value,
+    ) -> (VecDeque<i64>, Value) {
         match op {
             ops::INSERT => {
-                let v = arg.as_int().expect("insert requires an integer argument");
                 let mut next = state.clone();
-                let pos = next.partition_point(|x| *x < v);
-                next.insert(pos, v);
-                (next, Value::Unit)
+                let ret = self.apply_inplace(&mut next, op, arg);
+                (next, ret)
             }
             ops::EXTRACT_MIN => {
                 let mut next = state.clone();
-                if next.is_empty() {
-                    (next, Value::Unit)
-                } else {
-                    let v = next.remove(0);
-                    (next, Value::Int(v))
-                }
+                let ret = next.pop_front().map_or(Value::Unit, Value::Int);
+                (next, ret)
             }
             ops::MIN => {
-                let ret = state.first().map_or(Value::Unit, |v| Value::Int(*v));
+                let ret = state.front().map_or(Value::Unit, |v| Value::Int(*v));
                 (state.clone(), ret)
             }
             other => panic!("priority-queue: unknown operation {other:?}"),
         }
     }
 
-    fn apply_inplace(&self, state: &mut Vec<i64>, op: &'static str, arg: &Value) -> Value {
+    fn apply_inplace(&self, state: &mut VecDeque<i64>, op: &'static str, arg: &Value) -> Value {
         match op {
             ops::INSERT => {
                 let v = arg.as_int().expect("insert requires an integer argument");
@@ -92,28 +95,22 @@ impl DataType for PriorityQueue {
                 state.insert(pos, v);
                 Value::Unit
             }
-            ops::EXTRACT_MIN => {
-                if state.is_empty() {
-                    Value::Unit
-                } else {
-                    Value::Int(state.remove(0))
-                }
-            }
-            ops::MIN => state.first().map_or(Value::Unit, |v| Value::Int(*v)),
+            ops::EXTRACT_MIN => state.pop_front().map_or(Value::Unit, Value::Int),
+            ops::MIN => state.front().map_or(Value::Unit, |v| Value::Int(*v)),
             other => panic!("priority-queue: unknown operation {other:?}"),
         }
     }
 
     fn apply_if(
         &self,
-        state: &mut Vec<i64>,
+        state: &mut VecDeque<i64>,
         op: &'static str,
         arg: &Value,
         expected: &Value,
     ) -> bool {
         let ret = match op {
             ops::INSERT => Value::Unit,
-            ops::EXTRACT_MIN | ops::MIN => state.first().map_or(Value::Unit, |v| Value::Int(*v)),
+            ops::EXTRACT_MIN | ops::MIN => state.front().map_or(Value::Unit, |v| Value::Int(*v)),
             other => panic!("priority-queue: unknown operation {other:?}"),
         };
         if ret != *expected {
@@ -126,9 +123,7 @@ impl DataType for PriorityQueue {
                 state.insert(pos, v);
             }
             ops::EXTRACT_MIN => {
-                if !state.is_empty() {
-                    state.remove(0);
-                }
+                state.pop_front();
             }
             ops::MIN => {}
             _ => unreachable!(),
@@ -136,7 +131,7 @@ impl DataType for PriorityQueue {
         true
     }
 
-    fn canonical(&self, state: &Vec<i64>) -> Value {
+    fn canonical(&self, state: &VecDeque<i64>) -> Value {
         Value::list(state.iter().map(|v| Value::Int(*v)))
     }
 
@@ -175,7 +170,7 @@ mod tests {
     fn duplicates_are_kept() {
         let pq = PriorityQueue::new();
         let (s, _) = pq.run(&[Invocation::new(ops::INSERT, 2), Invocation::new(ops::INSERT, 2)]);
-        assert_eq!(s, vec![2, 2]);
+        assert_eq!(s, VecDeque::from([2, 2]));
     }
 
     #[test]

@@ -60,10 +60,11 @@ fn stack_history(n_ops: usize, window: usize) -> History {
 
 /// A linearizable priority-queue history: `n_ops` inserts in `window`-wide
 /// concurrent batches followed by sequential `extract_min`s in ascending
-/// order. Priority queues have no specialized monitor, so both variants
-/// exercise the general search — and concurrent inserts commute on the
-/// sorted-multiset state, which stresses the memo table rather than the
-/// frontier.
+/// order. The fast path now runs the specialized priority-queue monitor
+/// (priority-inversion sweep + greedy min-order witness), so `check_fast`
+/// no longer falls back to the general search here; the `wing_gong` variant
+/// still measures the search, whose concurrent inserts commute on the
+/// sorted-multiset state and stress the memo table rather than the frontier.
 fn priority_queue_history(n_ops: usize, window: usize) -> History {
     let mut tuples: Vec<(usize, OpInstance, i64, i64)> = Vec::new();
     let mut t = 0i64;

@@ -1,0 +1,115 @@
+//! Online streaming-checker throughput and memory: feed generated
+//! multi-million-operation event streams to
+//! [`lintime_check::stream::StreamChecker`] and record throughput, peak
+//! resident operations, and GC statistics.
+//!
+//! The headline case streams 10M FIFO-queue operations (20M events) through
+//! the checker with the default 1024-op flush window; the targets are
+//! **>1M ops/sec** end-to-end and **flat memory** — peak resident ops
+//! bounded by a constant multiple of the flush window + concurrency, and in
+//! particular no larger on the 10M-op stream than on the 1M-op stream.
+//!
+//! Besides the console table, the run writes `BENCH_streaming.json` at the
+//! workspace root (override with `LINTIME_BENCH_OUT_STREAMING`): one row per
+//! (case, variant) with the median nanoseconds, derived ops/sec, and the
+//! checker's own memory/GC counters, so both the throughput floor and the
+//! flat-memory claim are machine-checkable across commits
+//! (`scripts/check_bench_regression.py --streaming`).
+
+use lintime_bench::microbench::{fmt_count, Group, JsonReport};
+use lintime_bench::streamgen::{run_scenario, StreamKind, StreamReport};
+use lintime_check::stream::StreamConfig;
+
+struct Case {
+    kind: StreamKind,
+    ops: usize,
+    procs: usize,
+}
+
+fn main() {
+    // CI smoke (LINTIME_BENCH_SAMPLES=1) still runs every case once; the
+    // stream sizes themselves can be scaled down with LINTIME_STREAM_SCALE
+    // (a divisor) so the smoke job finishes in seconds.
+    let scale: usize = std::env::var("LINTIME_STREAM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s| *s > 0)
+        .unwrap_or(1);
+    let cases = [
+        Case { kind: StreamKind::Queue, ops: 1_000_000 / scale, procs: 4 },
+        Case { kind: StreamKind::Queue, ops: 10_000_000 / scale, procs: 4 },
+        Case { kind: StreamKind::Register, ops: 1_000_000 / scale, procs: 4 },
+        Case { kind: StreamKind::PriorityQueue, ops: 1_000_000 / scale, procs: 4 },
+    ];
+
+    let mut report = JsonReport::new();
+    let group = Group::new("streaming").sample_size(3);
+    let mut peaks: Vec<(StreamKind, usize, usize)> = Vec::new();
+    for case in &cases {
+        let cfg = StreamConfig::default();
+        let id = format!("{}/{}ops_p{}", case.kind.label(), case.ops, case.procs);
+        let mut last: Option<StreamReport> = None;
+        let m = group.bench_throughput(&id, case.ops as u64, || {
+            let r = run_scenario(case.kind, case.ops, case.procs, cfg.clone());
+            assert!(r.verdict.is_ok(), "{id}: generated stream must check Ok, got {:?}", r.verdict);
+            last = Some(r);
+        });
+        let r = last.expect("bench ran at least once");
+        let ops_per_sec = r.stats.ops as f64 / m.median.as_secs_f64();
+        println!(
+            "    {:<38} {:>10}/s  resident peak {:>6}  flushes {:>6}  gc {:>9}  fallbacks {}",
+            id,
+            fmt_count(ops_per_sec),
+            r.stats.peak_resident,
+            r.stats.flushes,
+            r.stats.gc_reclaimed,
+            r.stats.fallbacks,
+        );
+        report.push(&[
+            ("case", id.as_str().into()),
+            ("variant", "stream_check".into()),
+            ("ops", r.stats.ops.into()),
+            ("events", r.stats.events.into()),
+            ("concurrency", case.procs.into()),
+            ("flush_ops", cfg.flush_ops.into()),
+            ("median_ns", m.median.as_nanos().into()),
+            ("ops_per_sec", ops_per_sec.into()),
+            ("peak_resident_ops", r.stats.peak_resident.into()),
+            ("peak_pending", r.stats.peak_pending.into()),
+            ("flushes", r.stats.flushes.into()),
+            ("gc_reclaimed", r.stats.gc_reclaimed.into()),
+            ("fallbacks", r.stats.fallbacks.into()),
+            ("verdict", r.verdict.class().into()),
+        ]);
+        peaks.push((case.kind, r.stats.ops as usize, r.stats.peak_resident));
+    }
+
+    // The flat-memory claim, asserted where the data is born: the 10M-op
+    // queue stream must not be more resident than 1.5× the 1M-op one.
+    let queue_peaks: Vec<(usize, usize)> = peaks
+        .iter()
+        .filter(|(k, _, _)| *k == StreamKind::Queue)
+        .map(|&(_, ops, peak)| (ops, peak))
+        .collect();
+    if let (Some(&(small_ops, small_peak)), Some(&(big_ops, big_peak))) =
+        (queue_peaks.first(), queue_peaks.last())
+    {
+        if big_ops > small_ops {
+            assert!(
+                big_peak as f64 <= small_peak as f64 * 1.5,
+                "memory not flat: {big_ops} ops peaked at {big_peak} resident vs \
+                 {small_ops} ops at {small_peak}"
+            );
+            println!(
+                "  flat-memory: {} ops peak {} vs {} ops peak {} ✓",
+                big_ops, big_peak, small_ops, small_peak
+            );
+        }
+    }
+
+    let path = std::env::var("LINTIME_BENCH_OUT_STREAMING")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR")));
+    let path = std::path::PathBuf::from(path);
+    report.save(&path).expect("write BENCH_streaming.json");
+    println!("wrote {}", path.display());
+}

@@ -15,7 +15,14 @@
 //!     --delay <d>          random | max | min (default random)
 //!     --n/--d/--u <v>      model parameters (default 4 / 6000 / 2400)
 //!     --check-threads <t>  checker worker threads, 0 = auto (default 0)
+//!     --stream-check       also check online: a live checker thread consumes
+//!                          the engine's operation-event stream as it runs
 //!     --timeline           draw the run as ASCII timelines
+//! lintime stream [flags]                 generated-stream online checking
+//!     --adt <name>         fifo-queue | register | priority-queue (default fifo-queue)
+//!     --ops <k>            total operations to stream (default 1000000)
+//!     --procs <p>          concurrent processes (default 4)
+//!     --flush <w>          flush window in ops (default 1024)
 //! lintime trace <scenario> [flags]       replay a scenario with tracing on
 //!     scenarios: table5 (fault-free queue), faults (recovery under drops)
 //!     --seed <s>           scenario seed (default 7)
@@ -51,6 +58,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        Some("stream") => {
+            if let Err(e) = cmd_stream(&args[1..]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         Some("trace") => {
             if let Err(e) = cmd_trace(&args[1..]) {
                 eprintln!("error: {e}");
@@ -58,7 +71,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: lintime <types|tables|fig11|attack|simulate|trace> [flags]");
+            eprintln!("usage: lintime <types|tables|fig11|attack|simulate|stream|trace> [flags]");
             eprintln!("       (see crate docs or README.md for flag details)");
             return ExitCode::FAILURE;
         }
@@ -146,6 +159,46 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    use lintime_bench::microbench::fmt_count;
+    use lintime_bench::streamgen::{run_scenario, StreamKind};
+    let flags = parse_flags(args)?;
+    let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
+    let usize_flag = |k: &str, default: usize| -> Result<usize, String> {
+        get(k, &default.to_string()).parse().map_err(|_| format!("--{k} expects an integer"))
+    };
+    let adt = get("adt", "fifo-queue");
+    let kind = StreamKind::by_name(&adt)
+        .ok_or_else(|| format!("unknown stream scenario {adt:?}; try fifo-queue|register|pq"))?;
+    let ops = usize_flag("ops", 1_000_000)?;
+    let procs = usize_flag("procs", 4)?;
+    let flush = usize_flag("flush", 1024)?;
+    let cfg = lintime_check::stream::StreamConfig::default().with_flush_ops(flush);
+
+    println!(
+        "streaming {ops} {adt} ops across {procs} processes (flush window {flush} ops)",
+        adt = kind.label()
+    );
+    let t0 = std::time::Instant::now();
+    let report = run_scenario(kind, ops, procs, cfg);
+    let elapsed = t0.elapsed();
+    let s = &report.stats;
+    println!(
+        "verdict: {} — {} ops ({} events) in {:.2?}, {}/s",
+        report.verdict.class(),
+        s.ops,
+        s.events,
+        elapsed,
+        fmt_count(s.ops as f64 / elapsed.as_secs_f64()),
+    );
+    println!(
+        "memory:  peak resident {} ops (pending peak {}), {} flushes retired {} ops, \
+         {} fallbacks, {} overflows",
+        s.peak_resident, s.peak_pending, s.flushes, s.gc_reclaimed, s.fallbacks, s.window_overflows,
+    );
+    Ok(())
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     let (scenario, rest) = match args.first() {
         Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
@@ -224,8 +277,42 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         params.epsilon
     );
     let schedule = workload.schedule(params, spec.as_ref());
-    let cfg = SimConfig::new(params, delay).with_schedule(schedule);
+    let mut cfg = SimConfig::new(params, delay).with_schedule(schedule);
+
+    // Online checking: a live thread consumes the engine's operation-event
+    // stream through the `op_sink` channel while the simulation runs, so the
+    // verdict is ready (modulo the final pending residue) the moment the run
+    // ends — no post-hoc history build required.
+    let streamer = if flags.contains_key("stream-check") {
+        let (tx, rx) = std::sync::mpsc::channel();
+        cfg = cfg.with_op_sink(tx);
+        let spec = std::sync::Arc::clone(&spec);
+        Some(std::thread::spawn(move || {
+            let mut checker = lintime_check::stream::StreamChecker::new(&spec);
+            for ev in rx {
+                checker.feed(&ev);
+            }
+            checker.finish()
+        }))
+    } else {
+        None
+    };
+
     let run = run_algorithm(algo, &spec, &cfg);
+    drop(cfg); // closes the op sink, letting the stream checker finish
+    if let Some(handle) = streamer {
+        let (verdict, stats) = handle.join().map_err(|_| "stream checker panicked".to_string())?;
+        println!(
+            "streaming verdict: {} ({} events, {} flushes, {} ops GC'd, peak resident {}, \
+             {} fallbacks)",
+            verdict.class(),
+            stats.events,
+            stats.flushes,
+            stats.gc_reclaimed,
+            stats.peak_resident,
+            stats.fallbacks,
+        );
+    }
     if !run.complete() {
         return Err(format!("run incomplete:\n{run}"));
     }

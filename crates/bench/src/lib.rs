@@ -10,7 +10,9 @@
 //! cross-backend availability matrix ([`matrix`]), and the
 //! observability extension adds traced scenario replay ([`tracecmd`],
 //! `lintime trace`) plus a `--metrics-out` snapshot flag on the sweep
-//! binaries.
+//! binaries. The streaming extension adds generated live event streams
+//! ([`streamgen`], `lintime stream`, `benches/streaming.rs`) for the
+//! bounded-memory online checker.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +20,7 @@
 pub mod experiments;
 pub mod matrix;
 pub mod microbench;
+pub mod streamgen;
 pub mod sweep;
 pub mod timeline;
 pub mod tracecmd;

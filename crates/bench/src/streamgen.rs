@@ -1,0 +1,177 @@
+//! Synthetic operation-event streams for the online checker.
+//!
+//! The streaming benchmark (`benches/streaming.rs`) and the `lintime stream`
+//! subcommand share these generators: deterministic, legal event streams of
+//! arbitrary length that are fed to a
+//! [`StreamChecker`] **one event at a
+//! time, never materialized** — the point of the exercise is that the
+//! checker's resident memory stays flat while the stream length grows
+//! without bound.
+//!
+//! Every scenario drives `procs` concurrent processes in rounds with
+//! strictly increasing virtual times and periodic quiescence (each round
+//! completes all its operations), so settled-prefix garbage collection has
+//! canonical cuts to retire. The generated histories are linearizable by
+//! construction; corrupting them is the differential fuzz suite's job
+//! (`tests/stream_fuzz.rs`), not the throughput bench's.
+
+use lintime_adt::prelude::*;
+use lintime_check::stream::{StreamChecker, StreamConfig, StreamStats, StreamVerdict};
+use lintime_sim::time::{Pid, Time};
+use std::sync::Arc;
+
+/// Which synthetic stream to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Rounds of `procs` overlapping enqueues then `procs` overlapping
+    /// dequeues of distinct values (the monitor fast path end to end).
+    Queue,
+    /// One write then `procs` overlapping reads of the written value per
+    /// round (exercises the strict-last-write canonical cut).
+    Register,
+    /// Rounds of `procs` overlapping inserts then ascending `extract_min`s
+    /// (the new priority-queue monitor under streaming).
+    PriorityQueue,
+}
+
+impl StreamKind {
+    /// Parse a scenario name as used by `lintime stream --adt`.
+    pub fn by_name(name: &str) -> Option<StreamKind> {
+        match name {
+            "fifo-queue" | "queue" => Some(StreamKind::Queue),
+            "register" => Some(StreamKind::Register),
+            "priority-queue" | "pq" => Some(StreamKind::PriorityQueue),
+            _ => None,
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKind::Queue => "fifo-queue",
+            StreamKind::Register => "register",
+            StreamKind::PriorityQueue => "priority-queue",
+        }
+    }
+
+    /// A fresh spec of the scenario's type.
+    pub fn spec(self) -> Arc<dyn ObjectSpec> {
+        match self {
+            StreamKind::Queue => erase(FifoQueue::new()),
+            StreamKind::Register => erase(Register::new(0)),
+            StreamKind::PriorityQueue => erase(PriorityQueue::new()),
+        }
+    }
+}
+
+/// Outcome of one generated-stream run.
+pub struct StreamReport {
+    /// Final streaming verdict (the generated streams are legal, so anything
+    /// but `Ok` is a bug — the bench asserts this).
+    pub verdict: StreamVerdict,
+    /// Final checker statistics (throughput inputs, GC and memory figures).
+    pub stats: StreamStats,
+}
+
+/// Generate a legal `kind` stream of at least `total_ops` completed
+/// operations across `procs` processes and feed it event-by-event to a
+/// fresh [`StreamChecker`] configured with `cfg`.
+pub fn run_scenario(
+    kind: StreamKind,
+    total_ops: usize,
+    procs: usize,
+    cfg: StreamConfig,
+) -> StreamReport {
+    let procs = procs.max(1);
+    let spec = kind.spec();
+    let mut c = StreamChecker::with_config(&spec, cfg);
+    let mut t = 0i64;
+    let mut next_val = 0i64;
+    let mut done = 0usize;
+    while done < total_ops {
+        match kind {
+            StreamKind::Queue | StreamKind::PriorityQueue => {
+                let (prod, cons) = match kind {
+                    StreamKind::Queue => ("enqueue", "dequeue"),
+                    _ => ("insert", "extract_min"),
+                };
+                // `procs` mutually overlapping producers of distinct values…
+                for i in 0..procs {
+                    c.feed_invoke(
+                        Pid(i),
+                        Time(t + i as i64),
+                        prod,
+                        Value::Int(next_val + i as i64),
+                    );
+                }
+                for i in 0..procs {
+                    c.feed_respond(Pid(i), Time(t + (procs + i) as i64), Value::Unit);
+                }
+                t += 2 * procs as i64;
+                // …then `procs` mutually overlapping consumers. All producers
+                // overlapped pairwise, so the identity matching is legal for
+                // FIFO order and (with ascending values) for min order alike.
+                for i in 0..procs {
+                    c.feed_invoke(Pid(i), Time(t + i as i64), cons, Value::Unit);
+                }
+                for i in 0..procs {
+                    c.feed_respond(
+                        Pid(i),
+                        Time(t + (procs + i) as i64),
+                        Value::Int(next_val + i as i64),
+                    );
+                }
+                t += 2 * procs as i64;
+                next_val += procs as i64;
+                done += 2 * procs;
+            }
+            StreamKind::Register => {
+                next_val += 1;
+                c.feed_invoke(Pid(0), Time(t), "write", Value::Int(next_val));
+                c.feed_respond(Pid(0), Time(t + 1), Value::Unit);
+                t += 2;
+                for i in 0..procs {
+                    c.feed_invoke(Pid(i), Time(t + i as i64), "read", Value::Unit);
+                }
+                for i in 0..procs {
+                    c.feed_respond(Pid(i), Time(t + (procs + i) as i64), Value::Int(next_val));
+                }
+                t += 2 * procs as i64;
+                done += procs + 1;
+            }
+        }
+    }
+    let (verdict, stats) = c.finish();
+    StreamReport { verdict, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_is_legal_and_garbage_collected() {
+        for kind in [StreamKind::Queue, StreamKind::Register, StreamKind::PriorityQueue] {
+            let cfg = StreamConfig::default().with_flush_ops(64);
+            let report = run_scenario(kind, 2_000, 4, cfg);
+            assert!(report.verdict.is_ok(), "{}: {:?}", kind.label(), report.verdict);
+            assert!(report.stats.ops >= 2_000, "{}: {:?}", kind.label(), report.stats);
+            assert!(report.stats.gc_reclaimed > 0, "{}: {:?}", kind.label(), report.stats);
+            assert!(
+                report.stats.peak_resident < 512,
+                "{}: resident {} not flat",
+                kind.label(),
+                report.stats.peak_resident
+            );
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [StreamKind::Queue, StreamKind::Register, StreamKind::PriorityQueue] {
+            assert_eq!(StreamKind::by_name(kind.label()), Some(kind));
+        }
+        assert_eq!(StreamKind::by_name("pq"), Some(StreamKind::PriorityQueue));
+        assert!(StreamKind::by_name("nope").is_none());
+    }
+}

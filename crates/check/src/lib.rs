@@ -16,7 +16,11 @@
 //!   [`monitor::check_fast`];
 //! * [`bitset`] — the done-set representation used by the search;
 //! * [`compositional`] — per-object checking for multi-object (product)
-//!   histories, exploiting the locality of linearizability.
+//!   histories, exploiting the locality of linearizability;
+//! * [`stream`] — the online bounded-memory checker
+//!   ([`stream::StreamChecker`]): feed live operation events, garbage-collect
+//!   settled prefixes at canonical cuts, keep resident memory flat over
+//!   arbitrarily long traces.
 //!
 //! The paper's Construction 1 (the *specific* linearization Algorithm 1
 //! induces) is verified separately in `lintime-core::construction`, since it
@@ -30,6 +34,7 @@ pub mod bitset;
 pub mod compositional;
 pub mod history;
 pub mod monitor;
+pub mod stream;
 pub mod wing_gong;
 
 /// Convenient re-exports of the most-used items.
@@ -40,6 +45,9 @@ pub mod prelude {
     pub use crate::monitor::{
         check_fast, check_fast_pending, check_fast_pending_observed, check_fast_pending_with,
         check_fast_with, verify_witness, MonitorOutcome,
+    };
+    pub use crate::stream::{
+        replay_run, StreamChecker, StreamConfig, StreamStats, StreamVerdict, UnknownReason,
     };
     pub use crate::wing_gong::{check, check_free_with, check_with, CheckConfig, Verdict};
 }

@@ -22,8 +22,10 @@
 
 use super::{Frontier, MonitorOutcome};
 use crate::history::History;
+use lintime_adt::spec::ObjectSpec;
 use lintime_adt::value::Value;
 use lintime_sim::time::Time;
+use std::sync::Arc;
 
 struct Contribution {
     idx: usize,
@@ -40,7 +42,14 @@ struct ReadOp {
 }
 
 /// Monitor a counter history (`increment`/`add`/`read`; `fetch_inc` defers).
-pub fn monitor(history: &History) -> MonitorOutcome {
+///
+/// The base value is probed from the spec (a fresh object's `read`) rather
+/// than assumed zero, so seeded specs — e.g. the streaming checker's carried
+/// window state — are monitored against the correct initial sum.
+pub fn monitor(spec: &Arc<dyn ObjectSpec>, history: &History) -> MonitorOutcome {
+    let Some(base) = spec.new_object().apply("read", &Value::Unit).as_int() else {
+        return MonitorOutcome::Deferred; // not a counter-shaped spec
+    };
     let mut adds: Vec<Contribution> = Vec::new();
     let mut reads: Vec<ReadOp> = Vec::new();
     for (idx, op) in history.ops.iter().enumerate() {
@@ -72,7 +81,7 @@ pub fn monitor(history: &History) -> MonitorOutcome {
     // Guard the arithmetic: totals beyond i64 would make the sequential
     // spec's wrapping arithmetic diverge from these non-wrapping bounds.
     let total: i128 = adds.iter().map(|a| i128::from(a.delta)).sum();
-    if total > i128::from(i64::MAX) {
+    if i128::from(base) + total > i128::from(i64::MAX) {
         return MonitorOutcome::Deferred;
     }
 
@@ -96,7 +105,7 @@ pub fn monitor(history: &History) -> MonitorOutcome {
         let cut_hi = by_invoke.partition_point(|&a| adds[a].invoke <= r.respond);
         let hi = total - (prefix_inv[adds.len()] - prefix_inv[cut_hi]);
         let ret = i128::from(r.ret);
-        if ret < lo || ret > hi {
+        if ret < i128::from(base) + lo || ret > i128::from(base) + hi {
             return MonitorOutcome::Violation;
         }
     }
@@ -121,7 +130,7 @@ pub fn monitor(history: &History) -> MonitorOutcome {
         }
     }
 
-    match greedy_witness(history, &adds, &reads) {
+    match greedy_witness(history, base, &adds, &reads) {
         Some(order) => MonitorOutcome::Witness(order),
         None => MonitorOutcome::Deferred,
     }
@@ -131,6 +140,7 @@ pub fn monitor(history: &History) -> MonitorOutcome {
 /// in to hit each read's value exactly. `None` on stall or overshoot.
 fn greedy_witness(
     history: &History,
+    base: i64,
     adds: &[Contribution],
     reads: &[ReadOp],
 ) -> Option<Vec<usize>> {
@@ -148,7 +158,7 @@ fn greedy_witness(
     reads_sorted.sort_unstable_by_key(|&r| (reads[r].ret, reads[r].invoke, r));
 
     let mut order = Vec::with_capacity(history.len());
-    let mut sum: i64 = 0;
+    let mut sum: i64 = base;
     let mut forced_ptr = 0;
     for &r in &reads_sorted {
         // Contributions responding before this read invokes are forced

@@ -47,8 +47,8 @@ pub fn monitor(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) 
     }
 
     let mut chains: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
-    for idxs in groups.values() {
-        match check_key(spec, history, idxs, cfg) {
+    for (key, idxs) in &groups {
+        match check_key(spec, key, history, idxs, cfg) {
             Ok(chain) => chains.push(chain),
             Err(out) => return out,
         }
@@ -62,12 +62,13 @@ pub fn monitor(spec: &Arc<dyn ObjectSpec>, history: &History, cfg: CheckConfig) 
 /// Decide one key's sub-history; `Ok` is its linearization (global indices).
 fn check_key(
     spec: &Arc<dyn ObjectSpec>,
+    key: &Value,
     history: &History,
     idxs: &[usize],
     cfg: CheckConfig,
 ) -> Result<Vec<usize>, MonitorOutcome> {
     // Fast path: the key as a register instance.
-    if let Some((rw, init)) = as_register_instance(spec, history, idxs)? {
+    if let Some((rw, init)) = as_register_instance(spec, key, history, idxs)? {
         match cluster_check(&rw, &init) {
             MonitorOutcome::Witness(chain) => return Ok(chain),
             MonitorOutcome::Violation => return Err(MonitorOutcome::Violation),
@@ -90,12 +91,16 @@ fn check_key(
 #[allow(clippy::type_complexity)]
 fn as_register_instance(
     spec: &Arc<dyn ObjectSpec>,
+    key: &Value,
     history: &History,
     idxs: &[usize],
 ) -> Result<Option<(Vec<RwOp>, Value)>, MonitorOutcome> {
+    // Probe the key's initial value from a fresh object instead of assuming
+    // an empty structure, so seeded specs (e.g. the streaming checker's
+    // carried window state) reduce against the correct baseline.
     let init = match spec.kind() {
-        SpecKind::GrowSet => Value::Bool(false),
-        _ => Value::Unit, // kv: missing key
+        SpecKind::GrowSet => spec.new_object().apply("contains", key),
+        _ => spec.new_object().apply("get", key), // kv: current value or Unit
     };
     let mut rw = Vec::with_capacity(idxs.len());
     for &i in idxs {

@@ -69,7 +69,7 @@ pub fn check_fast(spec: &Arc<dyn ObjectSpec>, history: &History) -> Verdict {
 }
 
 /// Route a history to the specialized monitor for its [`SpecKind`], if any.
-fn dispatch_monitor(
+pub(crate) fn dispatch_monitor(
     spec: &Arc<dyn ObjectSpec>,
     history: &History,
     cfg: CheckConfig,
@@ -81,10 +81,11 @@ fn dispatch_monitor(
         SpecKind::RmwRegister => register::monitor(spec, history),
         SpecKind::FifoQueue => queue_like::monitor_queue(history),
         SpecKind::Stack => queue_like::monitor_stack(history),
+        SpecKind::PriorityQueue => queue_like::monitor_pq(history),
         SpecKind::GrowSet | SpecKind::KvStore => keyed::monitor(spec, history, cfg),
-        SpecKind::Counter => counter::monitor(history),
-        // Priority queues, rooted trees, products, and unknown types have no
-        // specialized monitor (yet): general search.
+        SpecKind::Counter => counter::monitor(spec, history),
+        // Rooted trees, products, and unknown types have no specialized
+        // monitor (yet): general search.
         _ => MonitorOutcome::Deferred,
     }
 }
@@ -626,6 +627,51 @@ mod tests {
     }
 
     #[test]
+    fn pq_monitor_witness_and_priority_violation() {
+        // Legal: both inserts complete, then extracts in priority order.
+        let legal = h(vec![
+            (0, OpInstance::new("insert", 5, ()), 0, 10),
+            (1, OpInstance::new("insert", 3, ()), 2, 8),
+            (2, OpInstance::new("extract_min", (), 3), 12, 14),
+            (3, OpInstance::new("extract_min", (), 5), 16, 18),
+        ]);
+        let out = queue_like::monitor_pq(&legal);
+        let MonitorOutcome::Witness(order) = out else {
+            panic!("expected witness, got {out:?}");
+        };
+        let spec = erase(PriorityQueue::new());
+        assert!(verify_witness(&spec, &legal, &order));
+
+        // Priority inversion: 3 is provably in the queue across the whole
+        // extract_min -> 5 (inserted before it invokes, extracted after it
+        // responds), so the minimum cannot have been 5.
+        let bad = h(vec![
+            (0, OpInstance::new("insert", 5, ()), 0, 1),
+            (0, OpInstance::new("insert", 3, ()), 2, 3),
+            (1, OpInstance::new("extract_min", (), 5), 4, 5),
+            (1, OpInstance::new("extract_min", (), 3), 6, 7),
+        ]);
+        assert_eq!(queue_like::monitor_pq(&bad), MonitorOutcome::Violation);
+        assert_eq!(check_fast(&spec, &bad), Verdict::NotLinearizable);
+
+        // A never-extracted smaller value blocks the extract just the same.
+        let blocked = h(vec![
+            (0, OpInstance::new("insert", 1, ()), 0, 1),
+            (0, OpInstance::new("insert", 2, ()), 2, 3),
+            (1, OpInstance::new("extract_min", (), 2), 4, 5),
+        ]);
+        assert_eq!(queue_like::monitor_pq(&blocked), MonitorOutcome::Violation);
+
+        // `min` defers to the general search.
+        let peeked = h(vec![
+            (0, OpInstance::new("insert", 1, ()), 0, 1),
+            (1, OpInstance::new("min", (), 1), 2, 3),
+        ]);
+        assert_eq!(queue_like::monitor_pq(&peeked), MonitorOutcome::Deferred);
+        assert!(check_fast(&spec, &peeked).is_linearizable());
+    }
+
+    #[test]
     fn queue_monitor_defers_on_peek() {
         let hist = h(vec![
             (0, OpInstance::new("enqueue", 1, ()), 0, 1),
@@ -669,7 +715,7 @@ mod tests {
             (1, OpInstance::new("increment", (), ()), 2, 12),
             (2, OpInstance::new("read", (), 1), 4, 6),
         ]);
-        let out = counter::monitor(&legal);
+        let out = counter::monitor(&spec, &legal);
         let MonitorOutcome::Witness(order) = out else {
             panic!("expected witness, got {out:?}");
         };
@@ -681,7 +727,7 @@ mod tests {
             (1, OpInstance::new("increment", (), ()), 2, 3),
             (1, OpInstance::new("increment", (), ()), 4, 5),
         ]);
-        assert_eq!(counter::monitor(&bad), MonitorOutcome::Violation);
+        assert_eq!(counter::monitor(&spec, &bad), MonitorOutcome::Violation);
         assert_eq!(check_fast(&spec, &bad), Verdict::NotLinearizable);
     }
 

@@ -1,11 +1,12 @@
-//! Log-linear monitors for FIFO-queue and stack histories.
+//! Log-linear monitors for FIFO-queue, stack, and priority-queue histories.
 //!
-//! Both monitors share a producer/consumer skeleton: `enqueue`/`push` ops
-//! are matched to the `dequeue`/`pop` returning their value (unambiguous
-//! when produced values are pairwise distinct; duplicate values defer to the
-//! general search, as does any `peek`). Violations are detected by interval
-//! sweeps over sound patterns — each implies a real-time/legality
-//! contradiction in every candidate linearization:
+//! All three monitors share a producer/consumer skeleton: `enqueue`/`push`/
+//! `insert` ops are matched to the `dequeue`/`pop`/`extract_min` returning
+//! their value (unambiguous when produced values are pairwise distinct;
+//! duplicate values defer to the general search, as does any `peek`/`min`).
+//! Violations are detected by interval sweeps over sound patterns — each
+//! implies a real-time/legality contradiction in every candidate
+//! linearization:
 //!
 //! * a consumer returning a never-produced value, two consumers of the same
 //!   value, or a consumer that responds before its producer invokes;
@@ -16,6 +17,11 @@
 //! * **stack LIFO covering**: `v` popped although some `w` was provably
 //!   pushed after `v` and before `v`'s pop, and is popped only after `v`
 //!   (or never) — `w` sits on top of `v` when `v` is popped;
+//! * **priority inversion** (after Lee & Mathur's unambiguous-history
+//!   matching, arXiv:2410.04581): `extract_min` returned `v` although some
+//!   smaller `u < v` was provably in the queue across the whole extract —
+//!   inserted before the extract invoked and extracted only after it
+//!   responded (or never);
 //! * **non-empty emptiness**: a consumer returned "empty" although some
 //!   value was provably produced before it and consumed only after it (or
 //!   never).
@@ -31,9 +37,10 @@
 
 use super::{Frontier, MonitorOutcome};
 use crate::history::History;
+use lintime_adt::fxhash::FxBuildHasher;
 use lintime_adt::value::Value;
 use lintime_sim::time::Time;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// A produced value's lifecycle: its producer op and matching consumer.
 struct Pair {
@@ -66,7 +73,9 @@ struct Parsed {
 /// impossibilities).
 fn parse(history: &History, prod_name: &str, cons_name: &str) -> Result<Parsed, MonitorOutcome> {
     let mut pairs: Vec<Pair> = Vec::new();
-    let mut by_value: HashMap<&Value, usize> = HashMap::new();
+    // Value matching is the hottest map in the fast path; trusted inputs, so
+    // the vendored FxHash beats SipHash here.
+    let mut by_value: HashMap<&Value, usize, FxBuildHasher> = HashMap::default();
     let mut role = vec![Role::Empty; history.len()];
     let mut empties = Vec::new();
     // Producers first so consumers can match in one pass each.
@@ -223,6 +232,152 @@ pub fn monitor_stack(history: &History) -> MonitorOutcome {
         Some(order) => MonitorOutcome::Witness(order),
         None => MonitorOutcome::Deferred,
     }
+}
+
+/// Monitor a priority-queue history (`insert`/`extract_min`; any `min`
+/// defers, as does a non-integer priority).
+pub fn monitor_pq(history: &History) -> MonitorOutcome {
+    let parsed = match parse(history, "insert", "extract_min") {
+        Ok(p) => p,
+        Err(out) => return out,
+    };
+    // "Smaller" needs a priority order: defer unless every value is an Int.
+    let mut vals = Vec::with_capacity(parsed.pairs.len());
+    for pair in &parsed.pairs {
+        match history.ops[pair.prod].instance.arg.as_int() {
+            Some(v) => vals.push(v),
+            None => return MonitorOutcome::Deferred,
+        }
+    }
+    if !empties_feasible(history, &parsed) {
+        return MonitorOutcome::Violation;
+    }
+    if pq_priority_violation(history, &parsed, &vals) {
+        return MonitorOutcome::Violation;
+    }
+    match greedy_witness_pq(history, &parsed, &vals) {
+        Some(order) => MonitorOutcome::Witness(order),
+        None => MonitorOutcome::Deferred,
+    }
+}
+
+/// Priority-inversion sweep: an `extract_min` returning `v` is impossible if
+/// some `u < v` was provably in the queue across the extract's whole
+/// interval — inserted before the extract invoked (`prodR(u) < consI(v)`,
+/// so `u` is present at every point the extract could linearize) and
+/// extracted only after it responded (`consI(u) > consR(v)`, so the only op
+/// that could remove `u` linearizes strictly later) or never extracted at
+/// all. Then the minimum at the extract's linearization point is at most
+/// `u < v`, a legality contradiction in every candidate order.
+///
+/// Sweeping extracts by invoke admits inserts by respond into a Fenwick max
+/// keyed by ascending value rank, holding the matching extract's invoke
+/// (`i64::MAX` for never-extracted values); the query is a prefix max over
+/// the ranks strictly below `v`'s.
+fn pq_priority_violation(history: &History, parsed: &Parsed, vals: &[i64]) -> bool {
+    let consumed: Vec<usize> =
+        (0..parsed.pairs.len()).filter(|&p| parsed.pairs[p].cons.is_some()).collect();
+    if consumed.is_empty() {
+        return false;
+    }
+    let prod_respond = |p: usize| history.ops[parsed.pairs[p].prod].t_respond;
+    let cons_invoke = |p: usize| history.ops[parsed.pairs[p].cons.expect("consumed")].t_invoke;
+    let cons_respond = |p: usize| history.ops[parsed.pairs[p].cons.expect("consumed")].t_respond;
+
+    // Rank every pair by priority (values are distinct after `parse`).
+    let mut by_val: Vec<usize> = (0..parsed.pairs.len()).collect();
+    by_val.sort_unstable_by_key(|&p| vals[p]);
+    let mut rank = vec![0usize; parsed.pairs.len()];
+    for (r, &p) in by_val.iter().enumerate() {
+        rank[p] = r;
+    }
+    let mut fen = FenwickMax::new(parsed.pairs.len());
+
+    let mut vs = consumed;
+    vs.sort_unstable_by_key(|&p| cons_invoke(p));
+    let mut all_by_prod_respond: Vec<usize> = (0..parsed.pairs.len()).collect();
+    all_by_prod_respond.sort_unstable_by_key(|&p| prod_respond(p));
+    let mut admit = 0;
+    for &v in &vs {
+        while admit < all_by_prod_respond.len() {
+            let u = all_by_prod_respond[admit];
+            if prod_respond(u) >= cons_invoke(v) {
+                break;
+            }
+            let extracted_at = match parsed.pairs[u].cons {
+                None => i64::MAX,
+                Some(c) => history.ops[c].t_invoke.0,
+            };
+            fen.update(rank[u], extracted_at);
+            admit += 1;
+        }
+        if fen.prefix_max(rank[v]) > cons_respond(v).0 {
+            return true; // a smaller value provably sits in the queue
+        }
+    }
+    false
+}
+
+/// Greedy priority-queue witness. Mirrors [`greedy_witness`] with the
+/// structure head replaced by the minimum of a [`BTreeMap`]: emit the
+/// minimum's extract when ready, empty extracts while the queue is empty,
+/// and otherwise the ready insert with the earliest extract deadline. A
+/// stall is not a verdict — the caller defers.
+fn greedy_witness_pq(history: &History, parsed: &Parsed, vals: &[i64]) -> Option<Vec<usize>> {
+    let n = history.len();
+    let mut frontier = Frontier::new(history);
+    let mut by_invoke: Vec<usize> = (0..n).collect();
+    by_invoke.sort_unstable_by_key(|&i| (history.ops[i].t_invoke, i));
+    let mut admit = 0;
+
+    let deadline = |p: usize| -> Time {
+        parsed.pairs[p].cons.map_or(Time(i64::MAX), |c| history.ops[c].t_invoke)
+    };
+    let mut prod_pool: BinaryHeap<(i64, usize)> = BinaryHeap::new(); // max-heap on -deadline
+    let mut empty_pool: VecDeque<usize> = VecDeque::new();
+    let mut cons_ready = vec![false; parsed.pairs.len()];
+    let mut structure: BTreeMap<i64, usize> = BTreeMap::new(); // priority -> pair
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    while order.len() < n {
+        let threshold = frontier.threshold().expect("unemitted ops remain");
+        while admit < n && history.ops[by_invoke[admit]].t_invoke <= threshold {
+            let i = by_invoke[admit];
+            admit += 1;
+            match parsed.role[i] {
+                Role::Prod(p) => prod_pool.push((-deadline(p).0, p)),
+                Role::Cons(p) => cons_ready[p] = true,
+                Role::Empty => empty_pool.push_back(i),
+            }
+        }
+        // 1. Extract the minimum if its consumer is ready.
+        if let Some((&min_val, &p)) = structure.iter().next() {
+            if cons_ready[p] {
+                let c = parsed.pairs[p].cons.expect("ready consumer");
+                structure.remove(&min_val);
+                order.push(c);
+                frontier.emit(c);
+                continue;
+            }
+        }
+        // 2. Empty extracts linearize while the queue is empty.
+        if structure.is_empty() {
+            if let Some(e) = empty_pool.pop_front() {
+                order.push(e);
+                frontier.emit(e);
+                continue;
+            }
+        }
+        // 3. Insert the most urgent ready value.
+        if let Some((_, p)) = prod_pool.pop() {
+            structure.insert(vals[p], p);
+            order.push(parsed.pairs[p].prod);
+            frontier.emit(parsed.pairs[p].prod);
+            continue;
+        }
+        return None; // stall: no rule applies, defer to the general search
+    }
+    Some(order)
 }
 
 /// LIFO covering sweep: popped value `v` is impossible if some `w` was

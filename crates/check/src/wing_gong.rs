@@ -32,7 +32,7 @@
 //!   iff the specification's response matches the recorded one and leaves
 //!   the state untouched otherwise (O(1) for the container types).
 //!   Backtracking restores the object from interval snapshots (one clone
-//!   every [`SNAP_INTERVAL`] accepted ops) plus a bounded replay — and the
+//!   every `SNAP_INTERVAL` accepted ops) plus a bounded replay — and the
 //!   snapshots themselves are *lazy*: nothing is cloned until the first
 //!   restore, so a straight-line search clones no state at all.
 //! * **Incremental hash-compacted memoization.** The memo key is a single
@@ -64,7 +64,7 @@
 //! across OS threads: a breadth-first seeding pass expands the root into
 //! disjoint frontier branches (deduplicated per layer by `(done set, state)`
 //! key), which become jobs in a shared work queue that idle workers steal
-//! from. Workers share a lock-striped [`ShardedMemo`] and a global node
+//! from. Workers share a lock-striped `ShardedMemo` and a global node
 //! budget, and cooperatively cancel as soon as any worker finds a witness.
 //!
 //! Cross-worker memo pruning is sound because the state graph is *graded*:
@@ -238,7 +238,7 @@ impl SearchStats {
 ///
 /// Replaces `HashSet<u64>`: keys are already avalanche-quality hashes, so
 /// the table indexes directly by their **top** bits (the low bits pick the
-/// shard in [`ShardedMemo`], so the two never alias) with linear probing.
+/// shard in `ShardedMemo`, so the two never alias) with linear probing.
 /// One flat `u64` slot array, zero per-entry metadata, and growth re-places
 /// the stored keys without re-hashing — doubling the table just exposes one
 /// more top bit.

@@ -12,6 +12,8 @@
 use crate::clock::LiveClock;
 use crate::platform::{spawn_node, Command, NodeInput, NodeOutput};
 use crate::router::Router;
+use lintime_adt::spec::ObjectSpec;
+use lintime_check::stream::{self, StreamConfig, StreamStats, StreamVerdict};
 use lintime_obs::{EventCategory, Obs};
 use lintime_sim::delay::DelaySpec;
 use lintime_sim::faults::FaultPlan;
@@ -20,6 +22,7 @@ use lintime_sim::run::Run;
 use lintime_sim::schedule::TimedInvocation;
 use lintime_sim::time::{ModelParams, Pid, Time};
 use std::sync::mpsc::{channel, sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a live cluster.
@@ -44,6 +47,9 @@ pub struct LiveConfig {
     /// Observability bundle, shared with the router thread. [`Obs::off`]
     /// (the default) keeps the harness and router uninstrumented.
     pub obs: Obs,
+    /// Online-checker configuration for [`run_live_checked`]; `None` (the
+    /// default) skips streaming verification entirely.
+    pub stream_check: Option<StreamConfig>,
 }
 
 impl LiveConfig {
@@ -57,7 +63,14 @@ impl LiveConfig {
             settle: params.d * 3,
             faults: None,
             obs: Obs::off(),
+            stream_check: None,
         }
+    }
+
+    /// Enable streaming verification in [`run_live_checked`] (builder style).
+    pub fn with_stream_check(mut self, cfg: StreamConfig) -> Self {
+        self.stream_check = Some(cfg);
+        self
     }
 
     /// Inject `plan` into the router (builder style).
@@ -84,6 +97,35 @@ impl LiveConfig {
         }
         self.delay.validate_shape(self.params.n)
     }
+}
+
+/// [`run_live`] plus streaming verification: when
+/// [`LiveConfig::stream_check`] is set, the collected run is driven through
+/// the online checker ([`lintime_check::stream`]) in event-time order and
+/// the streaming verdict is returned alongside the run.
+///
+/// Node threads only surface their operation records at shutdown (the
+/// watchdog collects them in one sweep), so "streaming" here means the
+/// event-ordered replay adapter [`stream::replay_run`]: the same
+/// feed-one-event-at-a-time code path, bounded-memory window and GC as a
+/// truly live consumer, applied as soon as the records exist. Crashed or
+/// still-pending invocations are left pending and decided by the
+/// finish-time completion search; a truncated run yields
+/// [`stream::UnknownReason::MalformedStream`], never a certificate — mirroring the
+/// offline checker's refusal. The checker's `check.stream.*` counters land
+/// in [`LiveConfig::obs`].
+pub fn run_live_checked<N: Node + 'static>(
+    cfg: &LiveConfig,
+    schedule: &[TimedInvocation],
+    spec: &Arc<dyn ObjectSpec>,
+    make_node: impl FnMut(Pid) -> N,
+) -> (Run, Option<(StreamVerdict, StreamStats)>) {
+    let run = run_live(cfg, schedule, make_node);
+    let checked = cfg
+        .stream_check
+        .clone()
+        .map(|stream_cfg| stream::replay_run(spec, &run, stream_cfg, &cfg.obs));
+    (run, checked)
 }
 
 /// Run a timed schedule against a live cluster of `Node`s and record the
@@ -291,6 +333,7 @@ mod tests {
     use lintime_adt::spec::{erase, Invocation};
     use lintime_adt::types::FifoQueue;
     use lintime_adt::value::Value;
+    use lintime_check::stream::UnknownReason;
     use lintime_core::wtlw::WtlwNode;
     use lintime_sim::node::Effects;
     use std::sync::Arc;
@@ -352,6 +395,26 @@ mod tests {
         assert!(verdict.is_linearizable(), "{run}");
     }
 
+    #[test]
+    fn live_run_streams_through_the_online_checker() {
+        let cfg = cfg().with_stream_check(StreamConfig::default().with_flush_ops(2));
+        let p = cfg.params;
+        let spec = erase(FifoQueue::new());
+        let schedule = vec![
+            TimedInvocation { pid: Pid(0), at: Time(50), inv: Invocation::new("enqueue", 1) },
+            TimedInvocation { pid: Pid(1), at: Time(55), inv: Invocation::new("enqueue", 2) },
+            TimedInvocation { pid: Pid(0), at: Time(2000), inv: Invocation::nullary("dequeue") },
+            TimedInvocation { pid: Pid(1), at: Time(3500), inv: Invocation::nullary("dequeue") },
+        ];
+        let (run, checked) = run_live_checked(&cfg, &schedule, &spec, |pid| {
+            WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO)
+        });
+        assert!(run.complete(), "{run}");
+        let (verdict, stats) = checked.expect("stream_check was configured");
+        assert!(verdict.is_ok(), "{verdict:?}");
+        assert_eq!(stats.ops, 4);
+    }
+
     /// A node that panics on its first invocation.
     struct PanicNode;
     impl Node for PanicNode {
@@ -366,12 +429,20 @@ mod tests {
 
     #[test]
     fn panicking_node_yields_diagnosed_truncated_run() {
-        let cfg = cfg();
+        let cfg = cfg().with_stream_check(StreamConfig::default());
         let schedule =
             vec![TimedInvocation { pid: Pid(0), at: Time(50), inv: Invocation::nullary("boom") }];
-        let run = run_live(&cfg, &schedule, |_| PanicNode);
+        let spec: Arc<dyn lintime_adt::spec::ObjectSpec> = erase(FifoQueue::new());
+        let (run, checked) = run_live_checked(&cfg, &schedule, &spec, |_| PanicNode);
         assert!(run.truncated, "{run}");
         assert!(!run.certifiable());
+        // The streaming path must refuse the truncated record the same way
+        // the offline checker does: Unknown, never a certificate.
+        let (verdict, _) = checked.unwrap();
+        assert!(
+            matches!(verdict, StreamVerdict::Unknown(UnknownReason::MalformedStream)),
+            "{verdict:?}"
+        );
         assert!(
             run.errors.iter().any(|e| e.contains("panicked") && e.contains("injected crash")),
             "{:?}",

@@ -32,7 +32,7 @@ pub mod router;
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::clock::LiveClock;
-    pub use crate::harness::{run_live, LiveConfig};
+    pub use crate::harness::{run_live, run_live_checked, LiveConfig};
     pub use crate::platform::{spawn_node, Command, NodeInput, NodeOutput};
     pub use crate::router::{Envelope, Router, RouterReport};
 }

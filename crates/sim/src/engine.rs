@@ -16,6 +16,7 @@ use crate::run::{MsgRecord, OpRecord, Run, StepTrigger, ViewStep};
 use crate::schedule::Schedule;
 use crate::time::{ModelParams, Pid, Time};
 use lintime_adt::spec::Invocation;
+use lintime_adt::value::Value;
 use lintime_obs::{EventCategory, Obs};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -48,6 +49,37 @@ pub struct SimConfig {
     /// Observability bundle. [`Obs::off`] (the default) reduces every
     /// instrumentation point to a single branch.
     pub obs: Obs,
+    /// Live operation-event sink for streaming consumers (e.g. the online
+    /// linearizability checker). `None` (the default) keeps the benched
+    /// offline path untouched; send errors are ignored so a departed
+    /// receiver never affects the run.
+    pub op_sink: Option<std::sync::mpsc::Sender<OpEvent>>,
+}
+
+/// A structured operation event emitted through [`SimConfig::op_sink`] the
+/// moment the engine records it, in simulated-time order.
+#[derive(Clone, Debug)]
+pub enum OpEvent {
+    /// `pid` invoked `op(arg)` at real time `t`.
+    Invoke {
+        /// Invoking process.
+        pid: Pid,
+        /// Real (simulated) invocation time.
+        t: Time,
+        /// Operation name.
+        op: &'static str,
+        /// Operation argument.
+        arg: Value,
+    },
+    /// `pid`'s outstanding invocation responded with `ret` at real time `t`.
+    Respond {
+        /// Responding process.
+        pid: Pid,
+        /// Real (simulated) response time.
+        t: Time,
+        /// Response value.
+        ret: Value,
+    },
 }
 
 impl SimConfig {
@@ -65,6 +97,7 @@ impl SimConfig {
             max_events: 50_000_000,
             faults: None,
             obs: Obs::off(),
+            op_sink: None,
         }
     }
 
@@ -97,6 +130,13 @@ impl SimConfig {
     /// Attach an observability bundle (trace sink + metrics registry).
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attach a live operation-event sink (see [`OpEvent`]); invocations and
+    /// responses are sent the moment the engine records them.
+    pub fn with_op_sink(mut self, sink: std::sync::mpsc::Sender<OpEvent>) -> Self {
+        self.op_sink = Some(sink);
         self
     }
 
@@ -175,6 +215,7 @@ impl SimConfig {
             max_events: self.max_events,
             faults: self.faults.clone(),
             obs: self.obs.clone(),
+            op_sink: self.op_sink.clone(),
         }
     }
 }
@@ -449,6 +490,14 @@ pub fn simulate_full<N: Node>(
                 if let Some(m) = &metrics {
                     m.invocations.inc();
                 }
+                if let Some(sink) = &config.op_sink {
+                    let _ = sink.send(OpEvent::Invoke {
+                        pid,
+                        t: now,
+                        op: inv.op,
+                        arg: inv.arg.clone(),
+                    });
+                }
                 procs[pid.0].pending_op = Some((ops.len(), from_script));
                 ops.push(OpRecord {
                     pid,
@@ -637,6 +686,9 @@ pub fn simulate_full<N: Node>(
                     if let Some(m) = &metrics {
                         m.responses.inc();
                         m.op_latency.observe_i64((now - ops[op_idx].t_invoke).0);
+                    }
+                    if let Some(sink) = &config.op_sink {
+                        let _ = sink.send(OpEvent::Respond { pid, t: now, ret: ret.clone() });
                     }
                     ops[op_idx].ret = Some(ret);
                     ops[op_idx].t_respond = Some(now);

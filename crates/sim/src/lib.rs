@@ -51,7 +51,7 @@ pub mod workload;
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::delay::DelaySpec;
-    pub use crate::engine::{simulate, simulate_full, SimConfig};
+    pub use crate::engine::{simulate, simulate_full, OpEvent, SimConfig};
     pub use crate::faults::{FaultPlan, InjectedFault, StallWindow};
     pub use crate::fragment::{apply_cuts, chop, shortest_paths, Fragment};
     pub use crate::node::{EffectParts, Effects, Node};

@@ -2,17 +2,30 @@
 """Gate checker-bench regressions against the committed baselines.
 
 Usage: check_bench_regression.py COMMITTED.json FRESH.json
+       check_bench_regression.py --streaming FRESH.json [FLOOR_OPS_PER_SEC]
 
-Both files are `BENCH_checker.json`-shaped: a list of rows with `case`,
-`variant`, and `median_ns` keys. A row regresses when the fresh median is
-more than REGRESSION_FACTOR times the committed median *and* above the
-absolute noise floor — sub-millisecond rows flap with CI scheduling jitter
-(the smoke run takes a single sample per measurement), so tiny cases only
-inform, never gate. Rows present on only one side are reported but never
-fail the gate: new cases land with their first committed baseline, and
-removed cases die with it.
+Default mode: both files are `BENCH_checker.json`-shaped, a list of rows
+with `case`, `variant`, and `median_ns` keys. A row regresses when the
+fresh median is more than REGRESSION_FACTOR times the committed median
+*and* above the absolute noise floor — sub-millisecond rows flap with CI
+scheduling jitter (the smoke run takes a single sample per measurement),
+so tiny cases only inform, never gate. Rows present on only one side are
+reported but never fail the gate: new cases land with their first
+committed baseline, and removed cases die with it.
 
-Exits non-zero iff at least one row regresses.
+Streaming mode (`--streaming`): the file is `BENCH_streaming.json`-shaped
+(rows with `ops_per_sec`, `peak_resident_ops`, `flush_ops`, `concurrency`,
+`verdict`) and the gates are absolute, not relative:
+
+  1. every row's verdict is "linearizable" (the generated streams are
+     legal by construction);
+  2. every row's throughput is at least FLOOR_OPS_PER_SEC (default 1e6);
+  3. memory is flat — every row's peak resident ops stay within a small
+     constant multiple of (flush window + concurrency), and when the same
+     case family appears at two stream lengths, the longer stream's peak
+     is at most FLAT_FACTOR times the shorter one's.
+
+Exits non-zero iff at least one gate fails.
 """
 
 import json
@@ -20,6 +33,13 @@ import sys
 
 REGRESSION_FACTOR = 2.0
 NOISE_FLOOR_NS = 2_000_000  # 2 ms
+
+STREAM_FLOOR_OPS_PER_SEC = 1_000_000.0
+FLAT_FACTOR = 1.5
+# peak_resident_ops <= RESIDENT_FLUSH_FACTOR * flush_ops
+#                      + RESIDENT_CONCURRENCY_FACTOR * concurrency
+RESIDENT_FLUSH_FACTOR = 2
+RESIDENT_CONCURRENCY_FACTOR = 64
 
 
 def load(path):
@@ -31,7 +51,60 @@ def load(path):
     return table
 
 
+def check_streaming(path, floor):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    failures = []
+    by_family = {}
+    print(f"{'case':<34} {'ops/s':>12} {'peak res':>9} {'verdict':>16}")
+    for row in rows:
+        case = row["case"]
+        ops_per_sec = float(row["ops_per_sec"])
+        peak = int(row["peak_resident_ops"])
+        bound = RESIDENT_FLUSH_FACTOR * int(row["flush_ops"]) + (
+            RESIDENT_CONCURRENCY_FACTOR * int(row["concurrency"])
+        )
+        problems = []
+        if row["verdict"] != "linearizable":
+            problems.append(f"verdict {row['verdict']!r}")
+        if ops_per_sec < floor:
+            problems.append(f"throughput {ops_per_sec:.0f} < floor {floor:.0f}")
+        if peak > bound:
+            problems.append(f"peak resident {peak} > bound {bound}")
+        flag = "  FAILED: " + "; ".join(problems) if problems else ""
+        print(f"{case:<34} {ops_per_sec:>12.0f} {peak:>9} {row['verdict']:>16}{flag}")
+        failures.extend((case, p) for p in problems)
+        # "queue/1000000ops_p4" -> family "queue/..._p4", keyed for the
+        # longer-stream-no-bigger comparison.
+        family = (case.split("/")[0], row["concurrency"], row["flush_ops"])
+        by_family.setdefault(family, []).append((int(row["ops"]), peak, case))
+    for sized in by_family.values():
+        sized.sort()
+        (small_ops, small_peak, _), (big_ops, big_peak, big_case) = sized[0], sized[-1]
+        if big_ops > small_ops and big_peak > small_peak * FLAT_FACTOR:
+            failures.append(
+                (
+                    big_case,
+                    f"memory not flat: {big_ops} ops peaked at {big_peak} "
+                    f"vs {small_ops} ops at {small_peak}",
+                )
+            )
+    if failures:
+        print(f"\n{len(failures)} streaming gate failure(s):", file=sys.stderr)
+        for case, problem in failures:
+            print(f"  {case}: {problem}", file=sys.stderr)
+        return 1
+    print("\nall streaming gates passed")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--streaming":
+        if len(argv) not in (3, 4):
+            print(__doc__, file=sys.stderr)
+            return 2
+        floor = float(argv[3]) if len(argv) == 4 else STREAM_FLOOR_OPS_PER_SEC
+        return check_streaming(argv[2], floor)
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
