@@ -23,6 +23,19 @@
 //!     --ops <k>            total operations to stream (default 1000000)
 //!     --procs <p>          concurrent processes (default 4)
 //!     --flush <w>          flush window in ops (default 1024)
+//! lintime serve [flags]                  sharded deployment under open-loop load
+//!     --shards <s>         independent objects (default 8)
+//!     --workers <w>        worker threads (default 4)
+//!     --adt <name>         fifo-queue | register | priority-queue (default fifo-queue)
+//!     --ops <k>            total generated arrivals (default 150000)
+//!     --gap <t>            mean inter-arrival gap in ticks (default 1)
+//!     --mix <m>            balanced | read | write (default balanced)
+//!     --zipf <s>           shard-popularity Zipf exponent (default 1.0)
+//!     --x/--tick <t>       Algorithm 1 tradeoff X and batch tick B
+//!     --n/--d/--u <v>      model parameters (default 4 / 6000 / 2400)
+//!     --flush <w>          checker flush window = admission epoch (default 1024)
+//!     --seed <s>           generator + delay seed (default 42)
+//!     --json-out <p>       also write the BENCH-style JSON rows to <p>
 //! lintime trace <scenario> [flags]       replay a scenario with tracing on
 //!     scenarios: table5 (fault-free queue), faults (recovery under drops)
 //!     --seed <s>           scenario seed (default 7)
@@ -33,11 +46,11 @@
 //! ```
 
 use lintime_adt::prelude::*;
+use lintime_bench::genflags::FlagSet;
 use lintime_bench::tracecmd::{self, TraceOptions};
 use lintime_bench::{experiments, timeline};
 use lintime_core::prelude::*;
 use lintime_sim::prelude::*;
-use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -64,6 +77,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        Some("serve") => {
+            if let Err(e) = cmd_serve(&args[1..]) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         Some("trace") => {
             if let Err(e) = cmd_trace(&args[1..]) {
                 eprintln!("error: {e}");
@@ -71,7 +90,9 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: lintime <types|tables|fig11|attack|simulate|stream|trace> [flags]");
+            eprintln!(
+                "usage: lintime <types|tables|fig11|attack|simulate|stream|serve|trace> [flags]"
+            );
             eprintln!("       (see crate docs or README.md for flag details)");
             return ExitCode::FAILURE;
         }
@@ -142,37 +163,27 @@ fn cmd_attack(which: Option<&str>) -> Result<(), String> {
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        let Some(key) = a.strip_prefix("--") else {
-            return Err(format!("unexpected argument {a:?}"));
-        };
-        let value = if it.peek().is_some_and(|v| !v.starts_with("--")) {
-            it.next().unwrap().clone()
-        } else {
-            "true".to_string() // boolean flag
-        };
-        flags.insert(key.to_string(), value);
+/// Shared `--mix` vocabulary of the generator-driven subcommands.
+fn parse_mix(name: &str) -> Result<Mix, String> {
+    match name {
+        "balanced" => Ok(Mix::BALANCED),
+        "read" => Ok(Mix::READ_HEAVY),
+        "write" => Ok(Mix::WRITE_HEAVY),
+        other => Err(format!("unknown mix {other:?}; try balanced|read|write")),
     }
-    Ok(flags)
 }
 
 fn cmd_stream(args: &[String]) -> Result<(), String> {
     use lintime_bench::microbench::fmt_count;
     use lintime_bench::streamgen::{run_scenario, StreamKind};
-    let flags = parse_flags(args)?;
-    let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
-    let usize_flag = |k: &str, default: usize| -> Result<usize, String> {
-        get(k, &default.to_string()).parse().map_err(|_| format!("--{k} expects an integer"))
-    };
-    let adt = get("adt", "fifo-queue");
+    let mut flags = FlagSet::parse(args)?;
+    let adt = flags.str_flag("adt", "fifo-queue");
     let kind = StreamKind::by_name(&adt)
         .ok_or_else(|| format!("unknown stream scenario {adt:?}; try fifo-queue|register|pq"))?;
-    let ops = usize_flag("ops", 1_000_000)?;
-    let procs = usize_flag("procs", 4)?;
-    let flush = usize_flag("flush", 1024)?;
+    let ops = flags.usize_flag("ops", 1_000_000)?;
+    let procs = flags.usize_flag("procs", 4)?;
+    let flush = flags.usize_flag("flush", 1024)?;
+    flags.finish()?;
     let cfg = lintime_check::stream::StreamConfig::default().with_flush_ops(flush);
 
     println!(
@@ -204,67 +215,97 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         Some(a) if !a.starts_with("--") => (a.as_str(), &args[1..]),
         _ => ("faults", args),
     };
-    let flags = parse_flags(rest)?;
+    let mut flags = FlagSet::parse(rest)?;
     let mut opts = TraceOptions::default();
-    if let Some(s) = flags.get("seed") {
-        opts.seed = s.parse().map_err(|_| "--seed expects an integer".to_string())?;
-    }
-    if let Some(r) = flags.get("drop") {
-        opts.drop_rate = r.parse().map_err(|_| "--drop expects a rate in 0..1".to_string())?;
-    }
-    if let Some(k) = flags.get("events") {
-        opts.max_events = k.parse().map_err(|_| "--events expects an integer".to_string())?;
-    }
-    if let Some(w) = flags.get("width") {
-        opts.width = w.parse().map_err(|_| "--width expects an integer".to_string())?;
-    }
+    opts.seed = flags.i64_flag("seed", opts.seed as i64)? as u64;
+    opts.drop_rate = flags.f64_flag("drop", opts.drop_rate)?;
+    opts.max_events = flags.usize_flag("events", opts.max_events)?;
+    opts.width = flags.usize_flag("width", opts.width)?;
+    let metrics_out = flags.str_flag("metrics-out", "");
+    flags.finish()?;
     let (report, obs) = tracecmd::trace_report(scenario, &opts)?;
     print!("{report}");
-    if let Some(path) = flags.get("metrics-out") {
-        let path = std::path::Path::new(path);
+    if !metrics_out.is_empty() {
+        let path = std::path::Path::new(&metrics_out);
         obs.metrics.save_snapshot(path).map_err(|e| format!("cannot write metrics: {e}"))?;
         println!("\nwrote metrics snapshot to {}", path.display());
     }
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args)?;
-    let get = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.into());
-    let int = |k: &str, default: i64| -> Result<i64, String> {
-        get(k, &default.to_string()).parse().map_err(|_| format!("--{k} expects an integer"))
-    };
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use lintime_bench::serve::{serve, ServeConfig};
+    use lintime_bench::streamgen::StreamKind;
+    let mut flags = FlagSet::parse(args)?;
+    let mut cfg = ServeConfig::default_experiment();
+    cfg.shards = flags.usize_flag("shards", cfg.shards)?;
+    cfg.workers = flags.usize_flag("workers", cfg.workers)?;
+    let adt = flags.str_flag("adt", "fifo-queue");
+    cfg.kind = StreamKind::by_name(&adt)
+        .ok_or_else(|| format!("unknown ADT {adt:?}; try fifo-queue|register|pq"))?;
+    let n = flags.usize_flag("n", cfg.params.n)?;
+    let d = Time(flags.i64_flag("d", cfg.params.d.as_ticks())?);
+    let u = Time(flags.i64_flag("u", cfg.params.u.as_ticks())?);
+    cfg.params = ModelParams::with_optimal_epsilon(n, d, u);
+    cfg.x = Time(flags.i64_flag("x", cfg.x.as_ticks())?);
+    cfg.tick = Time(flags.i64_flag("tick", cfg.params.epsilon.as_ticks())?);
+    cfg.total_ops = flags.usize_flag("ops", cfg.total_ops)?;
+    cfg.mean_gap = Time(flags.i64_flag("gap", cfg.mean_gap.as_ticks())?);
+    cfg.mix = parse_mix(&flags.str_flag("mix", "balanced"))?;
+    cfg.zipf_s = flags.f64_flag("zipf", cfg.zipf_s)?;
+    cfg.seed = flags.i64_flag("seed", cfg.seed as i64)? as u64;
+    cfg.flush_ops = flags.usize_flag("flush", cfg.flush_ops)?;
+    let json_out = flags.str_flag("json-out", "");
+    flags.finish()?;
 
-    let n = int("n", 4)? as usize;
-    let d = Time(int("d", 6000)?);
-    let u = Time(int("u", 2400)?);
+    let report = serve(&cfg)?;
+    print!("{}", report.render_text());
+    if !json_out.is_empty() {
+        std::fs::write(&json_out, report.render_json())
+            .map_err(|e| format!("cannot write {json_out}: {e}"))?;
+        println!("wrote {json_out}");
+    }
+    if report.verdicts.class() != "linearizable" {
+        return Err(format!(
+            "composed verdict is {} (violating shards: {:?})",
+            report.verdicts.class(),
+            report.verdicts.violating_shards()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut flags = FlagSet::parse(args)?;
+    let n = flags.usize_flag("n", 4)?;
+    let d = Time(flags.i64_flag("d", 6000)?);
+    let u = Time(flags.i64_flag("u", 2400)?);
     let params = ModelParams::with_optimal_epsilon(n, d, u);
-    let type_name = get("type", "fifo-queue");
+    let type_name = flags.str_flag("type", "fifo-queue");
     let spec = by_name(&type_name)
         .ok_or_else(|| format!("unknown type {type_name:?}; try `lintime types`"))?;
-    let x = Time(int("x", 0)?);
-    let algo = match get("algo", "wtlw").as_str() {
+    let x = Time(flags.i64_flag("x", 0)?);
+    let algo = match flags.str_flag("algo", "wtlw").as_str() {
         "wtlw" => Algorithm::Wtlw { x },
         "centralized" => Algorithm::Centralized,
         "broadcast" => Algorithm::Broadcast,
         "naive" => Algorithm::NaiveLocal(Time::ZERO),
         other => return Err(format!("unknown algorithm {other:?}")),
     };
-    let seed = int("seed", 42)? as u64;
-    let mix = match get("mix", "balanced").as_str() {
-        "balanced" => Mix::BALANCED,
-        "read" => Mix::READ_HEAVY,
-        "write" => Mix::WRITE_HEAVY,
-        other => return Err(format!("unknown mix {other:?}")),
-    };
-    let delay = match get("delay", "random").as_str() {
+    let seed = flags.i64_flag("seed", 42)? as u64;
+    let mix = parse_mix(&flags.str_flag("mix", "balanced"))?;
+    let delay = match flags.str_flag("delay", "random").as_str() {
         "random" => DelaySpec::UniformRandom { seed },
         "max" => DelaySpec::AllMax,
         "min" => DelaySpec::AllMin,
         other => return Err(format!("unknown delay model {other:?}")),
     };
-    let workload =
-        Workload { mix, ops_per_process: int("ops", 6)? as usize, max_gap: params.d * 2, seed };
+    let ops_per_process = flags.usize_flag("ops", 6)?;
+    let stream_check = flags.bool_flag("stream-check");
+    let draw_timeline = flags.bool_flag("timeline");
+    let check_threads = flags.usize_flag("check-threads", 0)?;
+    flags.finish()?;
+    let workload = Workload { mix, ops_per_process, max_gap: params.d * 2, seed };
 
     println!(
         "simulating {} on {} with {} (n={}, d={}, u={}, ε={}, seed={seed})",
@@ -283,7 +324,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     // stream through the `op_sink` channel while the simulation runs, so the
     // verdict is ready (modulo the final pending residue) the moment the run
     // ends — no post-hoc history build required.
-    let streamer = if flags.contains_key("stream-check") {
+    let streamer = if stream_check {
         let (tx, rx) = std::sync::mpsc::channel();
         cfg = cfg.with_op_sink(tx);
         let spec = std::sync::Arc::clone(&spec);
@@ -317,7 +358,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         return Err(format!("run incomplete:\n{run}"));
     }
 
-    if flags.contains_key("timeline") {
+    if draw_timeline {
         print!("{}", timeline::render(&run, 100));
     }
     println!("\nper-operation worst/mean latency:");
@@ -343,12 +384,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     // 0 = auto (std::thread::available_parallelism); 1 forces the
     // sequential search.
-    let check_threads = int("check-threads", 0)?;
-    if check_threads < 0 {
-        return Err("--check-threads expects a non-negative integer".into());
-    }
     let check_cfg = lintime_check::wing_gong::CheckConfig {
-        threads: check_threads as usize,
+        threads: check_threads,
         ..lintime_check::wing_gong::CheckConfig::default()
     };
     let history = lintime_check::history::History::from_run(&run)

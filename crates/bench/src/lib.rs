@@ -3,8 +3,9 @@
 //! The benchmark and reproduction harness: every table and figure of the
 //! paper has a generator here (see [`experiments`]) plus a binary under
 //! `src/bin` that prints it, and a timing bench under `benches` that
-//! measures the corresponding simulator workload. The workspace-level
-//! `examples/` and `tests/` directories are wired into this crate. The
+//! measures the corresponding simulator workload. The example programs
+//! live under this crate's `examples/` directory, and the
+//! workspace-level `tests/` directory is wired into this crate. The
 //! robustness extension adds a fault-injection sweep
 //! ([`experiments::fault_sweep_report`], `--bin fault_sweep`) and a
 //! cross-backend availability matrix ([`matrix`]), and the
@@ -12,14 +13,20 @@
 //! `lintime trace`) plus a `--metrics-out` snapshot flag on the sweep
 //! binaries. The streaming extension adds generated live event streams
 //! ([`streamgen`], `lintime stream`, `benches/streaming.rs`) for the
-//! bounded-memory online checker.
+//! bounded-memory online checker. The serving extension adds a sharded
+//! multi-object deployment under open-loop load ([`serve`], `lintime
+//! serve`) with per-shard online checking composed by locality, and a
+//! shared structured flag parser for the generator-driven subcommands
+//! ([`genflags`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod genflags;
 pub mod matrix;
 pub mod microbench;
+pub mod serve;
 pub mod streamgen;
 pub mod sweep;
 pub mod timeline;

@@ -114,6 +114,7 @@ mod tests {
             delay_violations: 0,
             truncated: false,
             crashed_pending: 0,
+            unadmitted: 0,
             msgs_sent: 0,
             bytes_sent: 0,
             faults: vec![],

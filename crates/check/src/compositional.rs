@@ -9,6 +9,7 @@
 //! contended concurrently.
 
 use crate::history::History;
+use crate::stream::StreamVerdict;
 use crate::wing_gong::{check_with, CheckConfig, Verdict};
 use lintime_adt::product::ProductSpec;
 use std::collections::BTreeMap;
@@ -30,6 +31,70 @@ impl ComponentVerdicts {
     /// True iff any component hit the search budget.
     pub fn any_unknown(&self) -> bool {
         self.components.iter().any(|(_, v)| *v == Verdict::Unknown)
+    }
+}
+
+/// Composition of per-shard streaming verdicts — the live-deployment
+/// analogue of [`ComponentVerdicts`]. A sharded service (`lintime serve`)
+/// runs one independent object per shard, each monitored by its own
+/// [`crate::stream::StreamChecker`]; by locality, the whole multi-object
+/// execution is linearizable iff every shard's stream is.
+///
+/// The composed verdict keeps the offline lattice's risk asymmetry: a single
+/// shard violation refutes the whole deployment, a single `Unknown` (with no
+/// violation anywhere) degrades the whole deployment to `Unknown`, and only
+/// all-shards-`Ok` certifies it.
+#[derive(Clone, Debug, Default)]
+pub struct ShardVerdicts {
+    /// `(shard label, final streaming verdict)`, one entry per shard.
+    pub shards: Vec<(String, StreamVerdict)>,
+}
+
+impl ShardVerdicts {
+    /// Record one shard's final verdict.
+    pub fn push(&mut self, label: impl Into<String>, verdict: StreamVerdict) {
+        self.shards.push((label.into(), verdict));
+    }
+
+    /// True iff every shard certified `Ok` (and there is at least one
+    /// shard — an empty deployment vacuously proves nothing worth claiming).
+    pub fn is_linearizable(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|(_, v)| v.is_ok())
+    }
+
+    /// True iff some shard found a sound violation.
+    pub fn any_violation(&self) -> bool {
+        self.shards.iter().any(|(_, v)| v.is_violation())
+    }
+
+    /// True iff some shard degraded to `Unknown`.
+    pub fn any_unknown(&self) -> bool {
+        self.shards.iter().any(|(_, v)| matches!(v, StreamVerdict::Unknown(_)))
+    }
+
+    /// Labels of the shards that refuted, in shard order — the attribution a
+    /// locality argument buys: the violation is *in those objects*, not an
+    /// artifact of interleaving with the healthy shards.
+    pub fn violating_shards(&self) -> Vec<&str> {
+        self.shards
+            .iter()
+            .filter(|(_, v)| v.is_violation())
+            .map(|(label, _)| label.as_str())
+            .collect()
+    }
+
+    /// Composed verdict class (`"linearizable"`, `"not-linearizable"`,
+    /// `"unknown"`), matching [`StreamVerdict::class`]. Violations dominate
+    /// Unknown: a proven refutation anywhere stays a refutation even if
+    /// another shard could not be decided.
+    pub fn class(&self) -> &'static str {
+        if self.any_violation() {
+            "not-linearizable"
+        } else if self.any_unknown() || self.shards.is_empty() {
+            "unknown"
+        } else {
+            "linearizable"
+        }
     }
 }
 
@@ -142,6 +207,37 @@ mod tests {
         let by: BTreeMap<_, _> = v.components.iter().cloned().collect();
         assert!(by["reg"].is_linearizable());
         assert_eq!(by["q"], Verdict::NotLinearizable);
+    }
+
+    #[test]
+    fn shard_verdicts_compose_with_violation_dominating_unknown() {
+        use crate::stream::{UnknownReason, ViolationEvidence};
+        let ok = StreamVerdict::Ok;
+        let unknown = StreamVerdict::Unknown(UnknownReason::WindowOverflow);
+        let bad = StreamVerdict::Violation(ViolationEvidence { window: History::default() });
+
+        let mut all_ok = ShardVerdicts::default();
+        assert_eq!(all_ok.class(), "unknown", "an empty deployment proves nothing");
+        assert!(!all_ok.is_linearizable());
+        all_ok.push("shard-0", ok.clone());
+        all_ok.push("shard-1", ok.clone());
+        assert!(all_ok.is_linearizable());
+        assert_eq!(all_ok.class(), "linearizable");
+        assert!(all_ok.violating_shards().is_empty());
+
+        let mut degraded = ShardVerdicts::default();
+        degraded.push("shard-0", ok.clone());
+        degraded.push("shard-1", unknown.clone());
+        assert!(!degraded.is_linearizable());
+        assert!(degraded.any_unknown() && !degraded.any_violation());
+        assert_eq!(degraded.class(), "unknown");
+
+        let mut refuted = ShardVerdicts::default();
+        refuted.push("shard-0", ok);
+        refuted.push("shard-1", unknown);
+        refuted.push("shard-2", bad);
+        assert_eq!(refuted.class(), "not-linearizable", "violation dominates unknown");
+        assert_eq!(refuted.violating_shards(), vec!["shard-2"]);
     }
 
     #[test]

@@ -330,6 +330,7 @@ mod tests {
             delay_violations: 0,
             truncated: false,
             crashed_pending: 0,
+            unadmitted: 0,
             msgs_sent: 0,
             bytes_sent: 0,
             faults: vec![],
@@ -395,6 +396,7 @@ mod tests {
             delay_violations: 0,
             truncated: false,
             crashed_pending: 2,
+            unadmitted: 0,
             msgs_sent: 0,
             bytes_sent: 0,
             faults: vec![

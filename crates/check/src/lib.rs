@@ -40,7 +40,7 @@ pub mod wing_gong;
 /// Convenient re-exports of the most-used items.
 pub mod prelude {
     pub use crate::arena::HistoryArena;
-    pub use crate::compositional::{check_components, ComponentVerdicts};
+    pub use crate::compositional::{check_components, ComponentVerdicts, ShardVerdicts};
     pub use crate::history::{History, LossyDrops, PendingHistory, PendingOp, TimedOp};
     pub use crate::monitor::{
         check_fast, check_fast_pending, check_fast_pending_observed, check_fast_pending_with,

@@ -119,7 +119,11 @@ impl Backend for Algorithm {
         match self {
             // Algorithm 1 assumes reliable channels, live processes, and
             // honest timers; stalls break its timer-based ordering windows.
-            Algorithm::Wtlw { .. } | Algorithm::WtlwWaits(_) => FaultTolerance::NONE,
+            // The batching wrapper only re-times announcements (within the
+            // stretched waits), so it inherits the same claims.
+            Algorithm::Wtlw { .. } | Algorithm::WtlwWaits(_) | Algorithm::BatchedWtlw { .. } => {
+                FaultTolerance::NONE
+            }
             // The coordinator and the broadcast quorum wait for *messages*,
             // not timers, so a stalled process only delays; but a single
             // crash (coordinator / any acker) wedges them, and lost or

@@ -3,6 +3,7 @@
 //! per-class latency statistics. Used by the table binaries and benches.
 
 use crate::abd_kv::{AbdKvNode, AbdMsg};
+use crate::batch::{BatchMsg, BatchTimer, BatchWtlwNode};
 use crate::broadcast::{BcastMsg, BroadcastNode};
 use crate::centralized::{CentralMsg, CentralizedNode};
 use crate::mr_register::{MrMsg, MrNode};
@@ -43,6 +44,15 @@ pub enum Algorithm {
     /// Per-key composition of majority-quorum registers implementing the
     /// kv-store at register cost; crash-tolerant up to `⌊(n−1)/2⌋` failures.
     AbdKv,
+    /// Algorithm 1 behind the tick-batching wrapper: mutator announcements
+    /// flush once per batch tick, trading `+tick` of accessor/mixed latency
+    /// for one broadcast per tick instead of one per operation.
+    BatchedWtlw {
+        /// Tradeoff parameter `X ∈ [0, d − ε]` for the inner node.
+        x: Time,
+        /// Batch tick `B` (0 disables batching).
+        tick: Time,
+    },
     /// Algorithm 1 behind the reliable-delivery recovery wrapper.
     ReliableWtlw {
         /// Tradeoff parameter `X ∈ [0, d − ε]` for the inner node.
@@ -65,6 +75,7 @@ impl Algorithm {
             Algorithm::MrRegister => "mr-register".to_string(),
             Algorithm::QuorumSm => "quorum-sm".to_string(),
             Algorithm::AbdKv => "abd-kv".to_string(),
+            Algorithm::BatchedWtlw { x, tick } => format!("batched-wtlw(X={x}, B={tick})"),
             Algorithm::ReliableWtlw { x, .. } => format!("reliable-wtlw(X={x})"),
             Algorithm::NaiveLocal(w) => format!("naive(wait={w})"),
         }
@@ -88,6 +99,8 @@ pub enum AnyMsg {
     Abd(AbdMsg),
     /// Recovery-wrapped announcement or acknowledgement.
     Rel(RelMsg),
+    /// Tick-batched announcement bundle.
+    Batch(BatchMsg),
     /// Naive gossip.
     Naive(NaiveMsg),
 }
@@ -104,6 +117,7 @@ impl AnyMsg {
             AnyMsg::Qsm(m) => m.wire_bytes(),
             AnyMsg::Abd(m) => m.wire_bytes(),
             AnyMsg::Rel(m) => m.wire_bytes(),
+            AnyMsg::Batch(m) => m.wire_bytes(),
             AnyMsg::Naive(m) => m.wire_bytes(),
         }
     }
@@ -116,6 +130,8 @@ pub enum AnyTimer {
     Wtlw(WtlwTimer),
     /// Recovery-wrapper timer (inner Algorithm 1 or retransmit).
     Rel(RelTimer),
+    /// Batching-wrapper timer (inner Algorithm 1 or flush).
+    Batch(BatchTimer),
     /// Naive respond timer.
     Naive(NaiveTimer),
     /// Quorum state-machine stability timer.
@@ -139,6 +155,8 @@ pub enum AnyNode {
     Abd(AbdKvNode),
     /// Recovery-wrapped Algorithm 1.
     Rel(ReliableWtlwNode),
+    /// Tick-batched Algorithm 1.
+    Batch(BatchWtlwNode),
     /// Naive strawman.
     Naive(NaiveLocalNode),
 }
@@ -177,6 +195,9 @@ impl AnyNode {
             }
             Algorithm::AbdKv => {
                 AnyNode::Abd(AbdKvNode::new(pid, spec, params.n).with_obs(obs.clone()))
+            }
+            Algorithm::BatchedWtlw { x, tick } => {
+                AnyNode::Batch(BatchWtlwNode::new(pid, spec, params, x, tick).with_obs(obs.clone()))
             }
             Algorithm::ReliableWtlw { x, recovery } => AnyNode::Rel(
                 ReliableWtlwNode::new(pid, spec, params, x, recovery).with_obs(obs.clone()),
@@ -245,6 +266,9 @@ impl Node for AnyNode {
             AnyNode::Rel(n) => {
                 dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Rel, AnyTimer::Rel)
             }
+            AnyNode::Batch(n) => {
+                dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Batch, AnyTimer::Batch)
+            }
             AnyNode::Naive(n) => {
                 dispatch!(fx, ifx, n.on_invoke(inv, ifx), AnyMsg::Naive, AnyTimer::Naive)
             }
@@ -290,6 +314,9 @@ impl Node for AnyNode {
             (AnyNode::Rel(n), AnyMsg::Rel(m)) => {
                 dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Rel, AnyTimer::Rel)
             }
+            (AnyNode::Batch(n), AnyMsg::Batch(m)) => {
+                dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Batch, AnyTimer::Batch)
+            }
             (AnyNode::Naive(n), AnyMsg::Naive(m)) => {
                 dispatch!(fx, ifx, n.on_deliver(from, m, ifx), AnyMsg::Naive, AnyTimer::Naive)
             }
@@ -304,6 +331,9 @@ impl Node for AnyNode {
             }
             (AnyNode::Rel(n), AnyTimer::Rel(t)) => {
                 dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Rel, AnyTimer::Rel)
+            }
+            (AnyNode::Batch(n), AnyTimer::Batch(t)) => {
+                dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Batch, AnyTimer::Batch)
             }
             (AnyNode::Naive(n), AnyTimer::Naive(t)) => {
                 dispatch!(fx, ifx, n.on_timer(t, ifx), AnyMsg::Naive, AnyTimer::Naive)

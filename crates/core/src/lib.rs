@@ -13,6 +13,9 @@
 //! * [`broadcast`] — folklore baseline 2 (`≈ 2d` via Lamport total-order
 //!   broadcast over point-to-point links);
 //! * [`naive`] — incorrect optimistic replication (lower-bound victim);
+//! * [`batch`] — tick-batched mutator broadcasts: one announcement bundle
+//!   per batch tick instead of one broadcast per operation, with the waits
+//!   stretched by the tick so linearizability is preserved;
 //! * [`reliable`] — recovery layer: acks + retransmission + duplicate
 //!   suppression keep Algorithm 1 linearizable on a lossy network, and a
 //!   violation detector flags runs the recovery budget could not save;
@@ -57,6 +60,7 @@
 
 pub mod abd_kv;
 pub mod backend;
+pub mod batch;
 pub mod broadcast;
 pub mod centralized;
 pub mod cluster;
@@ -72,6 +76,9 @@ pub mod wtlw;
 pub mod prelude {
     pub use crate::abd_kv::{AbdKvNode, AbdMsg};
     pub use crate::backend::{run_backend, Backend, BackendRun, FaultTolerance, UnsupportedSpec};
+    pub use crate::batch::{
+        batched_predicted_latency, batched_waits, BatchMsg, BatchTimer, BatchWtlwNode,
+    };
     pub use crate::broadcast::BroadcastNode;
     pub use crate::centralized::CentralizedNode;
     pub use crate::cluster::{

@@ -149,6 +149,33 @@ impl HistogramSnapshot {
     pub fn overflow(&self) -> u64 {
         *self.counts.last().expect("counts never empty")
     }
+
+    /// Upper estimate of the `q`-quantile at bucket resolution: the smallest
+    /// bucket bound `b` such that at least `⌈q·n⌉` of the `n` observations
+    /// are `<= b`. Returns `None` with zero samples, or when the quantile
+    /// lands in the overflow bucket (the true value exceeds every bound, so
+    /// no finite estimate exists — widen the buckets).
+    ///
+    /// `q` must lie in `[0, 1]`; `q = 0` reports the first non-empty bucket,
+    /// `q = 1` the last.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Rank of the quantile observation, 1-based; q = 0 still needs one
+        // observation, so clamp the rank up to 1.
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, c) in self.bounds.iter().zip(&self.counts) {
+            seen += c;
+            if seen >= rank {
+                return Some(*b);
+            }
+        }
+        None
+    }
 }
 
 enum Metric {
@@ -359,6 +386,46 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn unsorted_bounds_are_rejected() {
         Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn percentiles_pick_bucket_upper_bounds() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // 90 samples <=10, 9 samples <=100, 1 sample <=1000.
+        for _ in 0..90 {
+            h.observe(5);
+        }
+        for _ in 0..9 {
+            h.observe(50);
+        }
+        h.observe(500);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), Some(10), "q=0 reports the first non-empty bucket");
+        assert_eq!(s.percentile(0.50), Some(10));
+        assert_eq!(s.percentile(0.90), Some(10), "rank 90 is still inside the first bucket");
+        assert_eq!(s.percentile(0.95), Some(100));
+        assert_eq!(s.percentile(0.99), Some(100));
+        assert_eq!(s.percentile(0.999), Some(1000));
+        assert_eq!(s.percentile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_well_defined() {
+        let empty = Histogram::new(&[10]).snapshot();
+        assert_eq!(empty.percentile(0.5), None, "no samples, no quantile");
+
+        let h = Histogram::new(&[10]);
+        h.observe(999); // lands in +inf
+        h.observe(3);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), Some(10));
+        assert_eq!(s.percentile(1.0), None, "max is past every bound: no finite estimate");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_quantile_is_a_loud_bug() {
+        Histogram::new(&[10]).snapshot().percentile(1.5);
     }
 
     #[test]

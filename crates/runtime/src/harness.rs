@@ -16,6 +16,7 @@ use lintime_adt::spec::ObjectSpec;
 use lintime_check::stream::{self, StreamConfig, StreamStats, StreamVerdict};
 use lintime_obs::{EventCategory, Obs};
 use lintime_sim::delay::DelaySpec;
+use lintime_sim::engine::OpEvent;
 use lintime_sim::faults::FaultPlan;
 use lintime_sim::node::Node;
 use lintime_sim::run::Run;
@@ -50,6 +51,15 @@ pub struct LiveConfig {
     /// Online-checker configuration for [`run_live_checked`]; `None` (the
     /// default) skips streaming verification entirely.
     pub stream_check: Option<StreamConfig>,
+    /// Live operation-event sink: every node thread sends an
+    /// [`OpEvent`] the moment it records an invocation or response, so an
+    /// external consumer (a [`lintime_check::stream::StreamChecker`] thread,
+    /// the serve harness) can follow the run *while it executes* instead of
+    /// waiting for shutdown. Events from different node threads interleave
+    /// in channel order, which may not be globally time-sorted — the
+    /// streaming checker tolerates this (non-monotone streams disable GC but
+    /// are still decided at finish). A consumer that hangs up is ignored.
+    pub op_sink: Option<std::sync::mpsc::Sender<OpEvent>>,
 }
 
 impl LiveConfig {
@@ -64,12 +74,20 @@ impl LiveConfig {
             faults: None,
             obs: Obs::off(),
             stream_check: None,
+            op_sink: None,
         }
     }
 
     /// Enable streaming verification in [`run_live_checked`] (builder style).
     pub fn with_stream_check(mut self, cfg: StreamConfig) -> Self {
         self.stream_check = Some(cfg);
+        self
+    }
+
+    /// Stream live [`OpEvent`]s to `sink` as node threads record them
+    /// (builder style). See [`LiveConfig::op_sink`].
+    pub fn with_op_sink(mut self, sink: std::sync::mpsc::Sender<OpEvent>) -> Self {
+        self.op_sink = Some(sink);
         self
     }
 
@@ -157,6 +175,7 @@ pub fn run_live<N: Node + 'static>(
             delay_violations: 0,
             truncated: true,
             crashed_pending: 0,
+            unadmitted: 0,
             msgs_sent: 0,
             bytes_sent: 0,
             faults: Vec::new(),
@@ -200,6 +219,7 @@ pub fn run_live<N: Node + 'static>(
             inputs,
             router.tx.clone(),
             results_tx.clone(),
+            cfg.op_sink.clone(),
         ));
     }
     drop(results_tx);
@@ -318,6 +338,7 @@ pub fn run_live<N: Node + 'static>(
         delay_violations: 0,
         truncated,
         crashed_pending: 0,
+        unadmitted: 0,
         // The router counts routed messages; byte-level wire accounting is a
         // simulator-only refinement (the live router never inspects payloads).
         msgs_sent: events,
@@ -413,6 +434,43 @@ mod tests {
         let (verdict, stats) = checked.expect("stream_check was configured");
         assert!(verdict.is_ok(), "{verdict:?}");
         assert_eq!(stats.ops, 4);
+    }
+
+    #[test]
+    fn op_sink_streams_live_events_to_a_concurrent_checker() {
+        use lintime_check::stream::StreamChecker;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cfg = cfg().with_op_sink(tx);
+        let p = cfg.params;
+        let spec = erase(FifoQueue::new());
+        // A concurrent consumer drives the online checker while the cluster
+        // executes; the channel closes when the last node thread exits.
+        let consumer_spec = Arc::clone(&spec);
+        let consumer = std::thread::spawn(move || {
+            let mut checker = StreamChecker::new(&consumer_spec);
+            let mut events = 0u64;
+            while let Ok(ev) = rx.recv() {
+                checker.feed(&ev);
+                events += 1;
+            }
+            (checker.finish(), events)
+        });
+        let schedule = vec![
+            TimedInvocation { pid: Pid(0), at: Time(50), inv: Invocation::new("enqueue", 1) },
+            TimedInvocation { pid: Pid(1), at: Time(55), inv: Invocation::new("enqueue", 2) },
+            TimedInvocation { pid: Pid(0), at: Time(2000), inv: Invocation::nullary("dequeue") },
+            TimedInvocation { pid: Pid(1), at: Time(3500), inv: Invocation::nullary("dequeue") },
+        ];
+        let run =
+            run_live(&cfg, &schedule, |pid| WtlwNode::new(pid, Arc::clone(&spec), p, Time::ZERO));
+        assert!(run.complete(), "{run}");
+        // The config holds the last sender clone; dropping it closes the
+        // channel so the consumer's recv loop terminates.
+        drop(cfg);
+        let ((verdict, stats), events) = consumer.join().expect("consumer thread");
+        assert_eq!(events, 8, "one invoke + one respond per operation");
+        assert_eq!(stats.ops, 4);
+        assert!(verdict.is_ok(), "{verdict:?}");
     }
 
     /// A node that panics on its first invocation.

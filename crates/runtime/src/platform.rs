@@ -10,6 +10,7 @@
 use crate::clock::LiveClock;
 use crate::router::Envelope;
 use lintime_adt::spec::Invocation;
+use lintime_sim::engine::OpEvent;
 use lintime_sim::node::{Effects, Node};
 use lintime_sim::run::OpRecord;
 use lintime_sim::time::Pid;
@@ -62,6 +63,7 @@ struct PendingTimer<T> {
 /// Spawn the event loop for one process. The thread reports its
 /// [`NodeOutput`] through `results` when it shuts down — also when it
 /// panics, so the harness never joins a handle that will never finish.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_node<N: Node + 'static>(
     pid: Pid,
     n: usize,
@@ -70,12 +72,13 @@ pub fn spawn_node<N: Node + 'static>(
     inputs: Receiver<NodeInput<N::Msg>>,
     router_tx: SyncSender<Envelope<N::Msg>>,
     results: Sender<(Pid, NodeOutput)>,
+    op_sink: Option<Sender<OpEvent>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("lintime-node-{pid}"))
         .spawn(move || {
             let out = catch_unwind(AssertUnwindSafe(|| {
-                node_loop(pid, n, clock, node, inputs, router_tx)
+                node_loop(pid, n, clock, node, inputs, router_tx, op_sink)
             }))
             .unwrap_or_else(|payload| {
                 let msg = payload
@@ -102,6 +105,7 @@ fn node_loop<N: Node>(
     mut node: N,
     inputs: Receiver<NodeInput<N::Msg>>,
     router_tx: SyncSender<Envelope<N::Msg>>,
+    op_sink: Option<Sender<OpEvent>>,
 ) -> NodeOutput {
     let mut timers: Vec<PendingTimer<N::Timer>> = Vec::new();
     let mut next_timer_id = 0u64;
@@ -126,6 +130,7 @@ fn node_loop<N: Node>(
                 &mut records,
                 &mut errors,
                 &mut pending,
+                &op_sink,
             );
         }
         let timeout = timers
@@ -149,6 +154,7 @@ fn node_loop<N: Node>(
                     &mut records,
                     &mut errors,
                     &mut pending,
+                    &op_sink,
                 );
             }
             Ok(NodeInput::Command(Command::Invoke(inv))) => {
@@ -159,13 +165,23 @@ fn node_loop<N: Node>(
                     continue;
                 }
                 pending = Some(records.len());
+                let t_invoke = clock.real_now();
                 records.push(OpRecord {
                     pid,
                     invocation: inv.clone(),
                     ret: None,
-                    t_invoke: clock.real_now(),
+                    t_invoke,
                     t_respond: None,
                 });
+                if let Some(sink) = &op_sink {
+                    // A live consumer that hung up is not a node failure.
+                    let _ = sink.send(OpEvent::Invoke {
+                        pid,
+                        t: t_invoke,
+                        op: inv.op,
+                        arg: inv.arg.clone(),
+                    });
+                }
                 let mut fx = Effects::new(pid, n, clock.local_now());
                 node.on_invoke(inv, &mut fx);
                 apply_effects(
@@ -178,6 +194,7 @@ fn node_loop<N: Node>(
                     &mut records,
                     &mut errors,
                     &mut pending,
+                    &op_sink,
                 );
             }
             Ok(NodeInput::Command(Command::Shutdown)) | Err(RecvTimeoutError::Disconnected) => {
@@ -208,6 +225,7 @@ fn apply_effects<M: Send, T: Clone + PartialEq>(
     records: &mut [OpRecord],
     errors: &mut Vec<String>,
     pending: &mut Option<usize>,
+    op_sink: &Option<Sender<OpEvent>>,
 ) {
     let parts = fx.into_parts();
     for tag in parts.timers_cancelled {
@@ -226,8 +244,12 @@ fn apply_effects<M: Send, T: Clone + PartialEq>(
     if let Some(ret) = parts.response {
         match pending.take() {
             Some(idx) => {
+                let t_respond = clock.real_now();
+                if let Some(sink) = op_sink {
+                    let _ = sink.send(OpEvent::Respond { pid, t: t_respond, ret: ret.clone() });
+                }
                 records[idx].ret = Some(ret);
-                records[idx].t_respond = Some(clock.real_now());
+                records[idx].t_respond = Some(t_respond);
             }
             None => errors.push(format!("{pid}: response with no pending operation")),
         }

@@ -239,6 +239,7 @@ impl Fragment {
             delay_violations,
             truncated: prefix.truncated,
             crashed_pending: prefix.crashed_pending,
+            unadmitted: prefix.unadmitted,
             msgs_sent: prefix.msgs_sent,
             bytes_sent: prefix.bytes_sent,
             faults: prefix.faults.clone(),
@@ -278,6 +279,7 @@ mod tests {
             delay_violations: 0,
             truncated: false,
             crashed_pending: 0,
+            unadmitted: 0,
             msgs_sent: 0,
             bytes_sent: 0,
             faults: Vec::new(),

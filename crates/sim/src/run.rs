@@ -124,6 +124,12 @@ pub struct Run {
     /// flags: a run with `pending ops == crashed_pending` lost responses
     /// *only* to crashes, not to protocol bugs or truncation.
     pub crashed_pending: u64,
+    /// Open-loop arrivals (see [`crate::schedule::Schedule::open`]) that
+    /// arrived during the run but were still waiting in a process's ingress
+    /// queue when it ended. They never became invocations, so they appear in
+    /// no [`OpRecord`]; a nonzero count means the offered load outran the
+    /// service rate for the duration of the run.
+    pub unadmitted: u64,
     /// Protocol messages sent by nodes (each `Effects::send` counts once,
     /// whether or not the network later dropped it; fault-injected duplicates
     /// are not protocol cost and are excluded).
@@ -270,6 +276,7 @@ impl Run {
             delay_violations,
             truncated: self.truncated,
             crashed_pending: self.crashed_pending,
+            unadmitted: self.unadmitted,
             msgs_sent: self.msgs_sent,
             bytes_sent: self.bytes_sent,
             faults: self.faults.clone(),
@@ -344,7 +351,7 @@ impl fmt::Display for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "run: {} ops ({} complete), {} sends ({} bytes), last_time {}, admissible: {}{}{}{}{}",
+            "run: {} ops ({} complete), {} sends ({} bytes), last_time {}, admissible: {}{}{}{}{}{}",
             self.ops.len(),
             self.completed().count(),
             self.msgs_sent,
@@ -355,6 +362,11 @@ impl fmt::Display for Run {
             if self.is_suspect() { ", SUSPECT" } else { "" },
             if self.crashed_pending > 0 {
                 format!(", {} crashed-pending", self.crashed_pending)
+            } else {
+                String::new()
+            },
+            if self.unadmitted > 0 {
+                format!(", {} unadmitted arrivals", self.unadmitted)
             } else {
                 String::new()
             },
@@ -417,6 +429,7 @@ mod tests {
             delay_violations: 0,
             truncated: false,
             crashed_pending: 0,
+            unadmitted: 0,
             msgs_sent: 1,
             bytes_sent: 24,
             faults: Vec::new(),

@@ -45,10 +45,16 @@ pub struct Script {
 /// A complete invocation schedule.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Schedule {
-    /// Open-loop timed invocations.
+    /// Timed invocations (error if the process is busy when one fires).
     pub timed: Vec<TimedInvocation>,
     /// Closed-loop scripts (at most one per process).
     pub scripts: Vec<Script>,
+    /// Open-loop arrivals: like `timed`, but an arrival at a busy process
+    /// queues in that process's ingress queue (FIFO) and is admitted when
+    /// the pending operation responds, instead of being recorded as an
+    /// error. This models clients that submit requests at their own rate,
+    /// independent of service completions.
+    pub open: Vec<TimedInvocation>,
 }
 
 impl Schedule {
@@ -60,6 +66,14 @@ impl Schedule {
     /// Add one timed invocation.
     pub fn at(mut self, pid: Pid, at: Time, inv: Invocation) -> Self {
         self.timed.push(TimedInvocation { pid, at, inv });
+        self
+    }
+
+    /// Add one open-loop arrival: the invocation arrives at `at` and is
+    /// admitted immediately if `pid` is idle, or queued (FIFO per process)
+    /// until the pending operation responds.
+    pub fn arrival(mut self, pid: Pid, at: Time, inv: Invocation) -> Self {
+        self.open.push(TimedInvocation { pid, at, inv });
         self
     }
 
@@ -86,7 +100,9 @@ impl Schedule {
 
     /// Total number of invocations in the schedule.
     pub fn len(&self) -> usize {
-        self.timed.len() + self.scripts.iter().map(|s| s.invocations.len()).sum::<usize>()
+        self.timed.len()
+            + self.open.len()
+            + self.scripts.iter().map(|s| s.invocations.len()).sum::<usize>()
     }
 
     /// True if the schedule contains no invocations.
@@ -114,12 +130,18 @@ impl Schedule {
                     invocations: s.invocations.clone(),
                 })
                 .collect(),
+            open: self
+                .open
+                .iter()
+                .map(|t| TimedInvocation { pid: t.pid, at: t.at + x[t.pid.0], inv: t.inv.clone() })
+                .collect(),
         }
     }
 
     /// Merge another schedule into this one.
     pub fn merge(mut self, other: Schedule) -> Schedule {
         self.timed.extend(other.timed);
+        self.open.extend(other.open);
         for s in other.scripts {
             self = self.script(s);
         }
@@ -175,6 +197,22 @@ mod tests {
         assert_eq!(shifted.timed[1].at, Time(6));
         assert_eq!(shifted.scripts[0].start, Time(7));
         assert_eq!(shifted.scripts[0].gap, Time(5)); // gaps are durations
+    }
+
+    #[test]
+    fn arrivals_count_shift_and_merge() {
+        let s = Schedule::new().arrival(Pid(0), Time(5), Invocation::nullary("read")).arrival(
+            Pid(1),
+            Time(9),
+            Invocation::new("write", 1),
+        );
+        assert_eq!(s.len(), 2);
+        let shifted = s.clone().shifted(&[Time(2), Time(-3)]);
+        assert_eq!(shifted.open[0].at, Time(7));
+        assert_eq!(shifted.open[1].at, Time(6));
+        let m = s.merge(Schedule::new().arrival(Pid(0), Time(11), Invocation::nullary("read")));
+        assert_eq!(m.open.len(), 3);
+        assert_eq!(m.len(), 3);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 Usage: check_bench_regression.py COMMITTED.json FRESH.json
        check_bench_regression.py --streaming FRESH.json [FLOOR_OPS_PER_SEC]
+       check_bench_regression.py --serve FRESH.json [FLOOR_OPS_PER_SEC] [MIN_PEAK_IN_FLIGHT]
 
 Default mode: both files are `BENCH_checker.json`-shaped, a list of rows
 with `case`, `variant`, and `median_ns` keys. A row regresses when the
@@ -25,6 +26,27 @@ Streaming mode (`--streaming`): the file is `BENCH_streaming.json`-shaped
      case family appears at two stream lengths, the longer stream's peak
      is at most FLAT_FACTOR times the shorter one's.
 
+Serve mode (`--serve`): the file is `BENCH_serve.json`-shaped — one
+roll-up row (`case == "serve"`) followed by one `serve/shardN` row per
+shard — and the gates are absolute:
+
+  1. every row's verdict is "linearizable" (composition must certify
+     every shard, and the roll-up must agree);
+  2. zero envelope violations anywhere: every completed operation's
+     service latency stays within its class's Algorithm 1 bound;
+  3. the open-loop load fully drains: roll-up ops == arrivals, and no
+     shard reports unadmitted arrivals or a truncated checker;
+  4. throughput is at least FLOOR_OPS_PER_SEC (default 2e4 — wall-clock
+     ops/s of the whole sharded deployment, deliberately conservative
+     for CI scheduling jitter);
+  5. the roll-up's peak in-flight count is at least MIN_PEAK_IN_FLIGHT
+     (default 0, i.e. only gated when the caller passes a target — the
+     committed baseline is checked with 100000);
+  6. checker memory stays flat: each shard's peak resident ops is
+     bounded by a constant multiple of its flush window (covering the
+     1.5x backoff growth while waiting for a canonical cut), never by
+     the arrival backlog.
+
 Exits non-zero iff at least one gate fails.
 """
 
@@ -40,6 +62,14 @@ FLAT_FACTOR = 1.5
 #                      + RESIDENT_CONCURRENCY_FACTOR * concurrency
 RESIDENT_FLUSH_FACTOR = 2
 RESIDENT_CONCURRENCY_FACTOR = 64
+
+SERVE_FLOOR_OPS_PER_SEC = 20_000.0
+# peak_resident_ops <= SERVE_RESIDENT_FLUSH_FACTOR * flush_ops + slack.
+# Larger than the streaming factor because a shard's flush window grows
+# 1.5x per failed flush until the generator's producer/consumer pairing
+# hands the checker a canonical cut (see docs/SERVING.md).
+SERVE_RESIDENT_FLUSH_FACTOR = 8
+SERVE_RESIDENT_SLACK = 512
 
 
 def load(path):
@@ -98,7 +128,81 @@ def check_streaming(path, floor):
     return 0
 
 
+def check_serve(path, floor, min_in_flight):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    rollups = [r for r in rows if r["case"] == "serve"]
+    shards = [r for r in rows if r["case"].startswith("serve/shard")]
+    if len(rollups) != 1 or not shards:
+        print(f"{path}: expected one roll-up row and >=1 shard rows", file=sys.stderr)
+        return 2
+    rollup = rollups[0]
+    failures = []
+
+    def gate(case, ok, problem):
+        if not ok:
+            failures.append((case, problem))
+
+    gate("serve", rollup["verdict"] == "linearizable", f"verdict {rollup['verdict']!r}")
+    gate(
+        "serve",
+        int(rollup["envelope_violations"]) == 0,
+        f"{rollup['envelope_violations']} envelope violations",
+    )
+    gate(
+        "serve",
+        int(rollup["ops"]) == int(rollup["arrivals"]),
+        f"drained {rollup['ops']} of {rollup['arrivals']} arrivals",
+    )
+    ops_per_sec = float(rollup["ops_per_sec"])
+    gate("serve", ops_per_sec >= floor, f"throughput {ops_per_sec:.0f} < floor {floor:.0f}")
+    peak = int(rollup["peak_in_flight"])
+    gate(
+        "serve",
+        peak >= min_in_flight,
+        f"peak in-flight {peak} < target {min_in_flight}",
+    )
+    print(
+        f"serve roll-up: {rollup['shards']} shards x {rollup['workers']} workers, "
+        f"{rollup['ops']} ops at {ops_per_sec:.0f} ops/s, "
+        f"peak in-flight {peak}, verdict {rollup['verdict']}"
+    )
+    print(f"{'case':<16} {'ops':>9} {'peak res':>9} {'bound':>7} {'verdict':>16}")
+    for row in shards:
+        case = row["case"]
+        bound = SERVE_RESIDENT_FLUSH_FACTOR * int(row["flush_ops"]) + SERVE_RESIDENT_SLACK
+        resident = int(row["peak_resident_ops"])
+        problems = []
+        if row["verdict"] != "linearizable":
+            problems.append(f"verdict {row['verdict']!r}")
+        if int(row["envelope_violations"]) != 0:
+            problems.append(f"{row['envelope_violations']} envelope violations")
+        if int(row["unadmitted"]) != 0:
+            problems.append(f"{row['unadmitted']} unadmitted arrivals")
+        if row["truncated"]:
+            problems.append("checker truncated")
+        if resident > bound:
+            problems.append(f"peak resident {resident} > bound {bound}")
+        flag = "  FAILED: " + "; ".join(problems) if problems else ""
+        print(f"{case:<16} {row['ops']:>9} {resident:>9} {bound:>7} {row['verdict']:>16}{flag}")
+        failures.extend((case, p) for p in problems)
+    if failures:
+        print(f"\n{len(failures)} serve gate failure(s):", file=sys.stderr)
+        for case, problem in failures:
+            print(f"  {case}: {problem}", file=sys.stderr)
+        return 1
+    print("\nall serve gates passed")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--serve":
+        if len(argv) not in (3, 4, 5):
+            print(__doc__, file=sys.stderr)
+            return 2
+        floor = float(argv[3]) if len(argv) >= 4 else SERVE_FLOOR_OPS_PER_SEC
+        min_in_flight = int(argv[4]) if len(argv) == 5 else 0
+        return check_serve(argv[2], floor, min_in_flight)
     if len(argv) >= 2 and argv[1] == "--streaming":
         if len(argv) not in (3, 4):
             print(__doc__, file=sys.stderr)

@@ -202,6 +202,7 @@ fn chop_satisfies_lemma_2() {
             delay_violations: 1,
             truncated: false,
             crashed_pending: 0,
+            unadmitted: 0,
             msgs_sent: 0,
             bytes_sent: 0,
             faults: Vec::new(),

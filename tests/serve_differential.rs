@@ -1,0 +1,114 @@
+//! Differential test for the sharded serving layer (`lintime_bench::serve`).
+//!
+//! The serve path certifies each shard online with a bounded-memory
+//! [`StreamChecker`] and composes the per-shard verdicts by the
+//! Herlihy–Wing locality theorem. This suite re-derives every per-shard
+//! verdict *offline*: with `keep_histories` enabled, each shard report
+//! carries the exact completed history its checker consumed, and the
+//! full Wing–Gong search (`check_fast`) over that history must agree
+//! with the streaming verdict — shard by shard, healthy and corrupted
+//! alike. Any divergence means either the online checker certified a
+//! window it should have refuted (unsound) or refuted one it should
+//! have certified (incomplete), so this is the strongest end-to-end
+//! oracle the serving layer has.
+
+use lintime_bench::serve::{serve, ServeConfig};
+use lintime_bench::streamgen::StreamKind;
+use lintime_check::monitor::check_fast;
+use lintime_check::wing_gong::Verdict;
+use lintime_sim::time::{ModelParams, Time};
+
+/// A small-but-not-trivial deployment: 4 shards, 2 workers, enough
+/// operations per shard that several checker flush windows settle.
+fn diff_config(kind: StreamKind) -> ServeConfig {
+    let params = ModelParams::new(3, Time(300), Time(120), Time(90));
+    ServeConfig {
+        kind,
+        params,
+        tick: Time(90),
+        total_ops: 480,
+        mean_gap: Time(8),
+        flush_ops: 16,
+        keep_histories: true,
+        ..ServeConfig::new(4, 2)
+    }
+}
+
+/// Offline verdict class for one shard's kept history, using the same
+/// labels the compositional roll-up uses.
+fn offline_class(kind: StreamKind, report: &lintime_bench::serve::ShardReport) -> &'static str {
+    let history = report.history.as_ref().expect("keep_histories must retain every shard history");
+    assert_eq!(
+        history.ops.len(),
+        report.ops as usize,
+        "kept history must cover every completed op of shard {}",
+        report.shard
+    );
+    match check_fast(&kind.spec(), history) {
+        Verdict::Linearizable(_) => "linearizable",
+        Verdict::NotLinearizable => "not-linearizable",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+#[test]
+fn healthy_shards_agree_with_offline_wing_gong_for_every_adt() {
+    for kind in [StreamKind::Queue, StreamKind::Register, StreamKind::PriorityQueue] {
+        let cfg = diff_config(kind);
+        let report = serve(&cfg).expect("serve");
+        assert_eq!(report.verdicts.class(), "linearizable", "{}: composed verdict", kind.label());
+        for shard in &report.shard_reports {
+            let offline = offline_class(kind, shard);
+            assert_eq!(
+                shard.verdict_class,
+                offline,
+                "{} shard {}: online vs offline verdict",
+                kind.label(),
+                shard.shard
+            );
+            assert_eq!(offline, "linearizable", "{} shard {}", kind.label(), shard.shard);
+        }
+    }
+}
+
+#[test]
+fn corrupted_shard_is_attributed_by_both_online_and_offline_checkers() {
+    let mut cfg = diff_config(StreamKind::Queue);
+    cfg.corrupt_shard = Some(2);
+    let report = serve(&cfg).expect("serve");
+
+    // Online: the composed verdict refutes, and attributes exactly shard 2.
+    assert_eq!(report.verdicts.class(), "not-linearizable");
+    assert_eq!(report.verdicts.violating_shards(), vec!["shard-2"]);
+
+    // Offline: replaying each kept history through the full Wing–Gong
+    // search reproduces the same per-shard split. The streaming verdict is
+    // a sound refutation of a settled window, so the whole corrupted
+    // history must be offline-refutable too — and only that one.
+    for shard in &report.shard_reports {
+        let offline = offline_class(StreamKind::Queue, shard);
+        let expected = if shard.shard == 2 { "not-linearizable" } else { "linearizable" };
+        assert_eq!(shard.verdict_class, expected, "online shard {}", shard.shard);
+        assert_eq!(offline, expected, "offline shard {}", shard.shard);
+    }
+}
+
+#[test]
+fn differential_agreement_is_seed_stable() {
+    // The oracle must hold across generator seeds, not just the default:
+    // different seeds change the Zipf routing, the mix draws, and where
+    // the admission barriers land relative to producer/consumer pairs.
+    for seed in [1, 7, 42] {
+        let mut cfg = diff_config(StreamKind::Queue);
+        cfg.seed = seed;
+        let report = serve(&cfg).expect("serve");
+        for shard in &report.shard_reports {
+            assert_eq!(
+                shard.verdict_class,
+                offline_class(StreamKind::Queue, shard),
+                "seed {seed} shard {}",
+                shard.shard
+            );
+        }
+    }
+}
